@@ -1,0 +1,132 @@
+// Package main_test hosts one testing.B benchmark per table and figure of
+// the paper's evaluation (§7), wrapping the experiment harness in
+// internal/bench. Each benchmark runs its full experiment per iteration and
+// reports the headline metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation at the small scale (use
+// cmd/benchrunner for the default/large scales and full report tables).
+package main_test
+
+import (
+	"strconv"
+	"testing"
+
+	"mlnclean/internal/bench"
+)
+
+// scale is the benchmark scale; Small keeps the full suite in CI budgets.
+var scale = bench.Small
+
+// runExperiment executes a registered experiment b.N times, reporting how
+// many report rows it produced (sanity) and failing on errors.
+func runExperiment(b *testing.B, name string) *bench.Report {
+	b.Helper()
+	var report *bench.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		report, err = bench.Run(name, scale)
+		if err != nil {
+			b.Fatalf("%s: %v", name, err)
+		}
+	}
+	if report == nil || len(report.Rows) == 0 {
+		b.Fatalf("%s: empty report", name)
+	}
+	b.ReportMetric(float64(len(report.Rows)), "rows")
+	return report
+}
+
+// reportF1 extracts the F1 value of the first row (the 5% error point) from
+// the given column and reports it as a benchmark metric.
+func reportF1(b *testing.B, r *bench.Report, col int) {
+	b.Helper()
+	if len(r.Rows) == 0 || col >= len(r.Rows[0]) {
+		return
+	}
+	if f1, err := strconv.ParseFloat(r.Rows[0][col], 64); err == nil {
+		b.ReportMetric(f1, "F1@5%")
+	}
+}
+
+// BenchmarkFig6CAR regenerates Fig. 6(a)+(c): F1 and runtime vs error rate
+// on CAR, MLNClean vs HoloClean.
+func BenchmarkFig6CAR(b *testing.B) { reportF1(b, runExperiment(b, "fig6-car"), 1) }
+
+// BenchmarkFig6HAI regenerates Fig. 6(b)+(d) on HAI.
+func BenchmarkFig6HAI(b *testing.B) { reportF1(b, runExperiment(b, "fig6-hai"), 1) }
+
+// BenchmarkFig7CAR regenerates Fig. 7(a): F1 vs error-type ratio on CAR.
+func BenchmarkFig7CAR(b *testing.B) { reportF1(b, runExperiment(b, "fig7-car"), 1) }
+
+// BenchmarkFig7HAI regenerates Fig. 7(b) on HAI.
+func BenchmarkFig7HAI(b *testing.B) { reportF1(b, runExperiment(b, "fig7-hai"), 1) }
+
+// BenchmarkFig8CAR regenerates Fig. 8(a): AGP accuracy vs τ on CAR.
+func BenchmarkFig8CAR(b *testing.B) { runExperiment(b, "fig8-car") }
+
+// BenchmarkFig8HAI regenerates Fig. 8(b) on HAI.
+func BenchmarkFig8HAI(b *testing.B) { runExperiment(b, "fig8-hai") }
+
+// BenchmarkFig9CAR regenerates Fig. 9(a): RSC accuracy vs τ on CAR.
+func BenchmarkFig9CAR(b *testing.B) { runExperiment(b, "fig9-car") }
+
+// BenchmarkFig9HAI regenerates Fig. 9(b) on HAI.
+func BenchmarkFig9HAI(b *testing.B) { runExperiment(b, "fig9-hai") }
+
+// BenchmarkFig10CAR regenerates Fig. 10(a): FSCR accuracy vs τ on CAR.
+func BenchmarkFig10CAR(b *testing.B) { runExperiment(b, "fig10-car") }
+
+// BenchmarkFig10HAI regenerates Fig. 10(b) on HAI.
+func BenchmarkFig10HAI(b *testing.B) { runExperiment(b, "fig10-hai") }
+
+// BenchmarkFig11CAR regenerates Fig. 11(a): overall F1 + runtime vs τ, CAR.
+func BenchmarkFig11CAR(b *testing.B) { runExperiment(b, "fig11-car") }
+
+// BenchmarkFig11HAI regenerates Fig. 11(b) on HAI.
+func BenchmarkFig11HAI(b *testing.B) { runExperiment(b, "fig11-hai") }
+
+// BenchmarkFig12CAR regenerates Fig. 12(a): AGP accuracy vs error rate, CAR.
+func BenchmarkFig12CAR(b *testing.B) { runExperiment(b, "fig12-car") }
+
+// BenchmarkFig12HAI regenerates Fig. 12(b) on HAI.
+func BenchmarkFig12HAI(b *testing.B) { runExperiment(b, "fig12-hai") }
+
+// BenchmarkFig13CAR regenerates Fig. 13(a): RSC accuracy vs error rate, CAR.
+func BenchmarkFig13CAR(b *testing.B) { runExperiment(b, "fig13-car") }
+
+// BenchmarkFig13HAI regenerates Fig. 13(b) on HAI.
+func BenchmarkFig13HAI(b *testing.B) { runExperiment(b, "fig13-hai") }
+
+// BenchmarkFig14CAR regenerates Fig. 14(a): FSCR accuracy vs error rate, CAR.
+func BenchmarkFig14CAR(b *testing.B) { runExperiment(b, "fig14-car") }
+
+// BenchmarkFig14HAI regenerates Fig. 14(b) on HAI.
+func BenchmarkFig14HAI(b *testing.B) { runExperiment(b, "fig14-hai") }
+
+// BenchmarkFig15HAI regenerates Fig. 15(a): distributed MLNClean vs error
+// rate on HAI.
+func BenchmarkFig15HAI(b *testing.B) { runExperiment(b, "fig15-hai") }
+
+// BenchmarkFig15TPCH regenerates Fig. 15(b) on TPC-H.
+func BenchmarkFig15TPCH(b *testing.B) { runExperiment(b, "fig15-tpch") }
+
+// BenchmarkTable5 regenerates Table 5: F1 under Levenshtein vs cosine.
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6 regenerates Table 6: distributed runtime vs workers.
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkAblationMinimality ablates the FSCR minimality/observation prior.
+func BenchmarkAblationMinimality(b *testing.B) { runExperiment(b, "ablation-minimality") }
+
+// BenchmarkAblationMergeCap ablates the AGP merge-distance cap.
+func BenchmarkAblationMergeCap(b *testing.B) { runExperiment(b, "ablation-mergecap") }
+
+// BenchmarkAblationWeightMerge ablates the Eq. 6 weight merge.
+func BenchmarkAblationWeightMerge(b *testing.B) { runExperiment(b, "ablation-weightmerge") }
+
+// BenchmarkAblationAGP compares the paper's nearest-group AGP merge policy
+// with the support-biased future-work variant.
+func BenchmarkAblationAGP(b *testing.B) { runExperiment(b, "ablation-agp") }

@@ -1,0 +1,56 @@
+// Command benchrunner regenerates the paper's tables and figures as text
+// reports (see DESIGN.md §3 for the experiment index).
+//
+// Usage:
+//
+//	benchrunner -list
+//	benchrunner -exp fig6-car
+//	benchrunner -exp all -scale small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlnclean/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment name, or 'all' (see -list)")
+		scale = flag.String("scale", "default", "dataset scale: small|default|large")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+	if *list {
+		for _, name := range bench.Names() {
+			fmt.Printf("%-22s %s\n", name, bench.Registry[name].Description)
+		}
+		return
+	}
+	if *exp == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	sc, err := bench.ScaleByName(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+	names := []string{*exp}
+	if *exp == "all" {
+		names = bench.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		report, err := bench.Run(name, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		report.Fprint(os.Stdout)
+		fmt.Printf("(%s scale, took %v)\n\n", sc.Label, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,177 @@
+// Command datagen emits one of the paper's evaluation datasets (§7.1) as
+// CSV, optionally with injected errors and the matching ground truth, rule
+// file, and error manifest — everything needed to benchmark a cleaner.
+//
+// Usage:
+//
+//	datagen -dataset hai -rows 5000 -rate 0.05 -out ./out
+//
+// writes out/dirty.csv, out/truth.csv, out/rules.txt, out/errors.csv.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/rules"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "hai", "dataset: hai|car|tpch")
+		rows = flag.Int("rows", 0, "approximate row count (0 = dataset default)")
+		rate = flag.Float64("rate", 0.05, "error rate over rule-related cells")
+		rret = flag.Float64("rret", 0.5, "fraction of errors that are replacements (rest typos)")
+		seed = flag.Int64("seed", 42, "generator seed")
+		out  = flag.String("out", ".", "output directory")
+	)
+	flag.Parse()
+	if err := run(*name, *rows, *rate, *rret, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "datagen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(name string, rows int, rate, rret float64, seed int64, out string) error {
+	truth, rs, err := generate(name, rows, seed)
+	if err != nil {
+		return err
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: rate, ReplacementRatio: rret, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		return err
+	}
+	if err := truth.WriteCSVFile(filepath.Join(out, "truth.csv")); err != nil {
+		return err
+	}
+	if err := inj.Dirty.WriteCSVFile(filepath.Join(out, "dirty.csv")); err != nil {
+		return err
+	}
+	if err := writeRules(filepath.Join(out, "rules.txt"), rs); err != nil {
+		return err
+	}
+	if err := writeErrors(filepath.Join(out, "errors.csv"), inj); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s dataset: %d tuples, %d rules, %d injected errors (rate %.1f%%) to %s\n",
+		name, truth.Len(), len(rs), len(inj.Errors), inj.Rate()*100, out)
+	return nil
+}
+
+func generate(name string, rows int, seed int64) (*dataset.Table, []*rules.Rule, error) {
+	switch name {
+	case "hai":
+		cfg := datagen.HAIConfig{Seed: seed}
+		if rows > 0 {
+			cfg.Rows = rows
+			cfg.Providers = rows / 12
+		}
+		return datagen.HAI(cfg)
+	case "car":
+		cfg := datagen.CARConfig{Seed: seed}
+		if rows > 0 {
+			cfg.Rows = rows
+		}
+		return datagen.CAR(cfg)
+	case "tpch":
+		cfg := datagen.TPCHConfig{Seed: seed}
+		if rows > 0 {
+			cfg.Rows = rows
+			cfg.Customers = rows / 16
+		}
+		return datagen.TPCH(cfg)
+	default:
+		return nil, nil, fmt.Errorf("unknown dataset %q (hai|car|tpch)", name)
+	}
+}
+
+func writeRules(path string, rs []*rules.Rule) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		ruleText, err := ruleLine(r)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if _, err := fmt.Fprintln(f, ruleText); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// ruleLine renders a rule back into the parseable textual syntax.
+func ruleLine(r *rules.Rule) (string, error) {
+	switch r.Kind {
+	case rules.FD, rules.CFD:
+		lhs, rhs := "", ""
+		for i, p := range r.Reason {
+			if i > 0 {
+				lhs += ", "
+			}
+			lhs += p.Attr
+			if p.Const != "" {
+				lhs += "=" + p.Const
+			}
+		}
+		for i, p := range r.Result {
+			if i > 0 {
+				rhs += ", "
+			}
+			rhs += p.Attr
+			if p.Const != "" {
+				rhs += "=" + p.Const
+			}
+		}
+		return fmt.Sprintf("%s: %s -> %s", r.Kind, lhs, rhs), nil
+	case rules.DC:
+		body := ""
+		for i, p := range append(append([]rules.Pattern{}, r.Reason...), r.Result...) {
+			if i > 0 {
+				body += " and "
+			}
+			body += fmt.Sprintf("%s(t)%s%s(t')", p.Attr, p.Op, p.Attr)
+		}
+		return fmt.Sprintf("DC: not(%s)", body), nil
+	default:
+		return "", fmt.Errorf("unsupported rule kind %v", r.Kind)
+	}
+}
+
+func writeErrors(path string, inj *errgen.Injection) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"tuple_id", "attr", "clean", "dirty", "type"}); err != nil {
+		f.Close()
+		return err
+	}
+	for _, e := range inj.Errors {
+		if err := w.Write([]string{strconv.Itoa(e.TupleID), e.Attr, e.Clean, e.Dirty, e.Type.String()}); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

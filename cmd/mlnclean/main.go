@@ -1,0 +1,81 @@
+// Command mlnclean cleans a CSV dataset against a rule file using the
+// MLNClean two-stage pipeline.
+//
+// Usage:
+//
+//	mlnclean -input dirty.csv -rules rules.txt -output clean.csv [flags]
+//
+// The rule file holds one constraint per line (see internal/rules):
+//
+//	FD:  ZIPCode -> City
+//	CFD: Make=acura, Type -> Doors
+//	DC:  not(PhoneNumber(t)=PhoneNumber(t') and State(t)!=State(t'))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/rules"
+)
+
+func main() {
+	var (
+		input      = flag.String("input", "", "dirty CSV file (required)")
+		rulesPath  = flag.String("rules", "", "rule file, one constraint per line (required)")
+		output     = flag.String("output", "", "cleaned CSV file (default stdout)")
+		tau        = flag.Int("tau", 1, "AGP abnormal-group threshold τ")
+		metricName = flag.String("metric", "levenshtein", "distance metric: levenshtein|cosine")
+		keepDups   = flag.Bool("keep-duplicates", false, "skip duplicate elimination")
+		verbose    = flag.Bool("v", false, "print pipeline statistics to stderr")
+	)
+	flag.Parse()
+	if *input == "" || *rulesPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*input, *rulesPath, *output, *tau, *metricName, *keepDups, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "mlnclean:", err)
+		os.Exit(1)
+	}
+}
+
+func run(input, rulesPath, output string, tau int, metricName string, keepDups, verbose bool) error {
+	dirty, err := dataset.ReadCSVFile(input)
+	if err != nil {
+		return err
+	}
+	rf, err := os.Open(rulesPath)
+	if err != nil {
+		return err
+	}
+	rs, err := rules.ParseList(rf)
+	rf.Close()
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := core.Clean(dirty, rs, core.Options{
+		Tau:            tau,
+		Metric:         distance.ByName(metricName),
+		KeepDuplicates: keepDups,
+	})
+	if err != nil {
+		return err
+	}
+	if verbose {
+		fmt.Fprintf(os.Stderr, "cleaned %d tuples with %d rules in %v\n", dirty.Len(), len(rs), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "blocks=%d groups=%d abnormal=%d rsc-repairs=%d fscr-changes=%d duplicates-removed=%d\n",
+			res.Stats.Blocks, res.Stats.Groups, res.Stats.AbnormalGroups,
+			res.Stats.RSCRepairs, res.Stats.FSCRCellChanges, res.Stats.DuplicatesRemoved)
+	}
+	if output == "" {
+		return res.Clean.WriteCSV(os.Stdout)
+	}
+	return res.Clean.WriteCSVFile(output)
+}

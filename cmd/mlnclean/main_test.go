@@ -1,0 +1,103 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mlnclean/internal/dataset"
+)
+
+// TestRunEndToEnd drives the CLI's run function over the paper's Table 1
+// sample written to disk.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "dirty.csv")
+	rulesPath := filepath.Join(dir, "rules.txt")
+	output := filepath.Join(dir, "clean.csv")
+
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701")
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	if err := tb.WriteCSVFile(input); err != nil {
+		t.Fatal(err)
+	}
+	rulesText := strings.Join([]string{
+		"FD: CT -> ST",
+		"DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))",
+		"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	}, "\n")
+	if err := os.WriteFile(rulesPath, []byte(rulesText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run(input, rulesPath, output, 1, "levenshtein", false, false); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	clean, err := dataset.ReadCSVFile(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Len() != 2 {
+		t.Fatalf("cleaned tuples = %d, want 2 (duplicates removed)\n%s", clean.Len(), clean)
+	}
+	for _, tp := range clean.Tuples {
+		if clean.Cell(tp, "ST") == "AK" || clean.Cell(tp, "CT") == "DOTH" {
+			t.Errorf("unrepaired tuple survived: %v", tp.Values)
+		}
+	}
+}
+
+func TestRunKeepDuplicates(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "dirty.csv")
+	rulesPath := filepath.Join(dir, "rules.txt")
+	output := filepath.Join(dir, "clean.csv")
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	tb.MustAppend("x", "1")
+	tb.MustAppend("x", "1")
+	if err := tb.WriteCSVFile(input); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(rulesPath, []byte("FD: A -> B\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input, rulesPath, output, 1, "levenshtein", true, true); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	clean, err := dataset.ReadCSVFile(output)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Len() != 2 {
+		t.Errorf("keep-duplicates dropped rows: %d", clean.Len())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "missing.csv"), "also-missing", "", 1, "levenshtein", false, false); err == nil {
+		t.Error("missing input should fail")
+	}
+	input := filepath.Join(dir, "in.csv")
+	tb := dataset.NewTable(dataset.MustSchema("A"))
+	tb.MustAppend("x")
+	if err := tb.WriteCSVFile(input); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input, filepath.Join(dir, "norules"), "", 1, "levenshtein", false, false); err == nil {
+		t.Error("missing rules should fail")
+	}
+	badRules := filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badRules, []byte("FD: broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(input, badRules, "", 1, "levenshtein", false, false); err == nil {
+		t.Error("broken rules should fail")
+	}
+}

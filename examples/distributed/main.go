@@ -1,0 +1,55 @@
+// Distributed: run MLNClean's Spark-style variant (§6) over a TPC-H
+// projection on a worker pool — Algorithm 3 partitioning, per-worker
+// cleaning with the Eq. 6 weight merge, and a global gather — sweeping the
+// worker count as in Table 6.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/distributed"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+)
+
+func main() {
+	truth, rs, err := datagen.TPCH(datagen.TPCHConfig{Customers: 400, Rows: 6000, Seed: 9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated TPC-H projection: %d tuples, rule: %s\n", truth.Len(), rs[0])
+
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 13})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("injected %d errors (5%%)\n\n", len(inj.Errors))
+
+	fmt.Println("workers   cluster time   F1      partition sizes")
+	var base time.Duration
+	for _, workers := range []int{2, 4, 8} {
+		res, err := distributed.Clean(inj.Dirty, rs, distributed.Options{
+			Workers: workers,
+			Seed:    1,
+			Core:    core.Options{Tau: 2},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := eval.RepairQuality(truth, inj.Dirty, res.Repaired)
+		ct := res.ClusterTime()
+		if workers == 2 {
+			base = ct
+		}
+		fmt.Printf("%-9d %-14v %.3f   %v\n", workers, ct.Round(time.Millisecond), q.F1, res.PartSizes)
+		if workers != 2 && base > 0 {
+			fmt.Printf("          (%.1fx speedup vs 2 workers)\n", float64(base)/float64(ct))
+		}
+	}
+	fmt.Println("\n→ cluster time = partition + max(worker) + gather; near-linear")
+	fmt.Println("  speedup with stable accuracy, the Table 6 behaviour.")
+}

@@ -1,0 +1,50 @@
+// Vehicles: clean the sparse CAR dataset and demonstrate the error-type
+// study of Fig. 7 — MLNClean's accuracy is stable across the typo vs
+// replacement mix, while the HoloClean-style baseline is sensitive to it on
+// sparse data.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+	"mlnclean/internal/holoclean"
+)
+
+func main() {
+	truth, rs, err := datagen.CAR(datagen.CARConfig{Rows: 4000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated CAR: %d tuples over %d distinct models (sparse long tail)\n",
+		truth.Len(), len(truth.Domain("Model")))
+	for _, r := range rs {
+		fmt.Println("  ", r)
+	}
+
+	fmt.Println("\nRret   MLNClean F1   baseline F1   (5% total errors)")
+	for _, rret := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+		inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: rret, Seed: 5})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := core.Clean(inj.Dirty, rs, core.Options{Tau: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		q := eval.RepairQuality(truth, inj.Dirty, res.Repaired)
+
+		hres, err := holoclean.Repair(inj.Dirty, rs, inj.NoisyCells(), holoclean.Options{Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		hq := eval.RepairQuality(truth, inj.Dirty, hres.Repaired)
+		fmt.Printf("%.0f%%    %.3f         %.3f\n", rret*100, q.F1, hq.F1)
+	}
+	fmt.Println("\n→ MLNClean stays stable across the error mix (Fig. 7a's takeaway);")
+	fmt.Println("  the baseline suffers most when every error is a typo.")
+}

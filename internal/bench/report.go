@@ -1,0 +1,81 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§7): the MLNClean-vs-HoloClean comparisons (Figs. 6–7), the
+// parameter studies on τ and the error rate (Figs. 8–14), the distributed
+// experiments (Fig. 15, Table 6), the distance-metric comparison (Table 5),
+// and ablations of this implementation's documented interpretation choices.
+// Each experiment returns a Report whose rows mirror the series the paper
+// plots; cmd/benchrunner prints them and bench_test.go wraps them as
+// testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is a printable experiment result: a titled table of rows.
+type Report struct {
+	// Name is the registry key, e.g. "fig6-car".
+	Name string
+	// Title describes the experiment, e.g. "Fig. 6(a): F1 vs error rate (CAR)".
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows, already formatted.
+	Rows [][]string
+	// Notes records caveats (scale substitutions, τ choices, …).
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Fprint renders the report as an aligned text table.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", r.Name, r.Title)
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	line(r.Columns)
+	sep := make([]string, len(r.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// String renders the report via Fprint.
+func (r *Report) String() string {
+	var b strings.Builder
+	r.Fprint(&b)
+	return b.String()
+}
+
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

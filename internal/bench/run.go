@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/distributed"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+	"mlnclean/internal/holoclean"
+)
+
+// ErrorSweep is the paper's error-rate axis (Figs. 6, 12–15).
+var ErrorSweep = []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30}
+
+// RretSweep is the replacement-ratio axis of Fig. 7.
+var RretSweep = []float64{0, 0.25, 0.5, 0.75, 1.0}
+
+// RunResult carries everything an experiment row needs from one cleaning
+// run.
+type RunResult struct {
+	Quality  eval.Quality
+	AGP      eval.AGPQuality
+	RSC      eval.RSCQuality
+	FSCR     eval.FSCRQuality
+	Stats    core.Stats
+	Duration time.Duration
+}
+
+// injectFor corrupts the dataset's truth at the given rate and replacement
+// ratio, deterministically per (scale seed, rate, rret).
+func injectFor(ds *Dataset, sc Scale, rate, rret float64) (*errgen.Injection, error) {
+	seed := sc.Seed*1_000_003 + int64(rate*1000)*101 + int64(rret*1000)
+	return errgen.Inject(ds.Truth, ds.Rules, errgen.Config{
+		Rate:             rate,
+		ReplacementRatio: rret,
+		Seed:             seed,
+	})
+}
+
+// RunMLNClean generates errors, runs the stand-alone pipeline, and scores
+// it. tau ≤ -1 means "use the dataset's tuned τ"; metric nil means
+// Levenshtein.
+func RunMLNClean(ds *Dataset, sc Scale, rate, rret float64, tau int, metric distance.Metric) (RunResult, error) {
+	var out RunResult
+	inj, err := injectFor(ds, sc, rate, rret)
+	if err != nil {
+		return out, err
+	}
+	opts := core.Options{Metric: metric, Trace: &core.Trace{}}
+	if tau <= -1 {
+		opts.Tau = ds.Tau
+	} else {
+		opts.Tau = tau
+		opts.TauSet = true
+	}
+	start := time.Now()
+	res, err := core.Clean(inj.Dirty, ds.Rules, opts)
+	if err != nil {
+		return out, err
+	}
+	out.Duration = time.Since(start)
+	out.Stats = res.Stats
+	out.Quality = eval.RepairQuality(ds.Truth, inj.Dirty, res.Repaired)
+	if out.AGP, err = eval.AGPQualityFromTrace(opts.Trace, ds.Truth, inj.Dirty, ds.Rules); err != nil {
+		return out, err
+	}
+	if out.RSC, err = eval.RSCQualityFromTrace(opts.Trace, ds.Truth, inj.Dirty, ds.Rules); err != nil {
+		return out, err
+	}
+	out.FSCR = eval.FSCRQualityFromTrace(opts.Trace, ds.Truth, inj.Dirty, res.Repaired)
+	return out, nil
+}
+
+// RunHoloClean generates the same errors, hands the baseline a perfect
+// detection oracle (§7.2), runs it, and scores it.
+func RunHoloClean(ds *Dataset, sc Scale, rate, rret float64) (RunResult, error) {
+	var out RunResult
+	inj, err := injectFor(ds, sc, rate, rret)
+	if err != nil {
+		return out, err
+	}
+	start := time.Now()
+	res, err := holoclean.Repair(inj.Dirty, ds.Rules, inj.NoisyCells(), holoclean.Options{Seed: sc.Seed})
+	if err != nil {
+		return out, err
+	}
+	out.Duration = time.Since(start)
+	out.Quality = eval.RepairQuality(ds.Truth, inj.Dirty, res.Repaired)
+	return out, nil
+}
+
+// RunDistributed generates errors and runs the distributed pipeline with
+// the given worker count; Duration is the modeled cluster time.
+func RunDistributed(ds *Dataset, sc Scale, rate float64, workers int) (RunResult, error) {
+	var out RunResult
+	inj, err := injectFor(ds, sc, rate, 0.5)
+	if err != nil {
+		return out, err
+	}
+	res, err := distributed.Clean(inj.Dirty, ds.Rules, distributed.Options{
+		Workers: workers,
+		Seed:    sc.Seed,
+		Core:    core.Options{Tau: ds.Tau},
+	})
+	if err != nil {
+		return out, err
+	}
+	out.Duration = res.ClusterTime()
+	out.Stats = res.Stats
+	out.Quality = eval.RepairQuality(ds.Truth, inj.Dirty, res.Repaired)
+	return out, nil
+}

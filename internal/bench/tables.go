@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"mlnclean/internal/distance"
+)
+
+// Table5 reproduces Table 5: MLNClean F1 under Levenshtein vs cosine
+// distance on CAR and HAI (5% errors).
+func Table5(sc Scale) (*Report, error) {
+	r := &Report{
+		Name:    "table5",
+		Title:   "Table 5: F1-scores under different distance metrics (5% errors)",
+		Columns: []string{"dataset", "Levenshtein", "Cosine"},
+	}
+	for _, dsName := range []string{"car", "hai"} {
+		ds, err := sc.Generate(dsName)
+		if err != nil {
+			return nil, err
+		}
+		lev, err := RunMLNClean(ds, sc, 0.05, 0.5, -1, distance.Levenshtein{})
+		if err != nil {
+			return nil, err
+		}
+		cos, err := RunMLNClean(ds, sc, 0.05, 0.5, -1, distance.Cosine{})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(dsName, f3(lev.Quality.F1), f3(cos.Quality.F1))
+	}
+	r.Notes = append(r.Notes,
+		"paper: Levenshtein 0.968/0.970 vs cosine 0.730/0.947 on CAR/HAI — Levenshtein wins, much larger gap on CAR")
+	return r, nil
+}
+
+// Table6 reproduces Table 6: distributed runtime vs worker count on TPC-H
+// (5% errors), reporting the speedup relative to 2 workers as the paper
+// does ("about 6.7 times speedup" from 2 to 10).
+func Table6(sc Scale) (*Report, error) {
+	ds, err := sc.Generate("tpch")
+	if err != nil {
+		return nil, err
+	}
+	r := &Report{
+		Name:    "table6",
+		Title:   fmt.Sprintf("Table 6: distributed MLNClean vs number of workers (TPC-H, %d tuples, 5%% errors)", ds.Truth.Len()),
+		Columns: []string{"workers", "cluster time", "F1", "speedup vs 2"},
+	}
+	var base time.Duration
+	for _, workers := range []int{2, 4, 6, 8, 10} {
+		res, err := RunDistributed(ds, sc, 0.05, workers)
+		if err != nil {
+			return nil, err
+		}
+		if workers == 2 {
+			base = res.Duration
+		}
+		speedup := "1.00x"
+		if base > 0 && res.Duration > 0 && workers != 2 {
+			speedup = fmt.Sprintf("%.2fx", float64(base)/float64(res.Duration))
+		}
+		r.AddRow(fmt.Sprint(workers), res.Duration.Round(time.Millisecond).String(), f3(res.Quality.F1), speedup)
+	}
+	r.Notes = append(r.Notes,
+		"paper: 50,759s → 7,578s from 2 → 10 workers (≈6.7×) on 6M tuples; shape expectation is near-linear decay with slight accuracy fluctuation")
+	return r, nil
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+)
+
+// agp runs Abnormal Group Processing (§5.1.1) on one block: groups whose
+// related-tuple count is ≤ τ are abnormal; each abnormal group is merged
+// into its nearest normal group, where the distance between two groups is
+// the distance between their γ⋆ pieces (the piece related to the most
+// tuples). If the block has no normal group, the largest group is promoted
+// so merging remains well-defined.
+//
+// Returns the number of abnormal groups detected and the total γ count
+// inside them (#dag).
+func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces int) {
+	if len(b.Groups) <= 1 {
+		return 0, 0
+	}
+	var abnormalGroups, normalGroups []*index.Group
+	for _, g := range b.Groups {
+		if g.TupleCount() <= tau {
+			abnormalGroups = append(abnormalGroups, g)
+		} else {
+			normalGroups = append(normalGroups, g)
+		}
+	}
+	if len(abnormalGroups) == 0 {
+		return 0, 0
+	}
+	if len(normalGroups) == 0 {
+		// Promote the largest abnormal group (ties: lexicographic key) to
+		// normal so every other group has a merge target.
+		sort.Slice(abnormalGroups, func(i, j int) bool {
+			ti, tj := abnormalGroups[i].TupleCount(), abnormalGroups[j].TupleCount()
+			if ti != tj {
+				return ti > tj
+			}
+			return abnormalGroups[i].Key < abnormalGroups[j].Key
+		})
+		normalGroups = abnormalGroups[:1]
+		abnormalGroups = abnormalGroups[1:]
+		if len(abnormalGroups) == 0 {
+			return 0, 0
+		}
+	}
+
+	// Deterministic processing order.
+	sort.Slice(abnormalGroups, func(i, j int) bool { return abnormalGroups[i].Key < abnormalGroups[j].Key })
+
+	// Precompute γ⋆ values (and, for the support-biased strategy, the
+	// support discount) of normal groups once.
+	type target struct {
+		g        *index.Group
+		vals     []string
+		discount float64 // ln(e + tuple count); 1 under AGPNearest
+	}
+	targets := make([]target, len(normalGroups))
+	for i, g := range normalGroups {
+		discount := 1.0
+		if strategy == AGPSupportBiased {
+			discount = math.Log(math.E + float64(g.TupleCount()))
+		}
+		targets[i] = target{g: g, vals: g.Star().Values(), discount: discount}
+	}
+
+	for _, src := range abnormalGroups {
+		star := src.Star()
+		if star == nil {
+			continue
+		}
+		svals := star.Values()
+		best := -1
+		bestD := math.Inf(1)     // raw distance of the best target
+		bestScore := math.Inf(1) // discounted score of the best target
+		for i := range targets {
+			// The bounded scan can only prune on the raw distance; the
+			// discount (≥ 1) only shrinks scores.
+			bound := bestScore * targets[i].discount
+			if math.IsInf(bound, 1) {
+				bound = math.Inf(1)
+			}
+			d := distance.ValuesBounded(metric, svals, targets[i].vals, bound)
+			score := d / targets[i].discount
+			if score < bestScore || (score == bestScore && best >= 0 && targets[i].g.Key < targets[best].g.Key) {
+				bestScore = score
+				bestD = d
+				best = i
+			}
+		}
+		abnormal++
+		abnormalPieces += len(src.Pieces)
+		merge := AGPMerge{
+			BlockIndex:   blockIdx,
+			RuleID:       b.Rule.ID,
+			SourceKey:    src.Key,
+			SourcePieces: len(src.Pieces),
+		}
+		for _, p := range src.Pieces {
+			merge.SourceTuples = append(merge.SourceTuples, p.TupleIDs...)
+		}
+		sort.Ints(merge.SourceTuples)
+		if best >= 0 && bestD <= mergeCap*float64(maxRuneLen(svals, targets[best].vals)) {
+			merge.TargetKey = targets[best].g.Key
+			b.MergeGroups(src, targets[best].g)
+		}
+		tr.addAGP(merge)
+	}
+	return abnormal, abnormalPieces
+}
+
+// maxRuneLen returns the larger total rune length of the two value slices —
+// the denominator for the relative merge cap.
+func maxRuneLen(a, b []string) int {
+	la, lb := 0, 0
+	for _, v := range a {
+		la += len([]rune(v))
+	}
+	for _, v := range b {
+		lb += len([]rune(v))
+	}
+	if lb > la {
+		return lb
+	}
+	return la
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"mlnclean/internal/dataset"
+)
+
+// dedup removes exact-duplicate tuples (identical on every attribute) from
+// the repaired table, keeping the lowest-ID representative of each
+// duplicate set (§5.2: after FSCR, MLNClean automatically detects and
+// removes duplicate tuples). Returns the deduplicated table and the
+// duplicate sets (each with ≥ 2 members, representative first).
+func dedup(tb *dataset.Table) (*dataset.Table, [][]int) {
+	out := dataset.NewTable(tb.Schema)
+	rep := make(map[string]int)       // row key → representative tuple ID
+	members := make(map[string][]int) // row key → all tuple IDs
+	var order []string
+	for _, t := range tb.Tuples {
+		k := dataset.JoinKey(t.Values)
+		if _, ok := rep[k]; !ok {
+			rep[k] = t.ID
+			order = append(order, k)
+			out.Tuples = append(out.Tuples, t.Clone())
+		}
+		members[k] = append(members[k], t.ID)
+	}
+	var dups [][]int
+	for _, k := range order {
+		if ids := members[k]; len(ids) > 1 {
+			dups = append(dups, ids)
+		}
+	}
+	return out, dups
+}

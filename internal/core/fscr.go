@@ -1,0 +1,524 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// version is one tuple's cleaned piece from one block (a data version).
+type version struct {
+	blockIdx int
+	rule     *rules.Rule
+	attrs    []string
+	values   []string
+	weight   float64
+}
+
+// assignment is a partial tuple: attribute → value.
+type assignment map[string]string
+
+func (a assignment) clone() assignment {
+	out := make(assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// conflictsWith returns the attributes on which the assignment disagrees
+// with the (attrs, values) piece.
+func (a assignment) conflictsWith(attrs, values []string) []string {
+	var out []string
+	for i, attr := range attrs {
+		if v, ok := a[attr]; ok && v != values[i] {
+			out = append(out, attr)
+		}
+	}
+	return out
+}
+
+// absorb merges the piece into the assignment (caller must have resolved
+// conflicts first).
+func (a assignment) absorb(attrs, values []string) {
+	for i, attr := range attrs {
+		a[attr] = values[i]
+	}
+}
+
+func (a assignment) key() string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x1f')
+		b.WriteString(a[k])
+		b.WriteByte('\x1e')
+	}
+	return b.String()
+}
+
+// FusionBlock is one block's stage-I output as consumed by FSCR: the winner
+// piece covering each tuple, plus the block's candidate pieces used for
+// conflict replacement. The distributed gather step builds these from the
+// union of all workers' blocks to run a global conflict resolution.
+type FusionBlock struct {
+	Rule       *rules.Rule
+	Attrs      []string
+	Versions   map[int]*index.Piece
+	Candidates []*index.Piece
+}
+
+// fusionBlocksFromIndex extracts stage-I results from a cleaned index.
+func fusionBlocksFromIndex(ix *index.Index) []*FusionBlock {
+	blocks := make([]*FusionBlock, len(ix.Blocks))
+	for bi, b := range ix.Blocks {
+		fb := &FusionBlock{Rule: b.Rule, Attrs: b.Rule.Attrs(), Versions: make(map[int]*index.Piece)}
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				fb.Candidates = append(fb.Candidates, p)
+				for _, id := range p.TupleIDs {
+					fb.Versions[id] = p
+				}
+			}
+		}
+		blocks[bi] = fb
+	}
+	return blocks
+}
+
+// candEntry caches one replacement candidate: its values, weight, and
+// identity key, precomputed so conflict checks allocate nothing.
+type candEntry struct {
+	values []string
+	weight float64
+	key    string
+}
+
+// blockCands pre-indexes a block's candidates for the replacement search:
+// candidates sorted best-first plus per-attribute posting lists, so a
+// conflicted merge scans only the candidates matching one pinned value
+// instead of the whole block.
+type blockCands struct {
+	attrs []string
+	all   []candEntry
+	// byVal[pos][value] lists indices into all (ascending = best first) of
+	// candidates whose pos-th attribute equals value.
+	byVal []map[string][]int32
+}
+
+func buildBlockCands(fb *FusionBlock) *blockCands {
+	bc := &blockCands{attrs: fb.Attrs}
+	bc.all = make([]candEntry, 0, len(fb.Candidates))
+	for _, p := range fb.Candidates {
+		vals := p.Values()
+		bc.all = append(bc.all, candEntry{values: vals, weight: p.Weight, key: dataset.JoinKey(vals)})
+	}
+	sort.Slice(bc.all, func(i, j int) bool {
+		if bc.all[i].weight != bc.all[j].weight {
+			return bc.all[i].weight > bc.all[j].weight
+		}
+		return bc.all[i].key < bc.all[j].key
+	})
+	bc.byVal = make([]map[string][]int32, len(bc.attrs))
+	for pos := range bc.attrs {
+		m := make(map[string][]int32)
+		for i, c := range bc.all {
+			if pos < len(c.values) {
+				m[c.values[pos]] = append(m[c.values[pos]], int32(i))
+			}
+		}
+		bc.byVal[pos] = m
+	}
+	return bc
+}
+
+// find returns the best candidate compatible with merged, excluding the
+// candidate identified by excludeKey. Compatibility: the candidate agrees
+// with merged on every attribute merged pins.
+func (bc *blockCands) find(merged assignment, excludeKey string) (candEntry, bool) {
+	// Choose the shortest posting list among pinned attributes.
+	bestList := -1
+	var list []int32
+	for pos, attr := range bc.attrs {
+		v, ok := merged[attr]
+		if !ok {
+			continue
+		}
+		l := bc.byVal[pos][v]
+		if bestList == -1 || len(l) < len(list) {
+			bestList = pos
+			list = l
+		}
+	}
+	check := func(c candEntry) bool {
+		if c.key == excludeKey {
+			return false
+		}
+		for pos, attr := range bc.attrs {
+			if v, ok := merged[attr]; ok && c.values[pos] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if bestList >= 0 {
+		for _, i := range list {
+			if c := bc.all[i]; check(c) {
+				return c, true
+			}
+		}
+		return candEntry{}, false
+	}
+	for _, c := range bc.all {
+		if check(c) {
+			return c, true
+		}
+	}
+	return candEntry{}, false
+}
+
+// fscr runs fusion-score conflict resolution (Alg. 2) over the whole table.
+func fscr(dirty *dataset.Table, ix *index.Index, opts Options, st *Stats) *dataset.Table {
+	return RunFSCR(dirty, fusionBlocksFromIndex(ix), opts, st)
+}
+
+// RunFSCR fuses each tuple's per-block cleaned versions into the single
+// assignment with the maximal fusion score (the product of the merged
+// pieces' weights, Eq. 5, combined with the minimality/observation prior),
+// resolving conflicts by substituting the highest-weight non-conflicting
+// piece from the conflicting block. The repaired table (same tuple IDs as
+// the input) is returned; st (optional) accumulates cell-change and failure
+// counts, and opts.Trace records per-tuple fusion outcomes. Tuples fuse
+// independently and run in parallel.
+func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stats) *dataset.Table {
+	opts = opts.withDefaults()
+	if st == nil {
+		st = &Stats{}
+	}
+	repaired := dirty.Clone()
+
+	// Distinct-value counts per rule attribute, for the observation model:
+	// a replacement error lands on one specific value out of |domain|−1
+	// alternatives, so changing a large-domain cell (e.g. Model) explains
+	// the observed tuple less well than changing a small-domain cell (e.g.
+	// Make) — exactly the asymmetry that disambiguates which side of a
+	// version conflict was corrupted.
+	domainSize := make(map[string]int)
+	for _, fb := range blocks {
+		for _, a := range fb.Attrs {
+			if _, ok := domainSize[a]; !ok && dirty.Schema.Has(a) {
+				domainSize[a] = len(dirty.Domain(a))
+			}
+		}
+	}
+
+	candidates := make([]*blockCands, len(blocks))
+	for bi, fb := range blocks {
+		candidates[bi] = buildBlockCands(fb)
+	}
+
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par < 1 {
+		par = 1
+	}
+	var (
+		wg          sync.WaitGroup
+		statsMu     sync.Mutex
+		cellChanges int
+		failures    int
+	)
+	chunk := (len(repaired.Tuples) + par - 1) / par
+	if chunk < 1 {
+		chunk = 1
+	}
+	for lo := 0; lo < len(repaired.Tuples); lo += chunk {
+		hi := lo + chunk
+		if hi > len(repaired.Tuples) {
+			hi = len(repaired.Tuples)
+		}
+		wg.Add(1)
+		go func(tuples []*dataset.Tuple) {
+			defer wg.Done()
+			localChanges, localFailures := 0, 0
+			for _, t := range tuples {
+				c, f := fuseTuple(t, repaired.Schema, blocks, candidates, domainSize, opts)
+				localChanges += c
+				if f {
+					localFailures++
+				}
+			}
+			statsMu.Lock()
+			cellChanges += localChanges
+			failures += localFailures
+			statsMu.Unlock()
+		}(repaired.Tuples[lo:hi])
+	}
+	wg.Wait()
+	st.FSCRCellChanges += cellChanges
+	st.FusionFailures += failures
+	return repaired
+}
+
+// fuseTuple runs the fusion for one tuple, applying the winning assignment
+// in place. Returns the number of changed cells and whether fusion failed.
+func fuseTuple(t *dataset.Tuple, schema *dataset.Schema, blocks []*FusionBlock,
+	candidates []*blockCands, domainSize map[string]int, opts Options) (int, bool) {
+	var versions []version
+	for bi, fb := range blocks {
+		p, ok := fb.Versions[t.ID]
+		if !ok {
+			continue
+		}
+		versions = append(versions, version{
+			blockIdx: bi,
+			rule:     fb.Rule,
+			attrs:    fb.Attrs,
+			values:   p.Values(),
+			weight:   p.Weight,
+		})
+	}
+	if len(versions) == 0 {
+		return 0, false
+	}
+	f := newFuser(versions, candidates, opts.MaxFusionStates)
+	f.penalty = opts.changePenalty()
+	f.domainSize = domainSize
+	f.dirty = func(attr string) string {
+		return t.Values[schema.MustIndex(attr)]
+	}
+	best, fscore, conflictAttrs := f.run()
+
+	outcome := FusionOutcome{TupleID: t.ID, ConflictAttrs: conflictAttrs, FScore: fscore}
+	if best == nil {
+		outcome.Failed = true
+		opts.Trace.addFusion(outcome)
+		return 0, true
+	}
+	changes := 0
+	for attr, val := range best {
+		idx := schema.MustIndex(attr)
+		if t.Values[idx] != val {
+			outcome.Changed = append(outcome.Changed, CellChange{Attr: attr, Old: t.Values[idx], New: val})
+			t.Values[idx] = val
+			changes++
+		}
+	}
+	sort.Slice(outcome.Changed, func(i, j int) bool { return outcome.Changed[i].Attr < outcome.Changed[j].Attr })
+	opts.Trace.addFusion(outcome)
+	return changes, false
+}
+
+// fuser performs the memoized permutation search of Alg. 2 for one tuple.
+type fuser struct {
+	versions   []version
+	candidates []*blockCands
+	maxStates  int
+	// penalty is the per-changed-cell factor ε/(1−ε) of the minimality
+	// prior; dirty resolves the tuple's observed value per attribute;
+	// domainSize holds distinct-value counts for the observation model.
+	penalty    float64
+	dirty      func(attr string) string
+	domainSize map[string]int
+
+	states    int
+	visited   map[string]float64 // state key → best f reaching it
+	bestF     float64            // penalized score of the best fusion
+	bestRaw   float64            // raw Eq. 5 f-score of the best fusion
+	best      assignment
+	conflicts map[string]struct{}
+}
+
+func newFuser(versions []version, candidates []*blockCands, maxStates int) *fuser {
+	return &fuser{
+		versions:   versions,
+		candidates: candidates,
+		maxStates:  maxStates,
+		penalty:    1,
+		dirty:      func(string) string { return "" },
+		visited:    make(map[string]float64),
+		conflicts:  make(map[string]struct{}),
+	}
+}
+
+// penalized applies the minimality prior: each attribute the fusion would
+// change relative to the observed tuple costs a factor of
+// ε/(1−ε) · 1/(|domain|−1) — the likelihood that corruption of the fused
+// (hypothesized clean) value produced exactly the observed dirty value.
+// Constants shared by all fusions of the same tuple cancel, so only changed
+// cells contribute.
+func (f *fuser) penalized(merged assignment, raw float64) float64 {
+	if f.penalty >= 1 {
+		return raw
+	}
+	out := raw
+	for attr, val := range merged {
+		if f.dirty(attr) != val {
+			out *= f.penalty
+			if n := f.domainSize[attr]; n > 2 {
+				out /= float64(n - 1)
+			}
+		}
+	}
+	return out
+}
+
+// run explores fusion orders and returns the best assignment, its f-score,
+// and the sorted set of attributes on which conflicts were detected. A nil
+// assignment means every order failed (fusion score 0).
+func (f *fuser) run() (assignment, float64, []string) {
+	// Fast path: if no pair of versions conflicts, every order yields the
+	// same union with f = Π weights.
+	if !f.anyPairConflicts() {
+		merged := make(assignment)
+		score := 1.0
+		for _, v := range f.versions {
+			merged.absorb(v.attrs, v.values)
+			score *= v.weight
+		}
+		return merged, score, nil
+	}
+
+	for i := range f.versions {
+		v := f.versions[i]
+		merged := make(assignment, len(v.attrs))
+		merged.absorb(v.attrs, v.values)
+		f.extend(merged, v.weight, 1<<uint(i))
+	}
+	var attrs []string
+	for a := range f.conflicts {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	if f.best == nil {
+		return nil, 0, attrs
+	}
+	return f.best, f.bestRaw, attrs
+}
+
+func (f *fuser) anyPairConflicts() bool {
+	for i := 0; i < len(f.versions); i++ {
+		for j := i + 1; j < len(f.versions); j++ {
+			vi, vj := f.versions[i], f.versions[j]
+			for ai, attr := range vi.attrs {
+				for aj, battr := range vj.attrs {
+					if attr == battr && vi.values[ai] != vj.values[aj] {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// extend is GetFusionT: merged holds the fusion so far, fscore its score,
+// mask the consumed versions.
+func (f *fuser) extend(merged assignment, fscore float64, mask int) {
+	if mask == (1<<uint(len(f.versions)))-1 {
+		if p := f.penalized(merged, fscore); p > f.bestF {
+			f.bestF = p
+			f.bestRaw = fscore
+			f.best = merged.clone()
+		}
+		return
+	}
+	if f.states >= f.maxStates {
+		return
+	}
+	key := stateKey(mask, merged)
+	if prev, ok := f.visited[key]; ok && fscore <= prev {
+		return
+	}
+	f.visited[key] = fscore
+	f.states++
+
+	for j := range f.versions {
+		if mask&(1<<uint(j)) != 0 {
+			continue
+		}
+		vj := f.versions[j]
+		values, weight := vj.values, vj.weight
+		if conf := merged.conflictsWith(vj.attrs, values); len(conf) > 0 {
+			for _, a := range conf {
+				f.conflicts[a] = struct{}{}
+			}
+			// Replacement: highest-weight piece from block Bj that does not
+			// conflict with the fusion so far.
+			repl, ok := f.candidates[vj.blockIdx].find(merged, dataset.JoinKey(values))
+			if !ok {
+				// A CFD version is conditional: when the fusion so far
+				// contradicts the pattern constants, the rule simply no
+				// longer applies to the tuple, so the version is vacuous and
+				// may be skipped instead of failing the order. Without this,
+				// a value erroneously replaced INTO a CFD pattern (e.g.
+				// Make ← "acura") could never be repaired: the CFD block
+				// holds no candidates outside its pattern.
+				if f.cfdVacuous(vj, merged) {
+					f.extend(merged, fscore, mask|1<<uint(j))
+				}
+				continue // this order fails (f-score 0)
+			}
+			values = repl.values
+			weight = repl.weight
+		}
+		next := merged.clone()
+		next.absorb(vj.attrs, values)
+		f.extend(next, fscore*weight, mask|1<<uint(j))
+	}
+}
+
+// cfdVacuous reports whether version v comes from a CFD whose constant
+// reason pattern is contradicted by the fusion so far — in that case the
+// rule does not apply to the fused tuple and the version carries no
+// information.
+func (f *fuser) cfdVacuous(v version, merged assignment) bool {
+	if v.rule == nil || v.rule.Kind != rules.CFD {
+		return false
+	}
+	anyConst := false
+	for _, pat := range v.rule.Reason {
+		if pat.Const == "" {
+			continue
+		}
+		anyConst = true
+		if got, ok := merged[pat.Attr]; ok && got == pat.Const {
+			return false // still matches a constant → still applicable
+		}
+		if _, ok := merged[pat.Attr]; !ok {
+			return false // undetermined → cannot declare vacuous
+		}
+	}
+	return anyConst
+}
+
+func stateKey(mask int, merged assignment) string {
+	return strings.Join([]string{intKey(mask), merged.key()}, "|")
+}
+
+func intKey(mask int) string {
+	const digits = "0123456789abcdef"
+	if mask == 0 {
+		return "0"
+	}
+	var b [16]byte
+	i := len(b)
+	for mask > 0 {
+		i--
+		b[i] = digits[mask&0xf]
+		mask >>= 4
+	}
+	return string(b[i:])
+}

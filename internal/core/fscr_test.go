@@ -1,0 +1,189 @@
+package core
+
+import (
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+func mkPiece(r *rules.Rule, reason, result []string, ids []int, w float64) *index.Piece {
+	return &index.Piece{Rule: r, Reason: reason, Result: result, TupleIDs: ids, Weight: w}
+}
+
+// TestFuserFastPath: non-conflicting versions fuse to their union with the
+// product of weights, regardless of order.
+func TestFuserFastPath(t *testing.T) {
+	r1 := rules.MustParseStrings("FD: A -> B")[0]
+	r2 := rules.MustParseStrings("FD: C -> D")[0]
+	versions := []version{
+		{blockIdx: 0, rule: r1, attrs: []string{"A", "B"}, values: []string{"a", "b"}, weight: 0.5},
+		{blockIdx: 1, rule: r2, attrs: []string{"C", "D"}, values: []string{"c", "d"}, weight: 0.25},
+	}
+	f := newFuser(versions, []*blockCands{{}, {}}, 100)
+	merged, score, conflicts := f.run()
+	if len(conflicts) != 0 {
+		t.Errorf("conflicts = %v", conflicts)
+	}
+	if score != 0.125 {
+		t.Errorf("score = %v, want 0.5×0.25", score)
+	}
+	want := assignment{"A": "a", "B": "b", "C": "c", "D": "d"}
+	for k, v := range want {
+		if merged[k] != v {
+			t.Errorf("merged[%s] = %q, want %q", k, merged[k], v)
+		}
+	}
+}
+
+// TestFuserConflictResolution reproduces Example 3's structure: two
+// versions conflict on a shared attribute; the winning fusion substitutes
+// the non-conflicting candidate from the conflicting block.
+func TestFuserConflictResolution(t *testing.T) {
+	rA := rules.MustParseStrings("FD: CT -> ST")[0]
+	rB := rules.MustParseStrings("CFD: HN=ELIZA, CT=BOAZ -> PN=999")[0]
+
+	// Block 0 candidates: the DOTHAN piece (the tuple's own) and a BOAZ
+	// piece available as replacement.
+	b0 := buildBlockCands(&FusionBlock{
+		Rule:  rA,
+		Attrs: rA.Attrs(),
+		Candidates: []*index.Piece{
+			mkPiece(rA, []string{"DOTHAN"}, []string{"AL"}, []int{0, 1}, 0.9),
+			mkPiece(rA, []string{"BOAZ"}, []string{"AL"}, []int{2, 3}, 0.8),
+		},
+	})
+	b1 := buildBlockCands(&FusionBlock{
+		Rule:  rB,
+		Attrs: rB.Attrs(),
+		Candidates: []*index.Piece{
+			mkPiece(rB, []string{"ELIZA", "BOAZ"}, []string{"999"}, []int{2, 3}, 0.95),
+		},
+	})
+	versions := []version{
+		{blockIdx: 0, rule: rA, attrs: rA.Attrs(), values: []string{"DOTHAN", "AL"}, weight: 0.9},
+		{blockIdx: 1, rule: rB, attrs: rB.Attrs(), values: []string{"ELIZA", "BOAZ", "999"}, weight: 0.95},
+	}
+	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+	// Dirty tuple: {CT: DOTHAN, ST: AL, HN: ELIZA, PN: 42}.
+	dirty := map[string]string{"CT": "DOTHAN", "ST": "AL", "HN": "ELIZA", "PN": "42"}
+	f.dirty = func(a string) string { return dirty[a] }
+	f.penalty = 0.05 / 0.95
+	merged, _, conflicts := f.run()
+	if merged == nil {
+		t.Fatal("fusion failed")
+	}
+	if merged["CT"] != "BOAZ" {
+		t.Errorf("CT = %q, want BOAZ (replacement path)", merged["CT"])
+	}
+	if merged["PN"] != "999" || merged["ST"] != "AL" {
+		t.Errorf("merged = %v", merged)
+	}
+	found := false
+	for _, a := range conflicts {
+		if a == "CT" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("CT conflict not recorded: %v", conflicts)
+	}
+}
+
+// TestFuserFailsWithoutReplacement: when a conflict has no compatible
+// candidate (and the rule is not a CFD), every order dies and fusion fails.
+func TestFuserFailsWithoutReplacement(t *testing.T) {
+	rA := rules.MustParseStrings("FD: A -> B")[0]
+	rB := rules.MustParseStrings("FD: C -> B")[0]
+	b0 := buildBlockCands(&FusionBlock{Rule: rA, Attrs: rA.Attrs(), Candidates: []*index.Piece{
+		mkPiece(rA, []string{"a"}, []string{"b1"}, []int{0}, 0.9),
+	}})
+	b1 := buildBlockCands(&FusionBlock{Rule: rB, Attrs: rB.Attrs(), Candidates: []*index.Piece{
+		mkPiece(rB, []string{"c"}, []string{"b2"}, []int{0}, 0.9),
+	}})
+	versions := []version{
+		{blockIdx: 0, rule: rA, attrs: rA.Attrs(), values: []string{"a", "b1"}, weight: 0.9},
+		{blockIdx: 1, rule: rB, attrs: rB.Attrs(), values: []string{"c", "b2"}, weight: 0.9},
+	}
+	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+	merged, score, _ := f.run()
+	if merged != nil || score != 0 {
+		t.Errorf("expected failed fusion, got %v (score %v)", merged, score)
+	}
+}
+
+// TestFuserCFDVacuousSkip: a CFD version whose pattern the fusion
+// contradicts is skipped instead of failing the order.
+func TestFuserCFDVacuousSkip(t *testing.T) {
+	rFD := rules.MustParseStrings("FD: Model, Type -> Make")[0]
+	rCFD := rules.MustParseStrings("CFD: Make=acura, Type -> Doors")[0]
+	b0 := buildBlockCands(&FusionBlock{Rule: rFD, Attrs: rFD.Attrs(), Candidates: []*index.Piece{
+		mkPiece(rFD, []string{"MDX", "SUV"}, []string{"honda"}, []int{0}, 0.9),
+	}})
+	// The CFD block holds only acura pieces.
+	b1 := buildBlockCands(&FusionBlock{Rule: rCFD, Attrs: rCFD.Attrs(), Candidates: []*index.Piece{
+		mkPiece(rCFD, []string{"acura", "SUV"}, []string{"4"}, []int{0}, 0.95),
+	}})
+	versions := []version{
+		{blockIdx: 0, rule: rFD, attrs: rFD.Attrs(), values: []string{"MDX", "SUV", "honda"}, weight: 0.9},
+		{blockIdx: 1, rule: rCFD, attrs: rCFD.Attrs(), values: []string{"acura", "SUV", "4"}, weight: 0.95},
+	}
+	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+	merged, _, _ := f.run()
+	if merged == nil {
+		t.Fatal("fusion failed; CFD version should be vacuous-skippable")
+	}
+	if merged["Make"] != "honda" {
+		t.Errorf("Make = %q, want honda", merged["Make"])
+	}
+}
+
+// TestBlockCandsFindUsesPostingLists: find must honour every pinned
+// attribute and skip the excluded candidate.
+func TestBlockCandsFind(t *testing.T) {
+	r := rules.MustParseStrings("FD: A -> B")[0]
+	bc := buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{
+		mkPiece(r, []string{"x"}, []string{"1"}, []int{0}, 0.9),
+		mkPiece(r, []string{"x"}, []string{"2"}, []int{1}, 0.8),
+		mkPiece(r, []string{"y"}, []string{"3"}, []int{2}, 0.99),
+	}})
+	// Pin A=x: the best x-candidate is {x,1}.
+	got, ok := bc.find(assignment{"A": "x"}, "")
+	if !ok || got.values[1] != "1" {
+		t.Fatalf("find = %v, %v", got, ok)
+	}
+	// Excluding {x,1} yields {x,2}.
+	got, ok = bc.find(assignment{"A": "x"}, dataset.JoinKey([]string{"x", "1"}))
+	if !ok || got.values[1] != "2" {
+		t.Fatalf("find with exclusion = %v, %v", got, ok)
+	}
+	// Pinning both attrs to an absent combination fails.
+	if _, ok := bc.find(assignment{"A": "x", "B": "3"}, ""); ok {
+		t.Error("impossible pin should fail")
+	}
+	// No pinned attrs: global best.
+	got, ok = bc.find(assignment{"Z": "?"}, "")
+	if !ok || got.values[0] != "y" {
+		t.Fatalf("unpinned find = %v, %v", got, ok)
+	}
+}
+
+// TestFuserStateCap: the permutation search respects MaxFusionStates and
+// still returns a (possibly suboptimal) fusion.
+func TestFuserStateCap(t *testing.T) {
+	var versions []version
+	var cands []*blockCands
+	rs := rules.MustParseStrings("FD: A1 -> Z", "FD: A2 -> Z", "FD: A3 -> Z", "FD: A4 -> Z")
+	for i, r := range rs {
+		vals := []string{"k", string(rune('a' + i))} // all conflict on Z
+		p := mkPiece(r, vals[:1], vals[1:], []int{0}, 0.9)
+		cands = append(cands, buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{p}}))
+		versions = append(versions, version{blockIdx: i, rule: r, attrs: r.Attrs(), values: vals, weight: 0.9})
+	}
+	f := newFuser(versions, cands, 2) // absurdly small cap
+	f.run()
+	if f.states > 2 {
+		t.Errorf("states = %d exceeded cap", f.states)
+	}
+}

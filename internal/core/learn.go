@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"mlnclean/internal/index"
+	"mlnclean/internal/mln"
+)
+
+// learnBlockWeights learns the MLN weight of every piece in the block
+// (§5.1.2): each distinct γ is a ground MLN rule whose prior weight is
+// c(γ)/Σc (Eq. 4) and whose learned weight comes from diagonal-Newton
+// optimization of the grouped likelihood — competing γs are the ones inside
+// the same group. Weights are written into Piece.Weight. Returns the number
+// of Newton iterations performed.
+func learnBlockWeights(b *index.Block, opts mln.LearnOptions) (int, error) {
+	pieces := b.Pieces()
+	if len(pieces) == 0 {
+		return 0, nil
+	}
+	counts := make([]float64, len(pieces))
+	pos := make(map[*index.Piece]int, len(pieces))
+	for i, p := range pieces {
+		counts[i] = float64(p.Count())
+		pos[p] = i
+	}
+	groups := make([][]int, 0, len(b.Groups))
+	for _, g := range b.Groups {
+		idx := make([]int, 0, len(g.Pieces))
+		for _, p := range g.Pieces {
+			idx = append(idx, pos[p])
+		}
+		groups = append(groups, idx)
+	}
+	priors := mln.PriorWeights(counts)
+	res, err := mln.LearnWeights(groups, counts, priors, opts)
+	if err != nil {
+		return 0, err
+	}
+	// The learned Newton weights live in log space (ln Pr(γ) = w − ln Z,
+	// Eq. 3). The paper uses the weight as "the probability of the attribute
+	// values w.r.t. this ground MLN rule being clean" (§3), and the fusion
+	// score multiplies weights across blocks (Eq. 5), so the weight stored
+	// on each piece is the in-group softmax probability: exp-normalized over
+	// the competing γs of its group. An uncontested γ (singleton group) is
+	// certainly clean under its rule and gets weight 1.
+	for gi, g := range b.Groups {
+		_ = gi
+		if len(g.Pieces) == 1 {
+			g.Pieces[0].Weight = 1
+			continue
+		}
+		maxW := math.Inf(-1)
+		for _, p := range g.Pieces {
+			if w := res.Weights[pos[p]]; w > maxW {
+				maxW = w
+			}
+		}
+		var z float64
+		for _, p := range g.Pieces {
+			z += math.Exp(res.Weights[pos[p]] - maxW)
+		}
+		for _, p := range g.Pieces {
+			p.Weight = math.Exp(res.Weights[pos[p]]-maxW) / z
+			if p.Weight < minPieceWeight {
+				p.Weight = minPieceWeight
+			}
+		}
+	}
+	return res.Iterations, nil
+}
+
+// minPieceWeight is the positive floor applied to learned piece weights so
+// the fusion-score product (Eq. 5) keeps its ordering semantics.
+const minPieceWeight = 1e-6

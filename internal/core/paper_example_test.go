@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// paperTable builds Table 1 of the paper: the six-tuple hospital sample.
+func paperTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701") // t1
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")   // t2: typo CT
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")   // t3: replacement CT, typo-ish PN
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")     // t4: error ST
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")     // t5
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")     // t6
+	return tb
+}
+
+// paperRules builds r1 (FD), r2 (DC), r3 (CFD) of Example 1.
+func paperRules(t *testing.T) []*rules.Rule {
+	t.Helper()
+	rs, err := rules.ParseStrings(
+		"FD: CT -> ST",
+		"DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))",
+		"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	)
+	if err != nil {
+		t.Fatalf("parsing paper rules: %v", err)
+	}
+	return rs
+}
+
+// TestPaperIndexShape checks Fig. 2: blocks B1..B3 with 3, 3, 2 groups.
+func TestPaperIndexShape(t *testing.T) {
+	tb := paperTable(t)
+	rs := paperRules(t)
+	ix, err := index.Build(tb, rs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if got := len(ix.Blocks); got != 3 {
+		t.Fatalf("blocks = %d, want 3", got)
+	}
+	wantGroups := []int{3, 3, 2}
+	for i, b := range ix.Blocks {
+		if got := len(b.Groups); got != wantGroups[i] {
+			t.Errorf("block B%d groups = %d, want %d", i+1, got, wantGroups[i])
+		}
+	}
+	// B3 (CFD) must exclude t1, t2 (HN=ALABAMA matches no constant).
+	b3 := ix.Blocks[2]
+	for _, g := range b3.Groups {
+		for _, p := range g.Pieces {
+			for _, id := range p.TupleIDs {
+				if id == 0 || id == 1 {
+					t.Errorf("tuple t%d should not be in CFD block B3", id+1)
+				}
+			}
+		}
+	}
+}
+
+// TestPaperAGP checks §5.1.1: with τ=1 groups G12, G22, G31 are abnormal
+// and merge into G11, G23, G32 respectively.
+func TestPaperAGP(t *testing.T) {
+	tb := paperTable(t)
+	rs := paperRules(t)
+	tr := &Trace{}
+	_, err := Clean(tb, rs, Options{Tau: 1, Trace: tr})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	if got := len(tr.AGP); got != 3 {
+		t.Fatalf("AGP merges = %d, want 3; trace: %+v", got, tr.AGP)
+	}
+	wantTargets := map[string]string{
+		dataset.JoinKey([]string{"DOTH"}):            dataset.JoinKey([]string{"DOTHAN"}),
+		dataset.JoinKey([]string{"2567638410"}):      dataset.JoinKey([]string{"2567688400"}),
+		dataset.JoinKey([]string{"ELIZA", "DOTHAN"}): dataset.JoinKey([]string{"ELIZA", "BOAZ"}),
+	}
+	for _, m := range tr.AGP {
+		want, ok := wantTargets[m.SourceKey]
+		if !ok {
+			t.Errorf("unexpected abnormal group %q (rule %s)", m.SourceKey, m.RuleID)
+			continue
+		}
+		if m.TargetKey != want {
+			t.Errorf("abnormal group %q merged into %q, want %q", m.SourceKey, m.TargetKey, want)
+		}
+	}
+}
+
+// TestPaperCleanEndToEnd checks Examples 2–3 and §5.2: the final dataset is
+// the two clean entities, duplicates removed.
+func TestPaperCleanEndToEnd(t *testing.T) {
+	tb := paperTable(t)
+	rs := paperRules(t)
+	res, err := Clean(tb, rs, Options{Tau: 1})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+
+	// Before dedup every tuple must be fully repaired.
+	want := [][]string{
+		{"ALABAMA", "DOTHAN", "AL", "3347938701"},
+		{"ALABAMA", "DOTHAN", "AL", "3347938701"},
+		{"ELIZA", "BOAZ", "AL", "2567688400"},
+		{"ELIZA", "BOAZ", "AL", "2567688400"},
+		{"ELIZA", "BOAZ", "AL", "2567688400"},
+		{"ELIZA", "BOAZ", "AL", "2567688400"},
+	}
+	for i, t2 := range res.Repaired.Tuples {
+		for j, v := range t2.Values {
+			if v != want[i][j] {
+				t.Errorf("repaired t%d.[%s] = %q, want %q", i+1, res.Repaired.Schema.Attr(j), v, want[i][j])
+			}
+		}
+	}
+
+	// Dedup: t1,t2 collapse; t3..t6 collapse → 2 tuples.
+	if got := res.Clean.Len(); got != 2 {
+		t.Fatalf("clean tuples = %d, want 2\n%s", got, res.Clean)
+	}
+	if res.Stats.DuplicatesRemoved != 4 {
+		t.Errorf("duplicates removed = %d, want 4", res.Stats.DuplicatesRemoved)
+	}
+}
+
+// TestPaperT3Fusion checks Example 3 specifically: t3's fusion resolves the
+// CT conflict (DOTHAN from B1 vs BOAZ from B3) in favour of BOAZ via the
+// replacement piece {CT: BOAZ, ST: AL} from B1.
+func TestPaperT3Fusion(t *testing.T) {
+	tb := paperTable(t)
+	rs := paperRules(t)
+	tr := &Trace{}
+	res, err := Clean(tb, rs, Options{Tau: 1, Trace: tr})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	t3 := res.Repaired.Tuples[2]
+	wantVals := map[string]string{"HN": "ELIZA", "CT": "BOAZ", "ST": "AL", "PN": "2567688400"}
+	for attr, want := range wantVals {
+		if got := res.Repaired.Cell(t3, attr); got != want {
+			t.Errorf("t3.[%s] = %q, want %q", attr, got, want)
+		}
+	}
+	// The fusion trace must have detected the CT conflict for t3.
+	var saw bool
+	for _, f := range tr.FSCR {
+		if f.TupleID != 2 {
+			continue
+		}
+		for _, a := range f.ConflictAttrs {
+			if a == "CT" {
+				saw = true
+			}
+		}
+		if f.Failed {
+			t.Errorf("t3 fusion failed unexpectedly")
+		}
+	}
+	if !saw {
+		t.Errorf("expected a detected CT conflict for t3; trace: %+v", tr.FSCR)
+	}
+}
+
+// TestPaperWeightOrdering checks Example 2's conclusion: within group
+// G13 = {BOAZ → {AL, AK}}, the piece {BOAZ, AL} (2 tuples) must win over
+// {BOAZ, AK} (1 tuple).
+func TestPaperWeightOrdering(t *testing.T) {
+	tb := paperTable(t)
+	rs := paperRules(t)
+	tr := &Trace{}
+	_, err := Clean(tb, rs, Options{Tau: 1, Trace: tr})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	found := false
+	for _, r := range tr.RSC {
+		if r.RuleID == "r1" && r.GroupKey == dataset.JoinKey([]string{"BOAZ"}) {
+			found = true
+			if r.New[1] != "AL" {
+				t.Errorf("G13 winner ST = %q, want AL (repair %+v)", r.New[1], r)
+			}
+			if r.Old[1] != "AK" {
+				t.Errorf("G13 loser ST = %q, want AK", r.Old[1])
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no RSC repair recorded for group BOAZ in r1; trace: %+v", tr.RSC)
+	}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"mlnclean/internal/index"
+)
+
+// The exported Stage* functions expose the pipeline's phases individually so
+// the distributed variant (§6) can interleave its Eq. 6 weight merge between
+// weight learning and RSC. Stand-alone cleaning uses Clean, which composes
+// them.
+
+// StageAGP runs abnormal-group processing on every block of the index,
+// in parallel, accumulating abnormal-group counts into st.
+func StageAGP(ix *index.Index, opts Options, st *Stats) {
+	opts = opts.withDefaults()
+	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+		ab, abp := agp(bi, b, opts.Tau, opts.Metric, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		st.addAGP(ab, abp)
+		return nil
+	})
+}
+
+// StageLearn learns piece weights on every block of the index (Eq. 4 prior
+// + diagonal Newton).
+func StageLearn(ix *index.Index, opts Options, st *Stats) error {
+	opts = opts.withDefaults()
+	return forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+		iters, err := learnBlockWeights(b, opts.Learn)
+		if err != nil {
+			return err
+		}
+		st.addLearn(iters)
+		return nil
+	})
+}
+
+// StageRSC runs reliability-score cleaning on every block, leaving exactly
+// one piece per group.
+func StageRSC(ix *index.Index, opts Options, st *Stats) {
+	opts = opts.withDefaults()
+	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+		st.addRSC(rsc(bi, b, opts.Metric, opts.Trace))
+		return nil
+	})
+}
+
+// forEachBlock applies fn to each block with bounded parallelism; the first
+// error wins.
+func forEachBlock(ix *index.Index, opts Options, fn func(int, *index.Block) error) error {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > len(ix.Blocks) {
+		par = len(ix.Blocks)
+	}
+	if par < 1 {
+		par = 1
+	}
+	errs := make([]error, len(ix.Blocks))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	for bi := range ix.Blocks {
+		wg.Add(1)
+		go func(bi int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[bi] = fn(bi, ix.Blocks[bi])
+		}(bi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Stats mutation helpers are mutex-guarded because blocks run concurrently.
+var statsMu sync.Mutex
+
+func (s *Stats) addAGP(groups, pieces int) {
+	statsMu.Lock()
+	s.AbnormalGroups += groups
+	s.AbnormalPieces += pieces
+	statsMu.Unlock()
+}
+
+func (s *Stats) addLearn(iters int) {
+	statsMu.Lock()
+	s.LearnIterations += iters
+	statsMu.Unlock()
+}
+
+func (s *Stats) addRSC(repairs int) {
+	statsMu.Lock()
+	s.RSCRepairs += repairs
+	statsMu.Unlock()
+}

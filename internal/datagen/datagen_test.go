@@ -1,0 +1,208 @@
+package datagen
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+// assertRulesHold verifies the generated clean table violates none of its
+// own constraints — the invariant every generator must provide.
+func assertRulesHold(t *testing.T, tb *dataset.Table, rs []*rules.Rule) {
+	t.Helper()
+	for _, r := range rs {
+		if err := r.Validate(tb.Schema); err != nil {
+			t.Fatalf("rule %s invalid for schema: %v", r.ID, err)
+		}
+		// Single-tuple (CFD constant) violations.
+		for _, tp := range tb.Tuples {
+			if r.Violates(tb, tp) {
+				t.Fatalf("clean data violates %s at tuple %d", r.ID, tp.ID)
+			}
+		}
+		// Pairwise FD/DC violations via reason-key grouping.
+		if r.Kind == rules.DC || r.Kind == rules.FD || r.Kind == rules.CFD {
+			byReason := make(map[string]*dataset.Tuple)
+			for _, tp := range tb.Tuples {
+				if !r.AppliesTo(tb, tp) {
+					continue
+				}
+				key := tb.Key(tp, r.ReasonAttrs())
+				if prev, ok := byReason[key]; ok {
+					if r.PairViolates(tb, prev, tp) {
+						t.Fatalf("clean data violates %s: tuples %d and %d share reason %q", r.ID, prev.ID, tp.ID, key)
+					}
+				} else {
+					byReason[key] = tp
+				}
+			}
+		}
+	}
+}
+
+func TestHAIGeneration(t *testing.T) {
+	tb, rs, err := HAI(HAIConfig{Providers: 50, Measures: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 300 {
+		t.Errorf("rows = %d, want providers×measures = 300", tb.Len())
+	}
+	if got := tb.Schema.Attrs(); !reflect.DeepEqual(got, HAISchema) {
+		t.Errorf("schema = %v", got)
+	}
+	if len(rs) != 7 {
+		t.Errorf("rules = %d, want 7 (Table 4)", len(rs))
+	}
+	assertRulesHold(t, tb, rs)
+}
+
+func TestHAIRowCap(t *testing.T) {
+	tb, _, err := HAI(HAIConfig{Providers: 50, Measures: 6, Rows: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 100 {
+		t.Errorf("rows = %d, want cap 100", tb.Len())
+	}
+}
+
+func TestHAIDeterminism(t *testing.T) {
+	a, _, _ := HAI(HAIConfig{Providers: 30, Measures: 4, Seed: 9})
+	b, _, _ := HAI(HAIConfig{Providers: 30, Measures: 4, Seed: 9})
+	if d := a.Diff(b); len(d) != 0 {
+		t.Errorf("same seed differs: %v", d[:min(3, len(d))])
+	}
+	c, _, _ := HAI(HAIConfig{Providers: 30, Measures: 4, Seed: 10})
+	if d := a.Diff(c); len(d) == 0 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestHAIDensity(t *testing.T) {
+	tb, _, _ := HAI(HAIConfig{Providers: 40, Measures: 8, Seed: 2})
+	// Every provider appears once per measure: the FD ProviderID → City,
+	// PhoneNumber has dense support.
+	counts := tb.ValueCounts("ProviderID")
+	for pid, c := range counts {
+		if c != 8 {
+			t.Errorf("provider %s has %d rows, want 8", pid, c)
+		}
+	}
+}
+
+func TestCARGeneration(t *testing.T) {
+	tb, rs, err := CAR(CARConfig{Rows: 1200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 1200 {
+		t.Errorf("rows = %d", tb.Len())
+	}
+	if got := tb.Schema.Attrs(); !reflect.DeepEqual(got, CARSchema) {
+		t.Errorf("schema = %v", got)
+	}
+	if len(rs) != 3 {
+		t.Errorf("rules = %d (CFD + FD + embedded FD)", len(rs))
+	}
+	assertRulesHold(t, tb, rs)
+	// acura must exist (the CFD pattern binds it).
+	if counts := tb.ValueCounts("Make"); counts["acura"] == 0 {
+		t.Error("no acura rows generated")
+	}
+}
+
+func TestCARSparsity(t *testing.T) {
+	tb, _, _ := CAR(CARConfig{Rows: 2000, Seed: 4})
+	models := tb.Domain("Model")
+	if len(models) < 50 {
+		t.Errorf("only %d models; CAR should have a long tail", len(models))
+	}
+	// Support floor: every (Model, Type) pair has at least 2 rows.
+	pairs := make(map[string]int)
+	for _, tp := range tb.Tuples {
+		pairs[tb.Key(tp, []string{"Model", "Type"})]++
+	}
+	for k, c := range pairs {
+		if c < 2 {
+			t.Errorf("pair %q has %d rows, want ≥ 2", dataset.SplitKey(k), c)
+		}
+	}
+}
+
+func TestCARDeterminism(t *testing.T) {
+	a, _, _ := CAR(CARConfig{Rows: 500, Seed: 6})
+	b, _, _ := CAR(CARConfig{Rows: 500, Seed: 6})
+	if d := a.Diff(b); len(d) != 0 {
+		t.Error("same seed differs")
+	}
+}
+
+func TestTPCHGeneration(t *testing.T) {
+	tb, rs, err := TPCH(TPCHConfig{Customers: 50, Rows: 700, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 700 {
+		t.Errorf("rows = %d", tb.Len())
+	}
+	if got := tb.Schema.Attrs(); !reflect.DeepEqual(got, TPCHSchema) {
+		t.Errorf("schema = %v", got)
+	}
+	if len(rs) != 1 {
+		t.Errorf("rules = %d, want 1 (CustKey → Address)", len(rs))
+	}
+	assertRulesHold(t, tb, rs)
+	// Customers repeat across order lines (dense FD support).
+	counts := tb.ValueCounts("CustKey")
+	if len(counts) > 50 {
+		t.Errorf("more custkeys than customers: %d", len(counts))
+	}
+}
+
+func TestTPCHDeterminism(t *testing.T) {
+	a, _, _ := TPCH(TPCHConfig{Customers: 20, Rows: 200, Seed: 8})
+	b, _, _ := TPCH(TPCHConfig{Customers: 20, Rows: 200, Seed: 8})
+	if d := a.Diff(b); len(d) != 0 {
+		t.Error("same seed differs")
+	}
+}
+
+func TestNamerUniqueness(t *testing.T) {
+	n := newNamer(randSource(1), 2, 3)
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		s := n.fresh()
+		if seen[s] {
+			t.Fatalf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUniqueDigits(t *testing.T) {
+	used := make(map[string]struct{})
+	rng := randSource(2)
+	for i := 0; i < 200; i++ {
+		s := uniqueDigits(rng, 4, used)
+		if len(s) != 4 {
+			t.Fatalf("width %d", len(s))
+		}
+	}
+	if len(used) != 200 {
+		t.Errorf("unique count = %d", len(used))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// randSource is a test helper for seeding package-internal generators.
+func randSource(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

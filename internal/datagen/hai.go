@@ -1,0 +1,140 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+// HAIConfig sizes the synthetic healthcare-associated-infections dataset.
+type HAIConfig struct {
+	// Providers is the number of distinct hospitals (default 250).
+	Providers int
+	// Measures is the number of distinct quality measures; each provider
+	// reports every measure, so Rows = Providers × Measures unless Rows
+	// caps it (default 12).
+	Measures int
+	// Rows optionally caps the row count (0 = Providers × Measures).
+	Rows int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c HAIConfig) withDefaults() HAIConfig {
+	if c.Providers <= 0 {
+		c.Providers = 250
+	}
+	if c.Measures <= 0 {
+		c.Measures = 12
+	}
+	return c
+}
+
+// HAISchema is the attribute list of the synthetic HAI table.
+var HAISchema = []string{
+	"ProviderID", "HospitalName", "Address", "City", "State", "ZIPCode",
+	"CountyName", "PhoneNumber", "MeasureID", "MeasureName", "Score",
+}
+
+// HAIRules returns the seven Table 4 constraints for HAI.
+func HAIRules() []*rules.Rule {
+	return rules.MustParseStrings(
+		"FD: PhoneNumber -> ZIPCode",
+		"FD: PhoneNumber -> State",
+		"FD: ZIPCode -> City",
+		"FD: MeasureID -> MeasureName",
+		"FD: ZIPCode -> CountyName",
+		"FD: ProviderID -> City, PhoneNumber",
+		"DC: not(PhoneNumber(t)=PhoneNumber(t') and State(t)!=State(t'))",
+	)
+}
+
+// HAI generates the synthetic hospital dataset: each row is one (provider,
+// measure) report. The data is dense — every provider appears once per
+// measure, cities share providers, ZIP codes determine city and county —
+// which is the property §7.2 relies on when contrasting HAI with CAR.
+func HAI(cfg HAIConfig) (*dataset.Table, []*rules.Rule, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	states := []string{"AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA",
+		"HI", "ID", "IL", "IN", "IA", "KS", "KY", "LA", "ME", "MD",
+		"MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV", "NH", "NJ"}
+
+	cityNamer := newNamer(rng, 2, 3)
+	countyNamer := newNamer(rng, 2, 3)
+	hospitalNamer := newNamer(rng, 2, 4)
+	measureNamer := newNamer(rng, 3, 5)
+
+	// Geography: cities belong to one state; each city has 1–3 ZIP codes;
+	// each ZIP has exactly one county (FDs ZIP→City, ZIP→CountyName hold).
+	nCities := cfg.Providers/4 + 1
+	type zipInfo struct{ city, state, county string }
+	var zips []string
+	zipData := make(map[string]zipInfo)
+	usedZips := make(map[string]struct{})
+	for i := 0; i < nCities; i++ {
+		city := cityNamer.fresh()
+		state := states[rng.Intn(len(states))]
+		nz := 1 + rng.Intn(3)
+		for z := 0; z < nz; z++ {
+			zip := uniqueDigits(rng, 5, usedZips)
+			zips = append(zips, zip)
+			zipData[zip] = zipInfo{city: city, state: state, county: countyNamer.fresh()}
+		}
+	}
+
+	// Providers: unique ID and phone; one ZIP (→ city, state, county).
+	type provider struct {
+		id, name, address, city, state, zip, county, phone string
+	}
+	usedIDs := make(map[string]struct{})
+	usedPhones := make(map[string]struct{})
+	providers := make([]provider, cfg.Providers)
+	for i := range providers {
+		zip := zips[rng.Intn(len(zips))]
+		zi := zipData[zip]
+		providers[i] = provider{
+			id:      uniqueDigits(rng, 6, usedIDs),
+			name:    hospitalNamer.fresh() + " HOSPITAL",
+			address: fmt.Sprintf("%d %s AVE", 1+rng.Intn(9999), cityNamer.fresh()),
+			city:    zi.city,
+			state:   zi.state,
+			zip:     zip,
+			county:  zi.county,
+			phone:   uniqueDigits(rng, 10, usedPhones),
+		}
+	}
+
+	// Measures: unique ID → name.
+	type measure struct{ id, name string }
+	usedMeasureIDs := make(map[string]struct{})
+	measures := make([]measure, cfg.Measures)
+	for i := range measures {
+		measures[i] = measure{
+			id:   "HAI_" + uniqueDigits(rng, 3, usedMeasureIDs),
+			name: measureNamer.fresh() + " INFECTION RATE",
+		}
+	}
+
+	schema, err := dataset.NewSchema(HAISchema...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := dataset.NewTable(schema)
+	rows := cfg.Providers * cfg.Measures
+	if cfg.Rows > 0 && cfg.Rows < rows {
+		rows = cfg.Rows
+	}
+	for n := 0; n < rows; n++ {
+		p := providers[n%cfg.Providers]
+		m := measures[(n/cfg.Providers)%cfg.Measures]
+		score := fmt.Sprintf("%d.%03d", rng.Intn(3), rng.Intn(1000))
+		if _, err := tb.Append(p.id, p.name, p.address, p.city, p.state, p.zip, p.county, p.phone, m.id, m.name, score); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tb, HAIRules(), nil
+}

@@ -1,0 +1,102 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+// TPCHConfig sizes the synthetic TPC-H projection.
+type TPCHConfig struct {
+	// Customers is the number of distinct customers (default 500).
+	Customers int
+	// Rows is the number of joined customer⋈lineitem rows (default 8000).
+	Rows int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c TPCHConfig) withDefaults() TPCHConfig {
+	if c.Customers <= 0 {
+		c.Customers = 500
+	}
+	if c.Rows <= 0 {
+		c.Rows = 8000
+	}
+	return c
+}
+
+// TPCHSchema is the joined projection of the customer and lineitem tables —
+// the "two largest tables" the paper joins to create its synthetic dataset
+// (§7.1).
+var TPCHSchema = []string{
+	"CustKey", "Name", "Address", "Nation", "Phone", "MktSegment",
+	"OrderKey", "PartKey", "Quantity", "ExtendedPrice",
+}
+
+// TPCHRules returns the Table 4 constraint for TPC-H.
+func TPCHRules() []*rules.Rule {
+	return rules.MustParseStrings("FD: CustKey -> Address")
+}
+
+// TPCH generates the synthetic customer ⋈ lineitem dataset: customers follow
+// the dbgen naming style (Customer#NNN) and each appears on many order
+// lines, so CustKey ⇒ Address is dense.
+func TPCH(cfg TPCHConfig) (*dataset.Table, []*rules.Rule, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	nations := []string{
+		"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+		"FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+		"JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+		"ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+		"UNITED STATES",
+	}
+	segments := []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	streetNamer := newNamer(rng, 2, 4)
+
+	type customer struct {
+		key, name, address, nation, phone, segment string
+	}
+	customers := make([]customer, cfg.Customers)
+	usedPhones := make(map[string]struct{})
+	for i := range customers {
+		key := fmt.Sprintf("%06d", i+1)
+		nation := nations[rng.Intn(len(nations))]
+		customers[i] = customer{
+			key:     key,
+			name:    fmt.Sprintf("Customer#%09d", i+1),
+			address: fmt.Sprintf("%d %s ST", 1+rng.Intn(9999), streetNamer.fresh()),
+			nation:  nation,
+			phone:   fmt.Sprintf("%02d-%s", 10+rng.Intn(25), digitsDashed(rng)),
+			segment: segments[rng.Intn(len(segments))],
+		}
+		usedPhones[customers[i].phone] = struct{}{}
+	}
+
+	schema, err := dataset.NewSchema(TPCHSchema...)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb := dataset.NewTable(schema)
+	for n := 0; n < cfg.Rows; n++ {
+		c := customers[rng.Intn(len(customers))]
+		if _, err := tb.Append(
+			c.key, c.name, c.address, c.nation, c.phone, c.segment,
+			fmt.Sprintf("%08d", n+1),
+			fmt.Sprintf("%06d", 1+rng.Intn(20000)),
+			fmt.Sprintf("%d", 1+rng.Intn(50)),
+			fmt.Sprintf("%d.%02d", 100+rng.Intn(90000), rng.Intn(100)),
+		); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tb, TPCHRules(), nil
+}
+
+func digitsDashed(rng *rand.Rand) string {
+	return fmt.Sprintf("%03d-%03d-%04d", rng.Intn(1000), rng.Intn(1000), rng.Intn(10000))
+}

@@ -1,0 +1,60 @@
+package dataset
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundtrip(t *testing.T) {
+	tb := NewTable(MustSchema("A", "B"))
+	tb.MustAppend("hello, world", "2")
+	tb.MustAppend("with \"quotes\"", "4")
+	tb.MustAppend("", "newline\nvalue")
+
+	var buf strings.Builder
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if !back.Schema.Equal(tb.Schema) {
+		t.Fatalf("schema mismatch: %v", back.Schema.Attrs())
+	}
+	if d := back.Diff(tb); len(d) != 0 {
+		t.Errorf("roundtrip diff: %v", d)
+	}
+}
+
+func TestCSVFileRoundtrip(t *testing.T) {
+	tb := NewTable(MustSchema("X", "Y"))
+	tb.MustAppend("1", "2")
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := tb.WriteCSVFile(path); err != nil {
+		t.Fatalf("WriteCSVFile: %v", err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatalf("ReadCSVFile: %v", err)
+	}
+	if d := back.Diff(tb); len(d) != 0 {
+		t.Errorf("roundtrip diff: %v", d)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should fail (no header)")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,A\n1,2\n")); err == nil {
+		t.Error("duplicate header should fail")
+	}
+	if _, err := ReadCSV(strings.NewReader("A,B\n1\n")); err == nil {
+		t.Error("short row should fail")
+	}
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+}

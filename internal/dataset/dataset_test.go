@@ -1,0 +1,224 @@
+package dataset
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should fail")
+	}
+	if _, err := NewSchema("A", ""); err == nil {
+		t.Error("empty attribute name should fail")
+	}
+	if _, err := NewSchema("A", "B", "A"); err == nil {
+		t.Error("duplicate attribute should fail")
+	}
+	s, err := NewSchema("A", "B", "C")
+	if err != nil {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+}
+
+func TestSchemaLookup(t *testing.T) {
+	s := MustSchema("A", "B", "C")
+	if i, ok := s.Index("B"); !ok || i != 1 {
+		t.Errorf("Index(B) = %d,%v want 1,true", i, ok)
+	}
+	if _, ok := s.Index("Z"); ok {
+		t.Error("Index(Z) should miss")
+	}
+	if !s.Has("C") || s.Has("Z") {
+		t.Error("Has misbehaves")
+	}
+	if s.Attr(2) != "C" {
+		t.Errorf("Attr(2) = %q", s.Attr(2))
+	}
+	if got := s.Attrs(); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Errorf("Attrs = %v", got)
+	}
+	// Attrs must return a copy.
+	s.Attrs()[0] = "mutated"
+	if s.Attr(0) != "A" {
+		t.Error("Attrs leaked internal slice")
+	}
+}
+
+func TestSchemaMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on unknown attribute should panic")
+		}
+	}()
+	MustSchema("A").MustIndex("B")
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema("A", "B")
+	if !a.Equal(MustSchema("A", "B")) {
+		t.Error("identical schemas should be equal")
+	}
+	if a.Equal(MustSchema("B", "A")) {
+		t.Error("order matters")
+	}
+	if a.Equal(MustSchema("A")) {
+		t.Error("length matters")
+	}
+}
+
+func TestTableAppendAndCells(t *testing.T) {
+	tb := NewTable(MustSchema("A", "B"))
+	tp, err := tb.Append("1", "2")
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if tp.ID != 0 {
+		t.Errorf("first tuple ID = %d", tp.ID)
+	}
+	if _, err := tb.Append("only-one"); err == nil {
+		t.Error("width mismatch should fail")
+	}
+	tb.MustAppend("3", "4")
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	if got := tb.Cell(tb.Tuples[1], "B"); got != "4" {
+		t.Errorf("Cell = %q", got)
+	}
+	tb.SetCell(tb.Tuples[1], "B", "9")
+	if got := tb.Cell(tb.Tuples[1], "B"); got != "9" {
+		t.Errorf("SetCell not applied, got %q", got)
+	}
+}
+
+func TestTableAppendCopiesValues(t *testing.T) {
+	tb := NewTable(MustSchema("A"))
+	vals := []string{"x"}
+	tb.MustAppend(vals...)
+	vals[0] = "mutated"
+	if tb.Tuples[0].Values[0] != "x" {
+		t.Error("Append must copy the value slice")
+	}
+}
+
+func TestTableByID(t *testing.T) {
+	tb := NewTable(MustSchema("A"))
+	for i := 0; i < 5; i++ {
+		tb.MustAppend(string(rune('a' + i)))
+	}
+	if got := tb.ByID(3); got == nil || got.Values[0] != "d" {
+		t.Errorf("ByID(3) = %v", got)
+	}
+	// After removing a tuple (dedup-style), positional shortcut misses but
+	// the scan still finds it.
+	tb.Tuples = append(tb.Tuples[:1], tb.Tuples[2:]...)
+	if got := tb.ByID(3); got == nil || got.Values[0] != "d" {
+		t.Errorf("ByID(3) after removal = %v", got)
+	}
+	if got := tb.ByID(1); got != nil {
+		t.Errorf("removed tuple found: %v", got)
+	}
+	if got := tb.ByID(99); got != nil {
+		t.Errorf("ByID(99) = %v, want nil", got)
+	}
+}
+
+func TestTableCloneIsDeep(t *testing.T) {
+	tb := NewTable(MustSchema("A"))
+	tb.MustAppend("x")
+	cl := tb.Clone()
+	cl.Tuples[0].Values[0] = "y"
+	if tb.Tuples[0].Values[0] != "x" {
+		t.Error("Clone must deep-copy tuples")
+	}
+}
+
+func TestProjectAndKey(t *testing.T) {
+	tb := NewTable(MustSchema("A", "B", "C"))
+	tp := tb.MustAppend("1", "2", "3")
+	if got := tb.Project(tp, []string{"C", "A"}); !reflect.DeepEqual(got, []string{"3", "1"}) {
+		t.Errorf("Project = %v", got)
+	}
+	k := tb.Key(tp, []string{"A", "B"})
+	if got := SplitKey(k); !reflect.DeepEqual(got, []string{"1", "2"}) {
+		t.Errorf("SplitKey(Key) = %v", got)
+	}
+}
+
+func TestJoinSplitKeyRoundtrip(t *testing.T) {
+	f := func(vals []string) bool {
+		for i := range vals {
+			// The separator byte must not occur inside values.
+			vals[i] = strings.ReplaceAll(vals[i], "\x1f", "_")
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(SplitKey(JoinKey(vals)), vals)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDomainAndValueCounts(t *testing.T) {
+	tb := NewTable(MustSchema("A"))
+	for _, v := range []string{"b", "a", "b", "c", "a", "b"} {
+		tb.MustAppend(v)
+	}
+	if got := tb.Domain("A"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Errorf("Domain = %v", got)
+	}
+	counts := tb.ValueCounts("A")
+	if counts["b"] != 3 || counts["a"] != 2 || counts["c"] != 1 {
+		t.Errorf("ValueCounts = %v", counts)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := NewTable(MustSchema("A", "B"))
+	a.MustAppend("1", "2")
+	a.MustAppend("3", "4")
+	b := a.Clone()
+	if d := a.Diff(b); len(d) != 0 {
+		t.Fatalf("identical tables diff: %v", d)
+	}
+	b.Tuples[1].Values[0] = "X"
+	d := a.Diff(b)
+	if len(d) != 1 || d[0].TupleID != 1 || d[0].Attr != "A" || d[0].Got != "3" || d[0].Want != "X" {
+		t.Errorf("Diff = %+v", d)
+	}
+	// Missing tuple on one side.
+	b.Tuples = b.Tuples[:1]
+	d = a.Diff(b)
+	if len(d) != 1 || d[0].TupleID != 1 {
+		t.Errorf("Diff with missing tuple = %+v", d)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	tb := NewTable(MustSchema("Name", "X"))
+	tb.MustAppend("alpha", "1")
+	s := tb.String()
+	if !strings.Contains(s, "Name") || !strings.Contains(s, "alpha") || !strings.Contains(s, "t0") {
+		t.Errorf("String output missing content:\n%s", s)
+	}
+}
+
+func TestTupleCloneIndependence(t *testing.T) {
+	tp := &Tuple{ID: 7, Values: []string{"a", "b"}}
+	cl := tp.Clone()
+	cl.Values[0] = "z"
+	if tp.Values[0] != "a" {
+		t.Error("Tuple.Clone must copy values")
+	}
+	if cl.ID != 7 {
+		t.Error("Tuple.Clone must keep ID")
+	}
+}

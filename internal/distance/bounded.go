@@ -1,0 +1,106 @@
+package distance
+
+import "math"
+
+// intBound converts a float bound into an edit-distance cap, saturating at
+// a large finite value (float→int conversion of +Inf is undefined in Go).
+func intBound(f float64) int {
+	const maxBound = math.MaxInt32
+	if math.IsInf(f, 1) || f >= maxBound {
+		return maxBound
+	}
+	if f < 0 {
+		return 0
+	}
+	return int(f)
+}
+
+// EditDistanceBounded computes the Levenshtein distance between a and b if
+// it is ≤ maxDist, and returns maxDist+1 otherwise. It prunes with the
+// length-difference lower bound and abandons a row once every entry exceeds
+// the bound, making nearest-neighbour scans (AGP's nearest-normal-group
+// search) cheap when the running best is small.
+func EditDistanceBounded(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return 0
+	}
+	if a == b {
+		return 0
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > maxDist {
+		return maxDist + 1
+	}
+	if len(rb) == 0 {
+		if len(ra) > maxDist {
+			return maxDist + 1
+		}
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > maxDist {
+			return maxDist + 1
+		}
+		prev, cur = cur, prev
+	}
+	if prev[len(rb)] > maxDist {
+		return maxDist + 1
+	}
+	return prev[len(rb)]
+}
+
+// ValuesBounded returns the attribute-wise summed distance between value
+// slices, abandoning the computation (returning a value > bound) as soon as
+// the partial sum exceeds bound. For the Levenshtein metric the per-field
+// computation itself is also bounded.
+func ValuesBounded(m Metric, a, b []string, bound float64) float64 {
+	_, isLev := m.(Levenshtein)
+	var sum float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if isLev {
+			sum += float64(EditDistanceBounded(a[i], b[i], intBound(bound-sum)))
+		} else {
+			sum += m.Distance(a[i], b[i])
+		}
+		if sum > bound {
+			return sum
+		}
+	}
+	for i := n; i < len(a); i++ {
+		sum += m.Distance(a[i], "")
+		if sum > bound {
+			return sum
+		}
+	}
+	for i := n; i < len(b); i++ {
+		sum += m.Distance("", b[i])
+		if sum > bound {
+			return sum
+		}
+	}
+	return sum
+}

@@ -1,0 +1,350 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// Options configures a distributed cleaning run.
+type Options struct {
+	// Workers is the number of simulated worker nodes (default 4).
+	Workers int
+	// Core carries the per-worker stand-alone pipeline options.
+	Core core.Options
+	// Seed drives centroid selection.
+	Seed int64
+	// SkipWeightMerge disables the Eq. 6 cross-worker weight adjustment
+	// (for the ablation bench).
+	SkipWeightMerge bool
+}
+
+// Result is the distributed cleaning output.
+type Result struct {
+	// Clean is the final gathered dataset, duplicates removed.
+	Clean *dataset.Table
+	// Repaired is the gathered table before duplicate elimination, tuple
+	// IDs preserved from the input.
+	Repaired *dataset.Table
+	// PartSizes lists the tuples per worker partition.
+	PartSizes []int
+	// WorkerTimes holds each worker's solo stage-I+II time (workers are run
+	// one at a time so the measurement is contention-free).
+	WorkerTimes []time.Duration
+	// PartitionDistTime is the map-side distance-matrix phase of Alg. 3;
+	// PartitionHeapTime is its sequential driver-side heap assignment.
+	PartitionDistTime time.Duration
+	PartitionHeapTime time.Duration
+	// GatherTime covers the weight merge plus the global conflict
+	// resolution and deduplication.
+	GatherTime time.Duration
+	// Workers is the worker count the run used.
+	Workers int
+	// Stats aggregates the worker pipelines' stats.
+	Stats core.Stats
+}
+
+// ClusterTime models the run time on an ideal cluster where every worker is
+// its own node and map/reduce-style phases distribute:
+//
+//	distance-matrix/k + heap assignment + max(solo worker) + gather/k
+//
+// The host's core count would otherwise cap any measured speedup (the paper
+// runs on an 11-node cluster); the model keeps the Fig. 15 / Table 6
+// scaling shape hardware-independent. See DESIGN.md's substitution table.
+func (r *Result) ClusterTime() time.Duration {
+	var maxW time.Duration
+	for _, w := range r.WorkerTimes {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	k := time.Duration(r.Workers)
+	if k < 1 {
+		k = 1
+	}
+	return r.PartitionDistTime/k + r.PartitionHeapTime + maxW + r.GatherTime/k
+}
+
+// Clean runs distributed MLNClean (§6): partition with Algorithm 3, clean
+// every part with the stand-alone pipeline on its own goroutine —
+// interleaving the Eq. 6 weight merge between weight learning and RSC — and
+// gather the parts, resolving cross-part conflicts with a global FSCR pass
+// and removing duplicates exactly like the stand-alone cleaner.
+func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if dirty == nil || dirty.Len() == 0 {
+		return nil, fmt.Errorf("distributed: empty input table")
+	}
+	coreOpts := opts.Core
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	metric := coreOpts.Metric
+	if metric == nil {
+		metric = defaultMetric()
+	}
+	parts, distTime, heapTime, err := PartitionTimed(dirty, opts.Workers, metric, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		PartitionDistTime: distTime,
+		PartitionHeapTime: heapTime,
+		Workers:           opts.Workers,
+		WorkerTimes:       make([]time.Duration, len(parts)),
+	}
+	for _, p := range parts {
+		res.PartSizes = append(res.PartSizes, p.Len())
+	}
+
+	// Per-worker stage I (index, AGP, learn). Workers run one at a time so
+	// WorkerTimes are contention-free solo measurements (see ClusterTime).
+	states := make([]workerState, len(parts))
+	for wi := range parts {
+		t0 := time.Now()
+		ws := &states[wi]
+		ws.stats.Tuples = parts[wi].Len()
+		ix, err := index.Build(parts[wi], rs)
+		if err != nil {
+			return nil, fmt.Errorf("distributed: worker %d: %w", wi, err)
+		}
+		ws.ix = ix
+		core.StageAGP(ix, workerTauOpts(coreOpts, len(parts)), &ws.stats)
+		if err := core.StageLearn(ix, workerOpts(coreOpts), &ws.stats); err != nil {
+			return nil, fmt.Errorf("distributed: worker %d: %w", wi, err)
+		}
+		res.WorkerTimes[wi] = time.Since(t0)
+	}
+
+	// Eq. 6: synchronize weights of identical γs across parts —
+	// w(γ) = Σ nᵢ·wᵢ / Σ nᵢ — so sparse local evidence borrows support from
+	// the other parts.
+	if !opts.SkipWeightMerge {
+		t0 := time.Now()
+		mergeWeights(indexesOf(states))
+		res.GatherTime += time.Since(t0)
+	}
+
+	// Per-worker stage I (RSC) + stage II on the part, again timed solo.
+	// The per-part FSCR output is what each worker would ship alone; the
+	// gather below re-derives the final table globally, so the part output
+	// only contributes its (timed) cost, as on the real cluster.
+	for wi := range parts {
+		t0 := time.Now()
+		ws := &states[wi]
+		core.StageRSC(ws.ix, workerOpts(coreOpts), &ws.stats)
+		core.RunFSCR(parts[wi], fusionBlocks(ws.ix), workerOpts(coreOpts), &ws.stats)
+		res.WorkerTimes[wi] += time.Since(t0)
+	}
+
+	// Gather (§6: "conflicts and duplicates are eliminated in the same way
+	// to stand-alone MLNClean"): run a global conflict resolution over the
+	// union of all workers' blocks and deduplicate. The global FSCR fuses
+	// from the ORIGINAL dirty tuples — the union blocks already carry every
+	// worker's stage-I repairs, and fusing from the per-part FSCR outputs
+	// would move the observation baseline of the minimality prior, letting
+	// compounding double-fusions through. The per-part FSCR outputs remain
+	// what each worker would ship alone (and what WorkerTimes measures).
+	t0 := time.Now()
+	globalBlocks := unionFusionBlocks(indexesOf(states), rs)
+	var gatherStats core.Stats
+	repaired := core.RunFSCR(dirty, globalBlocks, workerOpts(coreOpts), &gatherStats)
+	clean, dups := Dedup(repaired)
+	res.GatherTime += time.Since(t0)
+
+	res.Repaired = repaired
+	res.Clean = clean
+	for wi := range states {
+		s := states[wi].stats
+		res.Stats.Tuples += s.Tuples
+		res.Stats.Blocks = s.Blocks
+		res.Stats.AbnormalGroups += s.AbnormalGroups
+		res.Stats.AbnormalPieces += s.AbnormalPieces
+		res.Stats.RSCRepairs += s.RSCRepairs
+		res.Stats.FSCRCellChanges += s.FSCRCellChanges
+		res.Stats.FusionFailures += s.FusionFailures
+		res.Stats.LearnIterations += s.LearnIterations
+	}
+	res.Stats.FSCRCellChanges += gatherStats.FSCRCellChanges
+	for _, d := range dups {
+		res.Stats.DuplicatesRemoved += len(d) - 1
+	}
+	return res, nil
+}
+
+func workerOpts(o core.Options) core.Options {
+	// Workers share the trace (it is mutex-guarded) and all other options.
+	return o
+}
+
+// workerTauOpts scales the AGP threshold to partition-local group sizes: a
+// group of n tuples lands ~n/k of them in each part, so the per-worker τ is
+// ⌈τ/k⌉ (never below 1 unless AGP is disabled outright).
+func workerTauOpts(o core.Options, workers int) core.Options {
+	if o.TauSet && o.Tau == 0 {
+		return o
+	}
+	tau := o.Tau
+	if tau <= 0 {
+		tau = 1
+	}
+	scaled := (tau + workers - 1) / workers
+	if scaled < 1 {
+		scaled = 1
+	}
+	o.Tau = scaled
+	o.TauSet = true
+	return o
+}
+
+// workerState is one worker's in-flight pipeline state.
+type workerState struct {
+	ix    *index.Index
+	stats core.Stats
+	err   error
+}
+
+func indexesOf(states []workerState) []*index.Index {
+	out := make([]*index.Index, len(states))
+	for i := range states {
+		out[i] = states[i].ix
+	}
+	return out
+}
+
+// mergeWeights applies Eq. 6 across the workers' indexes: every piece with
+// the same rule and the same values gets the support-weighted mean of its
+// per-part learned weights.
+func mergeWeights(indexes []*index.Index) {
+	type agg struct {
+		sumNW float64
+		sumN  float64
+	}
+	global := make(map[string]*agg)
+	key := func(ruleID, pieceKey string) string { return ruleID + "\x1e" + pieceKey }
+	for _, ix := range indexes {
+		if ix == nil {
+			continue
+		}
+		for _, b := range ix.Blocks {
+			for _, g := range b.Groups {
+				for _, p := range g.Pieces {
+					k := key(b.Rule.ID, p.Key())
+					a := global[k]
+					if a == nil {
+						a = &agg{}
+						global[k] = a
+					}
+					n := float64(p.Count())
+					a.sumNW += n * p.Weight
+					a.sumN += n
+				}
+			}
+		}
+	}
+	for _, ix := range indexes {
+		if ix == nil {
+			continue
+		}
+		for _, b := range ix.Blocks {
+			for _, g := range b.Groups {
+				for _, p := range g.Pieces {
+					if a := global[key(b.Rule.ID, p.Key())]; a != nil && a.sumN > 0 {
+						p.Weight = a.sumNW / a.sumN
+					}
+				}
+			}
+		}
+	}
+}
+
+// fusionBlocks converts a worker's cleaned index into FSCR inputs.
+func fusionBlocks(ix *index.Index) []*core.FusionBlock {
+	blocks := make([]*core.FusionBlock, len(ix.Blocks))
+	for bi, b := range ix.Blocks {
+		fb := &core.FusionBlock{Rule: b.Rule, Attrs: b.Rule.Attrs(), Versions: make(map[int]*index.Piece)}
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				fb.Candidates = append(fb.Candidates, p)
+				for _, id := range p.TupleIDs {
+					fb.Versions[id] = p
+				}
+			}
+		}
+		blocks[bi] = fb
+	}
+	return blocks
+}
+
+// unionFusionBlocks builds global FSCR inputs from every worker's blocks:
+// per rule, the tuple→piece assignments of all workers plus the union of
+// their candidate pieces (deduplicated by value, keeping the merged
+// weight). This is the gather step's global conflict-resolution state.
+func unionFusionBlocks(indexes []*index.Index, rs []*rules.Rule) []*core.FusionBlock {
+	blocks := make([]*core.FusionBlock, len(rs))
+	for ri, r := range rs {
+		blocks[ri] = &core.FusionBlock{Rule: r, Attrs: r.Attrs(), Versions: make(map[int]*index.Piece)}
+	}
+	seen := make([]map[string]bool, len(rs))
+	for i := range seen {
+		seen[i] = make(map[string]bool)
+	}
+	for _, ix := range indexes {
+		if ix == nil {
+			continue
+		}
+		for bi, b := range ix.Blocks {
+			fb := blocks[bi]
+			for _, g := range b.Groups {
+				for _, p := range g.Pieces {
+					if !seen[bi][p.Key()] {
+						seen[bi][p.Key()] = true
+						fb.Candidates = append(fb.Candidates, p)
+					}
+					for _, id := range p.TupleIDs {
+						fb.Versions[id] = p
+					}
+				}
+			}
+		}
+	}
+	return blocks
+}
+
+// Dedup removes exact-duplicate tuples, keeping the lowest-ID
+// representative; exported for the gather step and tests.
+func Dedup(tb *dataset.Table) (*dataset.Table, [][]int) {
+	out := dataset.NewTable(tb.Schema)
+	firstSeen := make(map[string]bool)
+	members := make(map[string][]int)
+	var order []string
+	for _, t := range tb.Tuples {
+		k := dataset.JoinKey(t.Values)
+		if !firstSeen[k] {
+			firstSeen[k] = true
+			order = append(order, k)
+			out.Tuples = append(out.Tuples, t.Clone())
+		}
+		members[k] = append(members[k], t.ID)
+	}
+	var dups [][]int
+	for _, k := range order {
+		if ids := members[k]; len(ids) > 1 {
+			dups = append(dups, ids)
+		}
+	}
+	return out, dups
+}
+
+// defaultMetric returns the metric used when none is configured
+// (Levenshtein, the paper's default).
+func defaultMetric() distance.Metric { return distance.Levenshtein{} }

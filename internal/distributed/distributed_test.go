@@ -1,0 +1,200 @@
+package distributed
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+func randomTable(seed int64, rows int) *dataset.Table {
+	rng := rand.New(rand.NewSource(seed))
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	letters := []string{"alpha", "beta", "gamma", "delta", "epsilon"}
+	for i := 0; i < rows; i++ {
+		tb.MustAppend(letters[rng.Intn(len(letters))], letters[rng.Intn(len(letters))])
+	}
+	return tb
+}
+
+// TestPartitionCompleteAndBalanced: every tuple lands in exactly one part
+// and no part exceeds ⌈|T|/k⌉.
+func TestPartitionCompleteAndBalanced(t *testing.T) {
+	f := func(seed int64, rowsRaw, kRaw uint8) bool {
+		rows := int(rowsRaw%60) + 1
+		k := int(kRaw%6) + 1
+		tb := randomTable(seed, rows)
+		parts, err := Partition(tb, k, distance.Levenshtein{}, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		if k > rows {
+			k = rows
+		}
+		capacity := (rows + k - 1) / k
+		var ids []int
+		for _, p := range parts {
+			if p.Len() > capacity {
+				return false
+			}
+			for _, tp := range p.Tuples {
+				ids = append(ids, tp.ID)
+			}
+		}
+		if len(ids) != rows {
+			return false
+		}
+		sort.Ints(ids)
+		for i, id := range ids {
+			if i != id {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	tb := randomTable(1, 10)
+	if _, err := Partition(tb, 0, distance.Levenshtein{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("k=0 should fail")
+	}
+	empty := dataset.NewTable(tb.Schema)
+	if _, err := Partition(empty, 2, distance.Levenshtein{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty table should fail")
+	}
+	// k larger than |T| clamps.
+	parts, err := Partition(tb, 50, distance.Levenshtein{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 10 {
+		t.Errorf("parts = %d, want clamped to 10", len(parts))
+	}
+}
+
+func TestPartitionDeterminism(t *testing.T) {
+	tb := randomTable(3, 40)
+	a, _ := Partition(tb, 4, distance.Levenshtein{}, rand.New(rand.NewSource(9)))
+	b, _ := Partition(tb, 4, distance.Levenshtein{}, rand.New(rand.NewSource(9)))
+	for i := range a {
+		if d := a[i].Diff(b[i]); len(d) != 0 {
+			t.Fatalf("part %d differs across identical seeds", i)
+		}
+	}
+}
+
+func TestMergeWeightsEq6(t *testing.T) {
+	// Two "workers" hold the same γ with different weights and supports:
+	// the merged weight is the support-weighted mean (Eq. 6).
+	r := rules.MustParseStrings("FD: A -> B")[0]
+	mk := func(n int, w float64) *index.Index {
+		tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+		for i := 0; i < n; i++ {
+			tb.MustAppend("k", "v")
+		}
+		ix, err := index.Build(tb, []*rules.Rule{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Blocks[0].Groups[0].Pieces[0].Weight = w
+		return ix
+	}
+	ix1 := mk(3, 0.9) // n=3, w=0.9
+	ix2 := mk(1, 0.1) // n=1, w=0.1
+	mergeWeights([]*index.Index{ix1, ix2})
+	want := (3*0.9 + 1*0.1) / 4
+	for _, ix := range []*index.Index{ix1, ix2} {
+		got := ix.Blocks[0].Groups[0].Pieces[0].Weight
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("merged weight = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDedupKeepsLowestID(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A"))
+	tb.MustAppend("x")
+	tb.MustAppend("x")
+	tb.MustAppend("y")
+	out, dups := Dedup(tb)
+	if out.Len() != 2 || out.Tuples[0].ID != 0 {
+		t.Errorf("dedup result: %v", out)
+	}
+	if len(dups) != 1 || dups[0][0] != 0 {
+		t.Errorf("dups = %v", dups)
+	}
+}
+
+func TestDistributedMatchesStandaloneQuality(t *testing.T) {
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 150, Measures: 10, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 37})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := core.Clean(inj.Dirty, rs, core.Options{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist, err := Clean(inj.Dirty, rs, Options{Workers: 3, Seed: 1, Core: core.Options{Tau: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := eval.RepairQuality(truth, inj.Dirty, solo.Repaired)
+	qd := eval.RepairQuality(truth, inj.Dirty, dist.Repaired)
+	t.Logf("stand-alone F1 = %.3f, distributed F1 = %.3f", qs.F1, qd.F1)
+	if qd.F1 < qs.F1-0.15 {
+		t.Errorf("distributed F1 %.3f too far below stand-alone %.3f", qd.F1, qs.F1)
+	}
+}
+
+func TestDistributedValidation(t *testing.T) {
+	if _, err := Clean(nil, nil, Options{}); err == nil {
+		t.Error("nil table should fail")
+	}
+}
+
+func TestWorkerTauScaling(t *testing.T) {
+	o := workerTauOpts(core.Options{Tau: 10}, 4)
+	if o.Tau != 3 {
+		t.Errorf("scaled tau = %d, want ⌈10/4⌉ = 3", o.Tau)
+	}
+	o = workerTauOpts(core.Options{Tau: 1}, 8)
+	if o.Tau != 1 {
+		t.Errorf("scaled tau = %d, want floor 1", o.Tau)
+	}
+	o = workerTauOpts(core.Options{Tau: 0, TauSet: true}, 4)
+	if o.Tau != 0 {
+		t.Errorf("disabled AGP must stay disabled, got %d", o.Tau)
+	}
+}
+
+func TestClusterTimeModel(t *testing.T) {
+	r := &Result{
+		Workers:           4,
+		PartitionDistTime: 400 * time.Millisecond,
+		PartitionHeapTime: 10 * time.Millisecond,
+		WorkerTimes:       []time.Duration{50 * time.Millisecond, 80 * time.Millisecond},
+		GatherTime:        40 * time.Millisecond,
+	}
+	want := 100*time.Millisecond + 10*time.Millisecond + 80*time.Millisecond + 10*time.Millisecond
+	if got := r.ClusterTime(); got != want {
+		t.Errorf("ClusterTime = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,38 @@
+package distributed
+
+import (
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+)
+
+func TestDistributedSmoke(t *testing.T) {
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 120, Measures: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Clean(inj.Dirty, rs, Options{Workers: 4, Seed: 1, Core: core.Options{Tau: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eval.RepairQuality(truth, inj.Dirty, res.Repaired)
+	t.Logf("distributed HAI 5%% (4 workers): P=%.3f R=%.3f F1=%.3f parts=%v cluster=%v",
+		q.Precision, q.Recall, q.F1, res.PartSizes, res.ClusterTime())
+	if q.F1 < 0.75 {
+		t.Errorf("distributed F1 = %.3f, want ≥ 0.75", q.F1)
+	}
+	total := 0
+	for _, n := range res.PartSizes {
+		total += n
+	}
+	if total != truth.Len() {
+		t.Errorf("partition lost tuples: %d != %d", total, truth.Len())
+	}
+}

@@ -1,0 +1,140 @@
+package errgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"mlnclean/internal/dataset"
+)
+
+// DuplicateConfig controls duplicate injection — the third instance-level
+// error class of §1 ("duplicates indicate that there are multiple tuples
+// corresponding to the same real entity", e.g. t4–t6 of Table 1).
+type DuplicateConfig struct {
+	// Rate is the fraction of tuples that receive an extra duplicate copy.
+	Rate float64
+	// TypoRate is the probability that a duplicate copy additionally
+	// carries one typo (a near-duplicate, which only becomes an exact
+	// duplicate — and thus removable — after cleaning).
+	TypoRate float64
+	// Attrs are the attributes eligible for the near-duplicate typo
+	// (defaults to every attribute).
+	Attrs []string
+	// Seed makes the injection deterministic.
+	Seed int64
+}
+
+// DuplicateInjection records injected duplicates.
+type DuplicateInjection struct {
+	// Dirty is the table with duplicate rows appended (new tuple IDs).
+	Dirty *dataset.Table
+	// Sets lists each duplicate set: the original tuple ID first, then the
+	// IDs of its injected copies.
+	Sets [][]int
+}
+
+// InjectDuplicates appends duplicate copies of randomly chosen tuples. The
+// input table is not modified; copies get fresh sequential IDs.
+func InjectDuplicates(tb *dataset.Table, cfg DuplicateConfig) (*DuplicateInjection, error) {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("errgen: duplicate rate %v out of [0,1]", cfg.Rate)
+	}
+	if cfg.TypoRate < 0 || cfg.TypoRate > 1 {
+		return nil, fmt.Errorf("errgen: typo rate %v out of [0,1]", cfg.TypoRate)
+	}
+	attrs := cfg.Attrs
+	if len(attrs) == 0 {
+		attrs = tb.Schema.Attrs()
+	}
+	for _, a := range attrs {
+		if !tb.Schema.Has(a) {
+			return nil, fmt.Errorf("errgen: attribute %q not in schema", a)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := tb.Clone()
+	inj := &DuplicateInjection{Dirty: out}
+
+	want := int(cfg.Rate * float64(tb.Len()))
+	if want <= 0 {
+		return inj, nil
+	}
+	chosen := rng.Perm(tb.Len())[:want]
+	sort.Ints(chosen)
+	nextID := 0
+	for _, t := range tb.Tuples {
+		if t.ID >= nextID {
+			nextID = t.ID + 1
+		}
+	}
+	for _, pos := range chosen {
+		orig := tb.Tuples[pos]
+		copyT := orig.Clone()
+		copyT.ID = nextID
+		nextID++
+		if rng.Float64() < cfg.TypoRate {
+			// One near-duplicate typo on a random eligible attribute with a
+			// value long enough to lose a letter.
+			for attempts := 0; attempts < 8; attempts++ {
+				attr := attrs[rng.Intn(len(attrs))]
+				idx := out.Schema.MustIndex(attr)
+				r := []rune(copyT.Values[idx])
+				if len(r) < 2 {
+					continue
+				}
+				i := rng.Intn(len(r))
+				copyT.Values[idx] = string(append(append([]rune{}, r[:i]...), r[i+1:]...))
+				break
+			}
+		}
+		out.Tuples = append(out.Tuples, copyT)
+		inj.Sets = append(inj.Sets, []int{orig.ID, copyT.ID})
+	}
+	return inj, nil
+}
+
+// DedupQuality scores a cleaner's duplicate elimination against the
+// injected sets: precision = removed tuples that really were injected
+// duplicates / all removed tuples; recall = injected duplicates removed /
+// all injected duplicates.
+type DedupQuality struct {
+	Precision float64
+	Recall    float64
+	Removed   int
+	Correct   int
+	Injected  int
+}
+
+// EvalDedup compares the cleaner's removed-duplicate sets with the
+// injection. got is core.Result.Duplicates-style: each set lists the kept
+// representative first and then removed members; only the removed members
+// (everything after the representative) are scored.
+func (inj *DuplicateInjection) EvalDedup(got [][]int) DedupQuality {
+	injected := make(map[int]bool)
+	for _, set := range inj.Sets {
+		for _, id := range set[1:] {
+			injected[id] = true
+		}
+	}
+	q := DedupQuality{Injected: len(injected)}
+	for _, set := range got {
+		for _, id := range set[1:] {
+			q.Removed++
+			if injected[id] {
+				q.Correct++
+			}
+		}
+	}
+	if q.Removed > 0 {
+		q.Precision = float64(q.Correct) / float64(q.Removed)
+	} else if q.Injected == 0 {
+		q.Precision = 1
+	}
+	if q.Injected > 0 {
+		q.Recall = float64(q.Correct) / float64(q.Injected)
+	} else {
+		q.Recall = 1
+	}
+	return q
+}

@@ -1,0 +1,122 @@
+package errgen
+
+import (
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+)
+
+func TestInjectDuplicatesExact(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	for i := 0; i < 20; i++ {
+		tb.MustAppend("key"+string(rune('a'+i)), "val")
+	}
+	inj, err := InjectDuplicates(tb, DuplicateConfig{Rate: 0.25, TypoRate: 0, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Sets) != 5 {
+		t.Fatalf("duplicate sets = %d, want 5", len(inj.Sets))
+	}
+	if inj.Dirty.Len() != 25 {
+		t.Errorf("dirty len = %d, want 25", inj.Dirty.Len())
+	}
+	for _, set := range inj.Sets {
+		orig := inj.Dirty.ByID(set[0])
+		dup := inj.Dirty.ByID(set[1])
+		if orig == nil || dup == nil {
+			t.Fatalf("set %v references missing tuples", set)
+		}
+		for j := range orig.Values {
+			if orig.Values[j] != dup.Values[j] {
+				t.Errorf("exact duplicate differs at %d", j)
+			}
+		}
+	}
+	// Input untouched.
+	if tb.Len() != 20 {
+		t.Error("input table modified")
+	}
+}
+
+func TestInjectDuplicatesNear(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	for i := 0; i < 10; i++ {
+		tb.MustAppend("longkeyvalue", "anotherlongvalue")
+	}
+	inj, err := InjectDuplicates(tb, DuplicateConfig{Rate: 0.5, TypoRate: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, set := range inj.Sets {
+		orig := inj.Dirty.ByID(set[0])
+		dup := inj.Dirty.ByID(set[1])
+		diff := 0
+		for j := range orig.Values {
+			if orig.Values[j] != dup.Values[j] {
+				diff++
+			}
+		}
+		if diff != 1 {
+			t.Errorf("near-duplicate should differ in exactly 1 cell, got %d", diff)
+		}
+	}
+}
+
+func TestInjectDuplicatesValidation(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A"))
+	tb.MustAppend("x")
+	if _, err := InjectDuplicates(tb, DuplicateConfig{Rate: -1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := InjectDuplicates(tb, DuplicateConfig{Rate: 0.5, TypoRate: 2}); err == nil {
+		t.Error("typo rate > 1 should fail")
+	}
+	if _, err := InjectDuplicates(tb, DuplicateConfig{Rate: 0.5, Attrs: []string{"Nope"}}); err == nil {
+		t.Error("unknown attr should fail")
+	}
+}
+
+// TestCleanRemovesInjectedDuplicates: end to end, MLNClean's dedup stage
+// removes exact injected duplicates, and near-duplicates whose typo RSC
+// repaired.
+func TestCleanRemovesInjectedDuplicates(t *testing.T) {
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 30, Measures: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Near-duplicate typos go on rule-covered attributes: a typo on an
+	// uncovered attribute (e.g. Score) is unrepairable by any rule, so the
+	// copy stays a near-duplicate and exact-match dedup rightly keeps it.
+	inj, err := InjectDuplicates(truth, DuplicateConfig{Rate: 0.2, TypoRate: 0.5, Seed: 43, Attrs: RuleAttrs(rs)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Clean(inj.Dirty, rs, core.Options{Tau: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := inj.EvalDedup(res.Duplicates)
+	t.Logf("dedup: P=%.3f R=%.3f removed=%d injected=%d", q.Precision, q.Recall, q.Removed, q.Injected)
+	if q.Recall < 0.8 {
+		t.Errorf("dedup recall = %.3f, want ≥ 0.8", q.Recall)
+	}
+	if q.Precision < 0.9 {
+		t.Errorf("dedup precision = %.3f, want ≥ 0.9", q.Precision)
+	}
+}
+
+func TestEvalDedupEdgeCases(t *testing.T) {
+	inj := &DuplicateInjection{}
+	q := inj.EvalDedup(nil)
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("empty case: %+v", q)
+	}
+	inj.Sets = [][]int{{0, 5}}
+	q = inj.EvalDedup([][]int{{0, 5}, {1, 9}})
+	if q.Correct != 1 || q.Removed != 2 || q.Precision != 0.5 || q.Recall != 1 {
+		t.Errorf("mixed case: %+v", q)
+	}
+}

@@ -1,0 +1,239 @@
+package errgen
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+func smallTruth(t *testing.T) (*dataset.Table, []*rules.Rule) {
+	t.Helper()
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 40, Measures: 5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return truth, rs
+}
+
+func TestInjectRate(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0.10, ReplacementRatio: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Rate(); math.Abs(got-0.10) > 0.01 {
+		t.Errorf("achieved rate = %.3f, want ≈ 0.10", got)
+	}
+	byType := inj.CountByType()
+	total := byType[Typo] + byType[Replacement]
+	if math.Abs(float64(byType[Replacement])/float64(total)-0.5) > 0.05 {
+		t.Errorf("replacement share = %d/%d, want ≈ 50%%", byType[Replacement], total)
+	}
+}
+
+func TestInjectOnlyTargetAttrs(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0.2, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make(map[string]bool)
+	for _, a := range RuleAttrs(rs) {
+		targets[a] = true
+	}
+	for _, e := range inj.Errors {
+		if !targets[e.Attr] {
+			t.Errorf("error injected outside rule attrs: %q", e.Attr)
+		}
+	}
+	// Score is not rule-related; it must be untouched.
+	if targets["Score"] {
+		t.Fatal("test premise broken: Score should not be a rule attr")
+	}
+}
+
+// TestDirtyDiffersExactlyAtErrors: the dirty table differs from the truth
+// exactly at the recorded error cells, with the recorded values.
+func TestDirtyDiffersExactlyAtErrors(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0.15, ReplacementRatio: 0.3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffCells := make(map[Cell]bool)
+	for i, tt := range truth.Tuples {
+		dt := inj.Dirty.Tuples[i]
+		for j := range tt.Values {
+			if tt.Values[j] != dt.Values[j] {
+				diffCells[Cell{tt.ID, truth.Schema.Attr(j)}] = true
+			}
+		}
+	}
+	if len(diffCells) != len(inj.Errors) {
+		t.Fatalf("diff cells = %d, recorded errors = %d", len(diffCells), len(inj.Errors))
+	}
+	for _, e := range inj.Errors {
+		if !diffCells[Cell{e.TupleID, e.Attr}] {
+			t.Errorf("recorded error at unchanged cell (%d,%s)", e.TupleID, e.Attr)
+		}
+		if got := inj.Dirty.Cell(inj.Dirty.Tuples[e.TupleID], e.Attr); got != e.Dirty {
+			t.Errorf("dirty value mismatch at (%d,%s): %q vs %q", e.TupleID, e.Attr, got, e.Dirty)
+		}
+		if got := truth.Cell(truth.Tuples[e.TupleID], e.Attr); got != e.Clean {
+			t.Errorf("clean value mismatch at (%d,%s)", e.TupleID, e.Attr)
+		}
+	}
+}
+
+func TestTruthNotModified(t *testing.T) {
+	truth, rs := smallTruth(t)
+	before := truth.Clone()
+	if _, err := Inject(truth, rs, Config{Rate: 0.3, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if d := truth.Diff(before); len(d) != 0 {
+		t.Errorf("Inject modified the truth table: %v", d)
+	}
+}
+
+func TestTypoShape(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0.2, ReplacementRatio: 0, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range inj.Errors {
+		if e.Type != Typo {
+			continue
+		}
+		if len([]rune(e.Dirty)) != len([]rune(e.Clean))-1 {
+			t.Errorf("typo %q -> %q is not a single deletion", e.Clean, e.Dirty)
+		}
+	}
+}
+
+func TestReplacementShape(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0.2, ReplacementRatio: 1, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := make(map[string]map[string]bool)
+	for _, a := range RuleAttrs(rs) {
+		m := make(map[string]bool)
+		for _, v := range truth.Domain(a) {
+			m[v] = true
+		}
+		domains[a] = m
+	}
+	for _, e := range inj.Errors {
+		if e.Type != Replacement {
+			continue
+		}
+		if e.Dirty == e.Clean {
+			t.Error("replacement kept the clean value")
+		}
+		if !domains[e.Attr][e.Dirty] {
+			t.Errorf("replacement %q not from the %s domain", e.Dirty, e.Attr)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	truth, rs := smallTruth(t)
+	a, _ := Inject(truth, rs, Config{Rate: 0.1, ReplacementRatio: 0.5, Seed: 99})
+	b, _ := Inject(truth, rs, Config{Rate: 0.1, ReplacementRatio: 0.5, Seed: 99})
+	if !reflect.DeepEqual(a.Errors, b.Errors) {
+		t.Error("same seed should produce identical injections")
+	}
+	c, _ := Inject(truth, rs, Config{Rate: 0.1, ReplacementRatio: 0.5, Seed: 100})
+	if reflect.DeepEqual(a.Errors, c.Errors) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestInjectValidation(t *testing.T) {
+	truth, rs := smallTruth(t)
+	if _, err := Inject(truth, rs, Config{Rate: -0.1}); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if _, err := Inject(truth, rs, Config{Rate: 1.5}); err == nil {
+		t.Error("rate > 1 should fail")
+	}
+	if _, err := Inject(truth, rs, Config{Rate: 0.1, ReplacementRatio: 2}); err == nil {
+		t.Error("ratio > 1 should fail")
+	}
+	if _, err := Inject(truth, rs, Config{Rate: 0.1, Attrs: []string{"Nope"}}); err == nil {
+		t.Error("unknown attr should fail")
+	}
+}
+
+func TestZeroRate(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, err := Inject(truth, rs, Config{Rate: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Errors) != 0 {
+		t.Errorf("zero rate injected %d errors", len(inj.Errors))
+	}
+	if d := inj.Dirty.Diff(truth); len(d) != 0 {
+		t.Error("zero-rate dirty differs from truth")
+	}
+}
+
+func TestErrorAtAndNoisyCells(t *testing.T) {
+	truth, rs := smallTruth(t)
+	inj, _ := Inject(truth, rs, Config{Rate: 0.1, Seed: 3})
+	cells := inj.NoisyCells()
+	if len(cells) != len(inj.Errors) {
+		t.Fatalf("NoisyCells = %d, errors = %d", len(cells), len(inj.Errors))
+	}
+	for _, c := range cells {
+		e, ok := inj.ErrorAt(c.TupleID, c.Attr)
+		if !ok || e == nil {
+			t.Errorf("ErrorAt(%v) missing", c)
+		}
+		if !inj.IsError(c.TupleID, c.Attr) {
+			t.Errorf("IsError(%v) = false", c)
+		}
+	}
+	if inj.IsError(-1, "Nope") {
+		t.Error("IsError on clean cell")
+	}
+}
+
+func TestRuleAttrs(t *testing.T) {
+	rs := rules.MustParseStrings("FD: A -> B", "FD: B -> C")
+	if got := RuleAttrs(rs); !reflect.DeepEqual(got, []string{"A", "B", "C"}) {
+		t.Errorf("RuleAttrs = %v", got)
+	}
+}
+
+// TestRatePropertyQuick: for arbitrary rates the achieved rate tracks the
+// request (within slack from uncorruptible values).
+func TestRatePropertyQuick(t *testing.T) {
+	truth, rs := smallTruth(t)
+	f := func(r uint8) bool {
+		rate := float64(r%30) / 100
+		inj, err := Inject(truth, rs, Config{Rate: rate, Seed: int64(r)})
+		if err != nil {
+			return false
+		}
+		return math.Abs(inj.Rate()-rate) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if Typo.String() != "typo" || Replacement.String() != "replacement" {
+		t.Error("Type.String")
+	}
+}

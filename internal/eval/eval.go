@@ -1,0 +1,72 @@
+// Package eval computes the paper's accuracy metrics: overall repair
+// precision/recall/F1 (Eq. 7) and the per-component metrics of §7.3 —
+// Precision-A/Recall-A for AGP, Precision-R/Recall-R for RSC,
+// Precision-F/Recall-F for FSCR, plus #dag (the γ count inside detected
+// abnormal groups).
+package eval
+
+import (
+	"mlnclean/internal/dataset"
+)
+
+// Quality is a precision/recall/F1 triple plus the underlying counts.
+type Quality struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+
+	Correct   int // correctly repaired values
+	Updated   int // values changed by the cleaner
+	Erroneous int // values that were dirty
+}
+
+func quality(correct, updated, erroneous int) Quality {
+	q := Quality{Correct: correct, Updated: updated, Erroneous: erroneous}
+	if updated > 0 {
+		q.Precision = float64(correct) / float64(updated)
+	} else if erroneous == 0 {
+		q.Precision = 1
+	}
+	if erroneous > 0 {
+		q.Recall = float64(correct) / float64(erroneous)
+	} else {
+		q.Recall = 1
+	}
+	if q.Precision+q.Recall > 0 {
+		q.F1 = 2 * q.Precision * q.Recall / (q.Precision + q.Recall)
+	}
+	return q
+}
+
+// RepairQuality scores a repaired table against the ground truth (Eq. 7):
+// precision = correctly repaired / updated values, recall = correctly
+// repaired / erroneous values. Tuples are matched by ID, so pass the
+// pre-dedup repaired table (core.Result.Repaired).
+func RepairQuality(truth, dirty, repaired *dataset.Table) Quality {
+	repairedByID := make(map[int]*dataset.Tuple, repaired.Len())
+	for _, t := range repaired.Tuples {
+		repairedByID[t.ID] = t
+	}
+	var correct, updated, erroneous int
+	for i, dt := range dirty.Tuples {
+		tt := truth.Tuples[i]
+		rt := repairedByID[dt.ID]
+		for j := range dt.Values {
+			dirtyV, truthV := dt.Values[j], tt.Values[j]
+			repairedV := dirtyV
+			if rt != nil {
+				repairedV = rt.Values[j]
+			}
+			if dirtyV != truthV {
+				erroneous++
+			}
+			if repairedV != dirtyV {
+				updated++
+				if repairedV == truthV {
+					correct++
+				}
+			}
+		}
+	}
+	return quality(correct, updated, erroneous)
+}

@@ -1,0 +1,201 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/rules"
+)
+
+func threeTables(t *testing.T) (truth, dirty, repaired *dataset.Table) {
+	t.Helper()
+	schema := dataset.MustSchema("A", "B")
+	truth = dataset.NewTable(schema)
+	truth.MustAppend("x", "1")
+	truth.MustAppend("y", "2")
+	truth.MustAppend("z", "3")
+
+	dirty = truth.Clone()
+	dirty.Tuples[0].Values[1] = "9" // error, will be fixed
+	dirty.Tuples[1].Values[0] = "q" // error, will be missed
+
+	repaired = dirty.Clone()
+	repaired.Tuples[0].Values[1] = "1" // correct repair
+	repaired.Tuples[2].Values[1] = "7" // wrong update of a clean cell
+	return
+}
+
+func TestRepairQualityCounts(t *testing.T) {
+	truth, dirty, repaired := threeTables(t)
+	q := RepairQuality(truth, dirty, repaired)
+	if q.Erroneous != 2 || q.Updated != 2 || q.Correct != 1 {
+		t.Fatalf("counts = %+v", q)
+	}
+	if math.Abs(q.Precision-0.5) > 1e-12 || math.Abs(q.Recall-0.5) > 1e-12 {
+		t.Errorf("P/R = %v/%v", q.Precision, q.Recall)
+	}
+	if math.Abs(q.F1-0.5) > 1e-12 {
+		t.Errorf("F1 = %v", q.F1)
+	}
+}
+
+func TestRepairQualityPerfect(t *testing.T) {
+	truth, dirty, _ := threeTables(t)
+	q := RepairQuality(truth, dirty, truth.Clone())
+	if q.Recall != 1 || q.Precision != 1 || q.F1 != 1 {
+		t.Errorf("perfect repair: %+v", q)
+	}
+}
+
+func TestRepairQualityNoErrors(t *testing.T) {
+	truth, _, _ := threeTables(t)
+	q := RepairQuality(truth, truth.Clone(), truth.Clone())
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("no-op on clean data: %+v", q)
+	}
+}
+
+func TestRepairQualityNoRepairs(t *testing.T) {
+	truth, dirty, _ := threeTables(t)
+	q := RepairQuality(truth, dirty, dirty.Clone())
+	if q.Updated != 0 || q.Correct != 0 || q.Recall != 0 {
+		t.Errorf("no-repair run: %+v", q)
+	}
+}
+
+func TestRepairQualityMissingTuple(t *testing.T) {
+	// A tuple absent from the repaired table counts as unrepaired.
+	truth, dirty, repaired := threeTables(t)
+	repaired.Tuples = repaired.Tuples[:2]
+	q := RepairQuality(truth, dirty, repaired)
+	if q.Erroneous != 2 {
+		t.Errorf("erroneous = %d", q.Erroneous)
+	}
+}
+
+func TestAGPQualityFromTrace(t *testing.T) {
+	schema := dataset.MustSchema("A", "B")
+	truth := dataset.NewTable(schema)
+	for i := 0; i < 4; i++ {
+		truth.MustAppend("alpha", "1")
+	}
+	truth.MustAppend("alpha", "1") // will be typo'd
+	dirty := truth.Clone()
+	dirty.Tuples[4].Values[0] = "alph"
+
+	rs := rules.MustParseStrings("FD: A -> B")
+	tr := &core.Trace{}
+	if _, err := core.Clean(dirty, rs, core.Options{Tau: 1, Trace: tr, KeepDuplicates: true}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := AGPQualityFromTrace(tr, truth, dirty, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Detected != 1 || q.Real != 1 || q.Correct != 1 {
+		t.Fatalf("AGP quality: %+v", q)
+	}
+	if q.Precision != 1 || q.Recall != 1 {
+		t.Errorf("P/R = %v/%v", q.Precision, q.Recall)
+	}
+	if q.DetectedPieces != 1 {
+		t.Errorf("#dag = %d", q.DetectedPieces)
+	}
+}
+
+func TestRSCQualityFromTrace(t *testing.T) {
+	schema := dataset.MustSchema("A", "B")
+	truth := dataset.NewTable(schema)
+	for i := 0; i < 5; i++ {
+		truth.MustAppend("k", "good")
+	}
+	dirty := truth.Clone()
+	dirty.Tuples[4].Values[1] = "bad-but-really-good" // result-part error
+
+	rs := rules.MustParseStrings("FD: A -> B")
+	tr := &core.Trace{}
+	if _, err := core.Clean(dirty, rs, core.Options{Tau: 0, TauSet: true, Trace: tr, KeepDuplicates: true}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := RSCQualityFromTrace(tr, truth, dirty, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Repaired != 1 || q.Correct != 1 || q.Erroneous != 1 {
+		t.Fatalf("RSC quality: %+v", q)
+	}
+}
+
+func TestFSCRQualityFromTrace(t *testing.T) {
+	truth, dirty, repaired := threeTables(t)
+	tr := &core.Trace{}
+	tr.FSCR = append(tr.FSCR, core.FusionOutcome{
+		TupleID:       0,
+		ConflictAttrs: []string{"B"},
+		Changed:       []core.CellChange{{Attr: "B", Old: "9", New: "1"}},
+	})
+	q := FSCRQualityFromTrace(tr, truth, dirty, repaired)
+	// Erroneous cells: (t0,B) and (t1,A); conflict-detected: (t0,B) which
+	// was correctly repaired.
+	if q.Erroneous != 2 || q.Correct != 1 || q.ConflictErroneous != 1 || q.ConflictCorrect != 1 {
+		t.Fatalf("FSCR quality: %+v", q)
+	}
+	if q.Precision != 1 || q.Recall != 0.5 {
+		t.Errorf("P/R = %v/%v", q.Precision, q.Recall)
+	}
+}
+
+func TestEndToEndComponentMetricsConsistent(t *testing.T) {
+	// On a real run, every component metric must be a valid probability.
+	truth, dirty, rs := realRun(t)
+	tr := &core.Trace{}
+	res, err := core.Clean(dirty, rs, core.Options{Tau: 2, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agp, err := AGPQualityFromTrace(tr, truth, dirty, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsc, err := RSCQualityFromTrace(tr, truth, dirty, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fscr := FSCRQualityFromTrace(tr, truth, dirty, res.Repaired)
+	for name, v := range map[string]float64{
+		"Precision-A": agp.Precision, "Recall-A": agp.Recall,
+		"Precision-R": rsc.Precision, "Recall-R": rsc.Recall,
+		"Precision-F": fscr.Precision, "Recall-F": fscr.Recall,
+	} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Errorf("%s = %v out of [0,1]", name, v)
+		}
+	}
+	if agp.Correct > agp.Detected {
+		t.Error("correct merges exceed detections")
+	}
+	if rsc.Correct > rsc.Repaired {
+		t.Error("correct repairs exceed repairs")
+	}
+}
+
+func realRun(t *testing.T) (*dataset.Table, *dataset.Table, []*rules.Rule) {
+	t.Helper()
+	truth, rs, err := datagenHAI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.08, ReplacementRatio: 0.5, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return truth, inj.Dirty, rs
+}
+
+func datagenHAI() (*dataset.Table, []*rules.Rule, error) {
+	return datagen.HAI(datagen.HAIConfig{Providers: 60, Measures: 6, Seed: 23})
+}

@@ -1,0 +1,68 @@
+package eval
+
+import (
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/errgen"
+)
+
+// TestPipelineSmokeHAI runs the full loop — generate, corrupt, clean,
+// score — on a small HAI instance and checks the cleaner actually cleans.
+func TestPipelineSmokeHAI(t *testing.T) {
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 120, Measures: 8, Seed: 7})
+	if err != nil {
+		t.Fatalf("HAI: %v", err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	tr := &core.Trace{}
+	res, err := core.Clean(inj.Dirty, rs, core.Options{Tau: 2, Trace: tr})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	q := RepairQuality(truth, inj.Dirty, res.Repaired)
+	t.Logf("HAI 5%%: P=%.3f R=%.3f F1=%.3f (correct=%d updated=%d erroneous=%d)",
+		q.Precision, q.Recall, q.F1, q.Correct, q.Updated, q.Erroneous)
+	if q.F1 < 0.80 {
+		t.Errorf("HAI F1 = %.3f, want ≥ 0.80", q.F1)
+	}
+
+	agp, err := AGPQualityFromTrace(tr, truth, inj.Dirty, rs)
+	if err != nil {
+		t.Fatalf("AGPQuality: %v", err)
+	}
+	rsc, err := RSCQualityFromTrace(tr, truth, inj.Dirty, rs)
+	if err != nil {
+		t.Fatalf("RSCQuality: %v", err)
+	}
+	fscr := FSCRQualityFromTrace(tr, truth, inj.Dirty, res.Repaired)
+	t.Logf("AGP: P=%.3f R=%.3f detected=%d real=%d #dag=%d", agp.Precision, agp.Recall, agp.Detected, agp.Real, agp.DetectedPieces)
+	t.Logf("RSC: P=%.3f R=%.3f repaired=%d erroneous=%d", rsc.Precision, rsc.Recall, rsc.Repaired, rsc.Erroneous)
+	t.Logf("FSCR: P=%.3f R=%.3f", fscr.Precision, fscr.Recall)
+}
+
+// TestPipelineSmokeCAR does the same on the sparse CAR dataset.
+func TestPipelineSmokeCAR(t *testing.T) {
+	truth, rs, err := datagen.CAR(datagen.CARConfig{Rows: 2500, Seed: 3})
+	if err != nil {
+		t.Fatalf("CAR: %v", err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 5})
+	if err != nil {
+		t.Fatalf("Inject: %v", err)
+	}
+	res, err := core.Clean(inj.Dirty, rs, core.Options{Tau: 1})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	q := RepairQuality(truth, inj.Dirty, res.Repaired)
+	t.Logf("CAR 5%%: P=%.3f R=%.3f F1=%.3f (correct=%d updated=%d erroneous=%d)",
+		q.Precision, q.Recall, q.F1, q.Correct, q.Updated, q.Erroneous)
+	if q.F1 < 0.60 {
+		t.Errorf("CAR F1 = %.3f, want ≥ 0.60", q.F1)
+	}
+}

@@ -1,0 +1,48 @@
+package holoclean
+
+import (
+	"testing"
+
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/eval"
+)
+
+func TestHoloCleanSmoke(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		gen  func() (interface{}, error)
+	}{} {
+		_ = tc
+	}
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 120, Measures: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Repair(inj.Dirty, rs, inj.NoisyCells(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := eval.RepairQuality(truth, inj.Dirty, res.Repaired)
+	t.Logf("HoloClean HAI 5%%: P=%.3f R=%.3f F1=%.3f (repaired=%d scored=%d)", q.Precision, q.Recall, q.F1, res.CellsRepaired, res.CandidatesScored)
+
+	truthC, rsC, _ := datagen.CAR(datagen.CARConfig{Rows: 2500, Seed: 3})
+	injC, _ := errgen.Inject(truthC, rsC, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 5})
+	resC, err := Repair(injC.Dirty, rsC, injC.NoisyCells(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qc := eval.RepairQuality(truthC, injC.Dirty, resC.Repaired)
+	t.Logf("HoloClean CAR 5%%: P=%.3f R=%.3f F1=%.3f", qc.Precision, qc.Recall, qc.F1)
+
+	// All-typo CAR: the clean part never contains typo'd values, so the
+	// model should do notably worse (Fig. 7a).
+	injT, _ := errgen.Inject(truthC, rsC, errgen.Config{Rate: 0.05, ReplacementRatio: 0, Seed: 5})
+	resT, _ := Repair(injT.Dirty, rsC, injT.NoisyCells(), Options{Seed: 1})
+	qt := eval.RepairQuality(truthC, injT.Dirty, resT.Repaired)
+	t.Logf("HoloClean CAR all-typos: F1=%.3f", qt.F1)
+}

@@ -1,0 +1,157 @@
+package holoclean
+
+import (
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/rules"
+)
+
+func fdTable(t *testing.T) (*dataset.Table, []*rules.Rule) {
+	t.Helper()
+	tb := dataset.NewTable(dataset.MustSchema("Zip", "City"))
+	for i := 0; i < 9; i++ {
+		tb.MustAppend("10001", "NYC")
+	}
+	tb.MustAppend("10001", "BOS") // the noisy cell
+	return tb, rules.MustParseStrings("FD: Zip -> City")
+}
+
+func TestRepairSimpleFDViolation(t *testing.T) {
+	tb, rs := fdTable(t)
+	noisy := []errgen.Cell{{TupleID: 9, Attr: "City"}}
+	res, err := Repair(tb, rs, noisy, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Repaired.Cell(res.Repaired.Tuples[9], "City"); got != "NYC" {
+		t.Errorf("repaired City = %q, want NYC", got)
+	}
+	if res.CellsRepaired != 1 {
+		t.Errorf("CellsRepaired = %d", res.CellsRepaired)
+	}
+	if res.CandidatesScored == 0 {
+		t.Error("no candidates scored")
+	}
+}
+
+func TestRepairOnlyTouchesNoisyCells(t *testing.T) {
+	tb, rs := fdTable(t)
+	noisy := []errgen.Cell{{TupleID: 9, Attr: "City"}}
+	res, err := Repair(tb, rs, noisy, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		if res.Repaired.Tuples[i].Values[0] != "10001" || res.Repaired.Tuples[i].Values[1] != "NYC" {
+			t.Errorf("clean tuple %d modified: %v", i, res.Repaired.Tuples[i].Values)
+		}
+	}
+}
+
+func TestRepairNoNoisyCellsIsNoop(t *testing.T) {
+	tb, rs := fdTable(t)
+	res, err := Repair(tb, rs, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := res.Repaired.Diff(tb); len(d) != 0 {
+		t.Error("no-oracle run changed data")
+	}
+	if res.CellsRepaired != 0 {
+		t.Errorf("CellsRepaired = %d", res.CellsRepaired)
+	}
+}
+
+func TestRepairValidation(t *testing.T) {
+	tb, rs := fdTable(t)
+	if _, err := Repair(tb, rs, []errgen.Cell{{TupleID: 0, Attr: "Nope"}}, Options{}); err == nil {
+		t.Error("unknown noisy attribute should fail")
+	}
+	bad := rules.MustParseStrings("FD: Zip -> Missing")
+	if _, err := Repair(tb, bad, nil, Options{}); err == nil {
+		t.Error("rule referencing missing attribute should fail")
+	}
+}
+
+func TestTypoValueNotACandidate(t *testing.T) {
+	// The typo'd observed value never occurs in the clean part, so the
+	// model is forced to repair it (§7.2 typo-sensitivity mechanism).
+	tb := dataset.NewTable(dataset.MustSchema("Zip", "City"))
+	for i := 0; i < 9; i++ {
+		tb.MustAppend("10001", "NYC")
+	}
+	tb.MustAppend("10001", "NYCX")
+	rs := rules.MustParseStrings("FD: Zip -> City")
+	noisy := map[errgen.Cell]bool{{TupleID: 9, Attr: "City"}: true}
+	m := buildModel(tb, rs, noisy)
+	cands := m.candidates(tb.Tuples[9], "City", 5)
+	for _, v := range cands {
+		if v == "NYCX" {
+			t.Error("typo value should not be a candidate")
+		}
+	}
+}
+
+func TestReplacementValueIsACandidate(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("Zip", "City"))
+	for i := 0; i < 5; i++ {
+		tb.MustAppend("10001", "NYC")
+	}
+	for i := 0; i < 5; i++ {
+		tb.MustAppend("02101", "BOS")
+	}
+	tb.MustAppend("10001", "BOS") // replacement-style noise: legit value
+	rs := rules.MustParseStrings("FD: Zip -> City")
+	noisy := map[errgen.Cell]bool{{TupleID: 10, Attr: "City"}: true}
+	m := buildModel(tb, rs, noisy)
+	cands := m.candidates(tb.Tuples[10], "City", 5)
+	found := false
+	for _, v := range cands {
+		if v == "BOS" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("legit observed value should be a candidate")
+	}
+}
+
+func TestCleanPartExcludesNoisyStatistics(t *testing.T) {
+	tb, rs := fdTable(t)
+	noisy := map[errgen.Cell]bool{{TupleID: 9, Attr: "City"}: true}
+	m := buildModel(tb, rs, noisy)
+	if m.cleanFreq["City"]["BOS"] != 0 {
+		t.Error("noisy cell leaked into clean frequency stats")
+	}
+	if m.cleanFreq["City"]["NYC"] != 9 {
+		t.Errorf("NYC freq = %d", m.cleanFreq["City"]["NYC"])
+	}
+}
+
+func TestCFDViolationFeature(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("Make", "Type", "Doors"))
+	for i := 0; i < 6; i++ {
+		tb.MustAppend("acura", "SUV", "4")
+	}
+	tb.MustAppend("acura", "SUV", "2")
+	rs := rules.MustParseStrings("CFD: Make=acura, Type -> Doors")
+	noisy := map[errgen.Cell]bool{{TupleID: 6, Attr: "Doors"}: true}
+	m := buildModel(tb, rs, noisy)
+	f4 := m.features(tb.Tuples[6], "Doors", "4")
+	f2 := m.features(tb.Tuples[6], "Doors", "2")
+	if f4[fCooccur] <= f2[fCooccur] {
+		t.Errorf("co-occurrence should favour 4: %v vs %v", f4[fCooccur], f2[fCooccur])
+	}
+}
+
+func TestDeterministicRepair(t *testing.T) {
+	tb, rs := fdTable(t)
+	noisy := []errgen.Cell{{TupleID: 9, Attr: "City"}}
+	a, _ := Repair(tb, rs, noisy, Options{Seed: 5})
+	b, _ := Repair(tb, rs, noisy, Options{Seed: 5})
+	if d := a.Repaired.Diff(b.Repaired); len(d) != 0 {
+		t.Error("same-seed repairs differ")
+	}
+}

@@ -1,0 +1,243 @@
+// Package index implements the MLN index of §4: a two-layer hash structure
+// with one block per rule in the first layer and, inside each block, one
+// group per distinct reason-part value combination in the second layer. The
+// atoms stored in groups are pieces of data (γ): the projection of a tuple
+// onto the rule's attributes, deduplicated with support counts.
+package index
+
+import (
+	"fmt"
+	"sort"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+// Piece is a γ: one distinct combination of a rule's reason+result values,
+// together with the IDs of the tuples exhibiting it within its block.
+type Piece struct {
+	Rule   *rules.Rule
+	Reason []string
+	Result []string
+	// TupleIDs lists the supporting tuples, ascending.
+	TupleIDs []int
+	// Weight is the learned MLN weight (set during stage-I cleaning).
+	Weight float64
+}
+
+// Values returns reason followed by result values.
+func (p *Piece) Values() []string {
+	out := make([]string, 0, len(p.Reason)+len(p.Result))
+	out = append(out, p.Reason...)
+	return append(out, p.Result...)
+}
+
+// Count returns the number of supporting tuples, i.e. c(γ) of Eq. 4.
+func (p *Piece) Count() int { return len(p.TupleIDs) }
+
+// Key identifies the piece by its full value combination.
+func (p *Piece) Key() string { return dataset.JoinKey(p.Values()) }
+
+// GroupKey identifies the group the piece natively belongs to (its reason
+// values).
+func (p *Piece) GroupKey() string { return dataset.JoinKey(p.Reason) }
+
+// String renders the piece in the paper's {Attr: value, …} style.
+func (p *Piece) String() string {
+	s := "{"
+	attrs := p.Rule.Attrs()
+	vals := p.Values()
+	for i := range vals {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%s: %s", attrs[i], vals[i])
+	}
+	return s + "}"
+}
+
+// Group is the second index layer: the pieces sharing one reason-part key.
+// After AGP merging a group may also hold pieces whose native key differs.
+type Group struct {
+	Key    string
+	Pieces []*Piece
+}
+
+// TupleCount sums the supporting tuples of all pieces.
+func (g *Group) TupleCount() int {
+	n := 0
+	for _, p := range g.Pieces {
+		n += len(p.TupleIDs)
+	}
+	return n
+}
+
+// Star returns γ⋆: the piece related to the most tuples (ties broken by
+// ascending key for determinism). Nil for an empty group.
+func (g *Group) Star() *Piece {
+	var best *Piece
+	for _, p := range g.Pieces {
+		if best == nil || p.Count() > best.Count() ||
+			(p.Count() == best.Count() && p.Key() < best.Key()) {
+			best = p
+		}
+	}
+	return best
+}
+
+// Block is the first index layer: all pieces of one rule, partitioned into
+// groups by reason key.
+type Block struct {
+	Rule   *rules.Rule
+	Groups []*Group
+	byKey  map[string]*Group
+}
+
+// Group returns the group with the given key, or nil.
+func (b *Block) Group(key string) *Group { return b.byKey[key] }
+
+// RemoveGroup deletes the group with the given key (used by AGP merging).
+func (b *Block) RemoveGroup(key string) {
+	if _, ok := b.byKey[key]; !ok {
+		return
+	}
+	delete(b.byKey, key)
+	for i, g := range b.Groups {
+		if g.Key == key {
+			b.Groups = append(b.Groups[:i], b.Groups[i+1:]...)
+			return
+		}
+	}
+}
+
+// MergeGroups folds group src into group dst, concatenating piece lists
+// (piece identities never collide across distinct reason keys) and removing
+// src from the block.
+func (b *Block) MergeGroups(src, dst *Group) {
+	for _, p := range src.Pieces {
+		merged := false
+		for _, q := range dst.Pieces {
+			if q.Key() == p.Key() {
+				q.TupleIDs = append(q.TupleIDs, p.TupleIDs...)
+				sort.Ints(q.TupleIDs)
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			dst.Pieces = append(dst.Pieces, p)
+		}
+	}
+	b.RemoveGroup(src.Key)
+}
+
+// Pieces returns all pieces of the block in deterministic order (group
+// insertion order, then piece order).
+func (b *Block) Pieces() []*Piece {
+	var out []*Piece
+	for _, g := range b.Groups {
+		out = append(out, g.Pieces...)
+	}
+	return out
+}
+
+// TupleGroup returns the group currently containing the piece that covers
+// tuple id, or nil. O(block) — use Index.Assignments for bulk mapping.
+func (b *Block) TupleGroup(id int) *Group {
+	for _, g := range b.Groups {
+		for _, p := range g.Pieces {
+			for _, tid := range p.TupleIDs {
+				if tid == id {
+					return g
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Index is the full two-layer MLN index.
+type Index struct {
+	Blocks []*Block
+	table  *dataset.Table
+}
+
+// Table returns the dirty table the index was built over.
+func (ix *Index) Table() *dataset.Table { return ix.table }
+
+// Build constructs the MLN index over the table for the rule set: one block
+// per rule (O(|B|·|T|), §4), one group per distinct reason key, one piece
+// per distinct reason+result combination.
+func Build(tb *dataset.Table, rs []*rules.Rule) (*Index, error) {
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("index: no rules")
+	}
+	ix := &Index{table: tb}
+	for _, r := range rs {
+		if err := r.Validate(tb.Schema); err != nil {
+			return nil, err
+		}
+		b := &Block{Rule: r, byKey: make(map[string]*Group)}
+		pieceByKey := make(map[string]*Piece)
+		for _, t := range tb.Tuples {
+			if !r.AppliesTo(tb, t) {
+				continue
+			}
+			reason := tb.Project(t, r.ReasonAttrs())
+			result := tb.Project(t, r.ResultAttrs())
+			pk := dataset.JoinKey(append(append([]string{}, reason...), result...))
+			p, ok := pieceByKey[pk]
+			if !ok {
+				p = &Piece{Rule: r, Reason: reason, Result: result}
+				pieceByKey[pk] = p
+				gk := dataset.JoinKey(reason)
+				g, ok := b.byKey[gk]
+				if !ok {
+					g = &Group{Key: gk}
+					b.byKey[gk] = g
+					b.Groups = append(b.Groups, g)
+				}
+				g.Pieces = append(g.Pieces, p)
+			}
+			p.TupleIDs = append(p.TupleIDs, t.ID)
+		}
+		ix.Blocks = append(ix.Blocks, b)
+	}
+	return ix, nil
+}
+
+// Assignments maps every covered tuple ID to its current group, per block.
+func (ix *Index) Assignments() []map[int]*Group {
+	out := make([]map[int]*Group, len(ix.Blocks))
+	for bi, b := range ix.Blocks {
+		m := make(map[int]*Group)
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				for _, id := range p.TupleIDs {
+					m[id] = g
+				}
+			}
+		}
+		out[bi] = m
+	}
+	return out
+}
+
+// Stats summarizes index shape.
+type Stats struct {
+	Blocks int
+	Groups int
+	Pieces int
+}
+
+// Stats computes summary counts.
+func (ix *Index) Stats() Stats {
+	s := Stats{Blocks: len(ix.Blocks)}
+	for _, b := range ix.Blocks {
+		s.Groups += len(b.Groups)
+		for _, g := range b.Groups {
+			s.Pieces += len(g.Pieces)
+		}
+	}
+	return s
+}

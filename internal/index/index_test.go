@@ -1,0 +1,234 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+func sampleTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701")
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	return tb
+}
+
+func sampleRules(t *testing.T) []*rules.Rule {
+	t.Helper()
+	return rules.MustParseStrings(
+		"FD: CT -> ST",
+		"DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))",
+		"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	)
+}
+
+func TestBuildShape(t *testing.T) {
+	ix, err := Build(sampleTable(t), sampleRules(t))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	st := ix.Stats()
+	if st.Blocks != 3 {
+		t.Errorf("blocks = %d", st.Blocks)
+	}
+	if got := []int{len(ix.Blocks[0].Groups), len(ix.Blocks[1].Groups), len(ix.Blocks[2].Groups)}; !reflect.DeepEqual(got, []int{3, 3, 2}) {
+		t.Errorf("groups per block = %v, want [3 3 2] (Fig. 2)", got)
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	tb := sampleTable(t)
+	if _, err := Build(tb, nil); err == nil {
+		t.Error("no rules should fail")
+	}
+	if _, err := Build(tb, rules.MustParseStrings("FD: CT -> Missing")); err == nil {
+		t.Error("schema mismatch should fail")
+	}
+}
+
+func TestPieceAccessors(t *testing.T) {
+	ix, _ := Build(sampleTable(t), sampleRules(t))
+	b1 := ix.Blocks[0]
+	g := b1.Group(dataset.JoinKey([]string{"BOAZ"}))
+	if g == nil {
+		t.Fatal("group BOAZ missing")
+	}
+	if len(g.Pieces) != 2 {
+		t.Fatalf("BOAZ pieces = %d, want 2 (AL and AK)", len(g.Pieces))
+	}
+	star := g.Star()
+	if star.Result[0] != "AL" {
+		t.Errorf("γ⋆ should be the 2-tuple AL piece, got %v", star.Values())
+	}
+	if star.Count() != 2 {
+		t.Errorf("γ⋆ count = %d", star.Count())
+	}
+	if star.GroupKey() != g.Key {
+		t.Errorf("GroupKey = %q", star.GroupKey())
+	}
+	if g.TupleCount() != 3 {
+		t.Errorf("TupleCount = %d", g.TupleCount())
+	}
+	if s := star.String(); s == "" {
+		t.Error("Piece.String empty")
+	}
+}
+
+func TestEveryTupleInExactlyOneGroupPerBlock(t *testing.T) {
+	tb := sampleTable(t)
+	rs := sampleRules(t)
+	ix, _ := Build(tb, rs)
+	for bi, b := range ix.Blocks {
+		seen := make(map[int]int)
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				for _, id := range p.TupleIDs {
+					seen[id]++
+				}
+			}
+		}
+		for _, tp := range tb.Tuples {
+			want := 0
+			if rs[bi].AppliesTo(tb, tp) {
+				want = 1
+			}
+			if seen[tp.ID] != want {
+				t.Errorf("block %d tuple %d appears %d times, want %d", bi, tp.ID, seen[tp.ID], want)
+			}
+		}
+	}
+}
+
+// TestIndexPartitionProperty: on random tables, every tuple lands in exactly
+// one group per block and the group key always equals the tuple's reason
+// projection.
+func TestIndexPartitionProperty(t *testing.T) {
+	rs := rules.MustParseStrings("FD: A -> B")
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+		rows := int(n%40) + 1
+		for i := 0; i < rows; i++ {
+			tb.MustAppend(fmt.Sprint(rng.Intn(5)), fmt.Sprint(rng.Intn(3)))
+		}
+		ix, err := Build(tb, rs)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, g := range ix.Blocks[0].Groups {
+			for _, p := range g.Pieces {
+				if dataset.JoinKey(p.Reason) != g.Key {
+					return false
+				}
+				total += len(p.TupleIDs)
+			}
+		}
+		return total == rows
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeGroups(t *testing.T) {
+	ix, _ := Build(sampleTable(t), sampleRules(t))
+	b := ix.Blocks[0]
+	src := b.Group(dataset.JoinKey([]string{"DOTH"}))
+	dst := b.Group(dataset.JoinKey([]string{"DOTHAN"}))
+	before := len(b.Groups)
+	srcPieces := len(src.Pieces)
+	dstPieces := len(dst.Pieces)
+	b.MergeGroups(src, dst)
+	if len(b.Groups) != before-1 {
+		t.Errorf("groups after merge = %d", len(b.Groups))
+	}
+	if b.Group(dataset.JoinKey([]string{"DOTH"})) != nil {
+		t.Error("source group still addressable")
+	}
+	if len(dst.Pieces) != srcPieces+dstPieces {
+		t.Errorf("merged pieces = %d", len(dst.Pieces))
+	}
+}
+
+func TestMergeGroupsCombinesIdenticalPieces(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	tb.MustAppend("x", "1")
+	tb.MustAppend("y", "1")
+	rs := rules.MustParseStrings("FD: A -> B")
+	ix, _ := Build(tb, rs)
+	b := ix.Blocks[0]
+	src := b.Group(dataset.JoinKey([]string{"y"}))
+	dst := b.Group(dataset.JoinKey([]string{"x"}))
+	b.MergeGroups(src, dst)
+	// Pieces differ ({x,1} vs {y,1}), so both survive.
+	if len(dst.Pieces) != 2 {
+		t.Errorf("pieces = %d, want 2", len(dst.Pieces))
+	}
+	// Merging a group with an identical-valued piece accumulates TupleIDs.
+	tb2 := dataset.NewTable(dataset.MustSchema("A", "B"))
+	tb2.MustAppend("x", "1")
+	ix2, _ := Build(tb2, rs)
+	b2 := ix2.Blocks[0]
+	g := b2.Groups[0]
+	clone := &Group{Key: "other", Pieces: []*Piece{{
+		Rule: rs[0], Reason: []string{"x"}, Result: []string{"1"}, TupleIDs: []int{9},
+	}}}
+	b2.Groups = append(b2.Groups, clone)
+	b2.MergeGroups(clone, g)
+	if len(g.Pieces) != 1 || g.Pieces[0].Count() != 2 {
+		t.Errorf("identical pieces should merge: %v", g.Pieces)
+	}
+}
+
+func TestRemoveGroupMissing(t *testing.T) {
+	ix, _ := Build(sampleTable(t), sampleRules(t))
+	b := ix.Blocks[0]
+	n := len(b.Groups)
+	b.RemoveGroup("not-there")
+	if len(b.Groups) != n {
+		t.Error("RemoveGroup of missing key changed the block")
+	}
+}
+
+func TestAssignments(t *testing.T) {
+	tb := sampleTable(t)
+	ix, _ := Build(tb, sampleRules(t))
+	as := ix.Assignments()
+	if len(as) != 3 {
+		t.Fatalf("assignment maps = %d", len(as))
+	}
+	// t2 (ELIZA DOTHAN) is in the CFD block; t0 is not.
+	if as[2][2] == nil {
+		t.Error("t2 missing from CFD block assignment")
+	}
+	if as[2][0] != nil {
+		t.Error("t0 wrongly assigned in CFD block")
+	}
+	// Every assignment's group must actually contain the tuple.
+	for bi, m := range as {
+		for id, g := range m {
+			if got := ix.Blocks[bi].TupleGroup(id); got != g {
+				t.Errorf("block %d tuple %d: TupleGroup mismatch", bi, id)
+			}
+		}
+	}
+}
+
+func TestIndexTableAccessor(t *testing.T) {
+	tb := sampleTable(t)
+	ix, _ := Build(tb, sampleRules(t))
+	if ix.Table() != tb {
+		t.Error("Table accessor")
+	}
+}

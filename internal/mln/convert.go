@@ -1,0 +1,93 @@
+package mln
+
+import (
+	"fmt"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+// ClauseFromRule converts an integrity constraint into its MLN-rule form
+// (§3): predicates are attribute names of arity 1 applied to value terms.
+//
+//	FD  CT ⇒ ST                         → ¬CT(x_CT) ∨ ST(x_ST)
+//	CFD HN("ELIZA"), CT("BOAZ") ⇒ PN(c) → ¬HN("ELIZA") ∨ ¬CT("BOAZ") ∨ PN(c)
+//	DC  ¬(PN(t)=PN(t') ∧ ST(t)≠ST(t'))  → ¬PN(x_PN) ∨ ST(x_ST)
+//
+// For DCs of the pairwise =/≠ form the clause over single-tuple value atoms
+// is the grounding unit the MLN index consumes (block B2 of Fig. 2): the
+// reason attributes appear negated, the result attribute positive.
+func ClauseFromRule(p *Program, r *rules.Rule) (*Clause, error) {
+	c := &Clause{Name: r.ID, Weight: 1}
+	for _, pat := range r.Reason {
+		pred, err := p.Predicate(pat.Attr, 1)
+		if err != nil {
+			return nil, err
+		}
+		term := Var("x_" + pat.Attr)
+		if pat.Const != "" {
+			term = Const(pat.Const)
+		}
+		c.Literals = append(c.Literals, Neg(MustAtom(pred, term)))
+	}
+	for _, pat := range r.Result {
+		pred, err := p.Predicate(pat.Attr, 1)
+		if err != nil {
+			return nil, err
+		}
+		term := Var("x_" + pat.Attr)
+		if pat.Const != "" {
+			term = Const(pat.Const)
+		}
+		c.Literals = append(c.Literals, Pos(MustAtom(pred, term)))
+	}
+	return c, nil
+}
+
+// TupleSubstitution binds the clause variables of rule r to tuple t's
+// attribute values (x_Attr ↦ t.[Attr]).
+func TupleSubstitution(tb *dataset.Table, t *dataset.Tuple, r *rules.Rule) Substitution {
+	sub := make(Substitution)
+	for _, pat := range append(append([]rules.Pattern{}, r.Reason...), r.Result...) {
+		if pat.Const == "" || r.Kind == rules.CFD {
+			sub["x_"+pat.Attr] = tb.Cell(t, pat.Attr)
+		}
+	}
+	return sub
+}
+
+// GroundRuleFromTable grounds rule r over every applicable tuple of the
+// table, reproducing the Table 3 grounding: one ground MLN rule per distinct
+// combination of the rule's attribute values, with Count = the number of
+// supporting tuples (c(γ) of Eq. 4).
+func GroundRuleFromTable(p *Program, r *rules.Rule, tb *dataset.Table) ([]*GroundClause, error) {
+	if err := r.Validate(tb.Schema); err != nil {
+		return nil, err
+	}
+	c, err := ClauseFromRule(p, r)
+	if err != nil {
+		return nil, err
+	}
+	var subs []Substitution
+	for _, t := range tb.Tuples {
+		if !r.AppliesTo(tb, t) {
+			continue
+		}
+		subs = append(subs, TupleSubstitution(tb, t, r))
+	}
+	return GroundFromBindings(c, subs)
+}
+
+// GroundAllFromTable grounds every rule against the table, returning the
+// ground clauses grouped per rule (in rule order).
+func GroundAllFromTable(p *Program, rs []*rules.Rule, tb *dataset.Table) ([][]*GroundClause, error) {
+	out := make([][]*GroundClause, len(rs))
+	for i, r := range rs {
+		gs, err := GroundRuleFromTable(p, r, tb)
+		if err != nil {
+			return nil, fmt.Errorf("mln: grounding %s: %w", r.ID, err)
+		}
+		out[i] = gs
+	}
+	return out, nil
+}

@@ -1,0 +1,173 @@
+package mln
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GroundClause is a clause with no variables, plus bookkeeping for how many
+// times the same ground clause arose during grounding (its support count).
+type GroundClause struct {
+	Literals []Literal
+	Weight   float64
+	Hard     bool
+	Name     string
+	// Count is the number of distinct substitutions (or source tuples) that
+	// produced this exact ground clause.
+	Count int
+}
+
+// Key returns a canonical identity string for the ground clause.
+func (g *GroundClause) Key() string {
+	parts := make([]string, len(g.Literals))
+	for i, l := range g.Literals {
+		sign := "+"
+		if l.Negated {
+			sign = "-"
+		}
+		parts[i] = sign + l.Atom.Key()
+	}
+	return g.Name + "\x1e" + joinKeyParts(parts)
+}
+
+func joinKeyParts(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += "\x1e"
+		}
+		out += p
+	}
+	return out
+}
+
+// String renders the ground clause.
+func (g *GroundClause) String() string {
+	c := Clause{Literals: g.Literals, Weight: g.Weight, Hard: g.Hard}
+	return c.String()
+}
+
+// Substitution maps variable names to constant symbols.
+type Substitution map[string]string
+
+// Apply instantiates the clause under the substitution. Every variable in
+// the clause must be bound.
+func (c *Clause) Apply(sub Substitution) (*GroundClause, error) {
+	g := &GroundClause{Weight: c.Weight, Hard: c.Hard, Name: c.Name, Count: 1}
+	g.Literals = make([]Literal, len(c.Literals))
+	for i, l := range c.Literals {
+		args := make([]Term, len(l.Atom.Args))
+		for j, t := range l.Atom.Args {
+			if !t.IsVar {
+				args[j] = t
+				continue
+			}
+			v, ok := sub[t.Symbol]
+			if !ok {
+				return nil, fmt.Errorf("mln: unbound variable %q in %s", t.Symbol, c)
+			}
+			args[j] = Const(v)
+		}
+		g.Literals[i] = Literal{Atom: Atom{Pred: l.Atom.Pred, Args: args}, Negated: l.Negated}
+	}
+	return g, nil
+}
+
+// GroundCartesian grounds the clause over the cartesian product of the
+// program's declared variable domains. The number of ground clauses is
+// Π |domain(v)| over the clause's variables. Duplicate ground clauses are
+// merged with their counts summed.
+func (p *Program) GroundCartesian(c *Clause) ([]*GroundClause, error) {
+	vars := c.Vars()
+	for _, v := range vars {
+		if len(p.domains[v]) == 0 {
+			return nil, fmt.Errorf("mln: variable %q has no declared domain", v)
+		}
+	}
+	var out []*GroundClause
+	seen := make(map[string]*GroundClause)
+	sub := make(Substitution, len(vars))
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(vars) {
+			g, err := c.Apply(sub)
+			if err != nil {
+				return err
+			}
+			if prev, ok := seen[g.Key()]; ok {
+				prev.Count++
+				return nil
+			}
+			seen[g.Key()] = g
+			out = append(out, g)
+			return nil
+		}
+		for _, val := range p.domains[vars[i]] {
+			sub[vars[i]] = val
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GroundAll grounds every clause in the program cartesian-style.
+func (p *Program) GroundAll() ([]*GroundClause, error) {
+	var out []*GroundClause
+	for _, c := range p.Clauses {
+		gs, err := p.GroundCartesian(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, gs...)
+	}
+	return out, nil
+}
+
+// GroundFromBindings grounds the clause once per provided substitution
+// (tuple-driven grounding, the mode MLNClean uses: each tuple of the dirty
+// table contributes the substitution binding rule variables to its attribute
+// values, reproducing Table 3). Identical ground clauses are merged and
+// their Count accumulates — Count is exactly c(γ) of Eq. 4.
+func GroundFromBindings(c *Clause, subs []Substitution) ([]*GroundClause, error) {
+	var out []*GroundClause
+	seen := make(map[string]*GroundClause)
+	for _, sub := range subs {
+		g, err := c.Apply(sub)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := seen[g.Key()]; ok {
+			prev.Count++
+			continue
+		}
+		seen[g.Key()] = g
+		out = append(out, g)
+	}
+	return out, nil
+}
+
+// Atoms returns the sorted distinct ground atoms mentioned by the clauses.
+func Atoms(gs []*GroundClause) []Atom {
+	seen := make(map[string]Atom)
+	for _, g := range gs {
+		for _, l := range g.Literals {
+			seen[l.Atom.Key()] = l.Atom
+		}
+	}
+	keys := make([]string, 0, len(seen))
+	for k := range seen {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Atom, len(keys))
+	for i, k := range keys {
+		out[i] = seen[k]
+	}
+	return out
+}

@@ -1,0 +1,287 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// World is a truth assignment over the ground atoms of a ground program.
+// Atoms are addressed by dense integer ids assigned by NewWorld.
+type World struct {
+	atoms   []Atom
+	atomID  map[string]int
+	truth   []bool
+	clauses []*GroundClause
+	// clauseLits[c] lists (atomID, negated) pairs for clause c.
+	clauseLits [][]worldLit
+	// atomClauses[a] lists the clauses mentioning atom a.
+	atomClauses [][]int
+}
+
+type worldLit struct {
+	atom    int
+	negated bool
+}
+
+// NewWorld indexes a ground program for inference. All atoms start false.
+func NewWorld(clauses []*GroundClause) *World {
+	w := &World{atomID: make(map[string]int)}
+	for _, g := range clauses {
+		for _, l := range g.Literals {
+			k := l.Atom.Key()
+			if _, ok := w.atomID[k]; !ok {
+				w.atomID[k] = len(w.atoms)
+				w.atoms = append(w.atoms, l.Atom)
+			}
+		}
+	}
+	w.truth = make([]bool, len(w.atoms))
+	w.clauses = clauses
+	w.clauseLits = make([][]worldLit, len(clauses))
+	w.atomClauses = make([][]int, len(w.atoms))
+	for ci, g := range clauses {
+		lits := make([]worldLit, len(g.Literals))
+		for li, l := range g.Literals {
+			id := w.atomID[l.Atom.Key()]
+			lits[li] = worldLit{atom: id, negated: l.Negated}
+			w.atomClauses[id] = append(w.atomClauses[id], ci)
+		}
+		w.clauseLits[ci] = lits
+	}
+	return w
+}
+
+// NumAtoms returns the number of distinct ground atoms.
+func (w *World) NumAtoms() int { return len(w.atoms) }
+
+// AtomID returns the dense id of a ground atom, or -1.
+func (w *World) AtomID(a Atom) int {
+	if id, ok := w.atomID[a.Key()]; ok {
+		return id
+	}
+	return -1
+}
+
+// Atom returns the atom with the given id.
+func (w *World) Atom(id int) Atom { return w.atoms[id] }
+
+// Truth returns the current assignment of atom id.
+func (w *World) Truth(id int) bool { return w.truth[id] }
+
+// Set assigns atom id.
+func (w *World) Set(id int, v bool) { w.truth[id] = v }
+
+// SetByAtom assigns a ground atom by value; unknown atoms are an error.
+func (w *World) SetByAtom(a Atom, v bool) error {
+	id := w.AtomID(a)
+	if id < 0 {
+		return fmt.Errorf("mln: atom %s not in world", a)
+	}
+	w.truth[id] = v
+	return nil
+}
+
+// clauseSatisfied evaluates clause ci under the current assignment.
+func (w *World) clauseSatisfied(ci int) bool {
+	for _, l := range w.clauseLits[ci] {
+		if w.truth[l.atom] != l.negated {
+			return true
+		}
+	}
+	return false
+}
+
+// SatisfiedWeight returns Σ wᵢ·nᵢ(x): the sum of weights of satisfied ground
+// clauses (each weighted by its Count), i.e. the log of the unnormalized
+// probability of the current world (Eq. 2).
+func (w *World) SatisfiedWeight() float64 {
+	var sum float64
+	for ci, g := range w.clauses {
+		if w.clauseSatisfied(ci) {
+			sum += g.Weight * float64(g.Count)
+		}
+	}
+	return sum
+}
+
+// LogProb returns ln Pr(x) up to the constant −ln Z (Eq. 3): the satisfied
+// weight of the world.
+func (w *World) LogProb() float64 { return w.SatisfiedWeight() }
+
+// GibbsOptions configures marginal inference.
+type GibbsOptions struct {
+	// Burnin samples discarded before collecting (default 100).
+	Burnin int
+	// Samples collected after burn-in (default 1000).
+	Samples int
+}
+
+func (o GibbsOptions) withDefaults() GibbsOptions {
+	if o.Burnin <= 0 {
+		o.Burnin = 100
+	}
+	if o.Samples <= 0 {
+		o.Samples = 1000
+	}
+	return o
+}
+
+// Gibbs estimates the marginal probability of each query atom being true,
+// holding evidence atoms fixed. evidence maps atom ids to fixed values;
+// query lists the free atom ids. Returns P(true) per query atom in order.
+func (w *World) Gibbs(query []int, evidence map[int]bool, rng *rand.Rand, opts GibbsOptions) []float64 {
+	o := opts.withDefaults()
+	for id, v := range evidence {
+		w.truth[id] = v
+	}
+	free := make([]int, 0, len(query))
+	for _, q := range query {
+		if _, fixed := evidence[q]; !fixed {
+			free = append(free, q)
+		}
+	}
+	// Randomize initial state of free atoms.
+	for _, id := range free {
+		w.truth[id] = rng.Intn(2) == 0
+	}
+	counts := make(map[int]int, len(query))
+	sweep := func(collect bool) {
+		for _, id := range free {
+			// P(a=true | rest) ∝ exp(weight with a=true); compare both.
+			w.truth[id] = true
+			wTrue := w.localWeight(id)
+			w.truth[id] = false
+			wFalse := w.localWeight(id)
+			p := 1 / (1 + math.Exp(wFalse-wTrue))
+			w.truth[id] = rng.Float64() < p
+		}
+		if collect {
+			for _, q := range query {
+				if w.truth[q] {
+					counts[q]++
+				}
+			}
+		}
+	}
+	for i := 0; i < o.Burnin; i++ {
+		sweep(false)
+	}
+	for i := 0; i < o.Samples; i++ {
+		sweep(true)
+	}
+	out := make([]float64, len(query))
+	for i, q := range query {
+		if _, fixed := evidence[q]; fixed {
+			if w.truth[q] {
+				out[i] = 1
+			}
+			continue
+		}
+		out[i] = float64(counts[q]) / float64(o.Samples)
+	}
+	return out
+}
+
+// localWeight sums the weights of satisfied clauses touching atom id —
+// sufficient for the Gibbs conditional because clauses not mentioning the
+// atom contribute equally to both states.
+func (w *World) localWeight(id int) float64 {
+	var sum float64
+	for _, ci := range w.atomClauses[id] {
+		if w.clauseSatisfied(ci) {
+			sum += w.clauses[ci].Weight * float64(w.clauses[ci].Count)
+		}
+	}
+	return sum
+}
+
+// MaxWalkSATOptions configures MAP inference.
+type MaxWalkSATOptions struct {
+	// MaxFlips bounds the local-search moves (default 10000).
+	MaxFlips int
+	// NoiseP is the probability of a random walk move (default 0.1).
+	NoiseP float64
+	// Tries is the number of random restarts (default 3).
+	Tries int
+}
+
+func (o MaxWalkSATOptions) withDefaults() MaxWalkSATOptions {
+	if o.MaxFlips <= 0 {
+		o.MaxFlips = 10000
+	}
+	if o.NoiseP <= 0 {
+		o.NoiseP = 0.1
+	}
+	if o.Tries <= 0 {
+		o.Tries = 3
+	}
+	return o
+}
+
+// MaxWalkSAT searches for a high-weight assignment of the free atoms (MAP
+// state), holding evidence fixed. Returns the best satisfied weight found;
+// the world is left in the best state.
+func (w *World) MaxWalkSAT(evidence map[int]bool, rng *rand.Rand, opts MaxWalkSATOptions) float64 {
+	o := opts.withDefaults()
+	var free []int
+	for id := range w.truth {
+		if _, fixed := evidence[id]; !fixed {
+			free = append(free, id)
+		}
+	}
+	for id, v := range evidence {
+		w.truth[id] = v
+	}
+	best := make([]bool, len(w.truth))
+	bestW := math.Inf(-1)
+	for try := 0; try < o.Tries; try++ {
+		for _, id := range free {
+			w.truth[id] = rng.Intn(2) == 0
+		}
+		cur := w.SatisfiedWeight()
+		if cur > bestW {
+			bestW = cur
+			copy(best, w.truth)
+		}
+		if len(free) == 0 {
+			break
+		}
+		for flip := 0; flip < o.MaxFlips; flip++ {
+			var id int
+			if rng.Float64() < o.NoiseP {
+				id = free[rng.Intn(len(free))]
+			} else {
+				// Greedy: pick the free atom whose flip gains the most.
+				bestGain := math.Inf(-1)
+				id = free[0]
+				// Sample a few candidates to keep per-flip cost bounded.
+				for k := 0; k < 8; k++ {
+					cand := free[rng.Intn(len(free))]
+					g := w.flipGain(cand)
+					if g > bestGain {
+						bestGain = g
+						id = cand
+					}
+				}
+			}
+			cur += w.flipGain(id)
+			w.truth[id] = !w.truth[id]
+			if cur > bestW {
+				bestW = cur
+				copy(best, w.truth)
+			}
+		}
+	}
+	copy(w.truth, best)
+	return bestW
+}
+
+// flipGain computes the change in satisfied weight if atom id were flipped.
+func (w *World) flipGain(id int) float64 {
+	before := w.localWeight(id)
+	w.truth[id] = !w.truth[id]
+	after := w.localWeight(id)
+	w.truth[id] = !w.truth[id]
+	return after - before
+}

@@ -1,0 +1,231 @@
+// Package mln is a small, self-contained Markov logic network engine: a
+// first-order clause language, grounding, weight learning by damped diagonal
+// Newton (the optimizer Tuffy uses, §5.1.2 of the paper), and approximate
+// inference (Gibbs sampling for marginals, MaxWalkSAT for MAP).
+//
+// MLNClean uses the engine in a restricted but faithful way: every integrity
+// constraint becomes a clause whose predicates are attribute names applied
+// to value constants (Table 3), each distinct piece of data γ is a ground
+// clause, and per-block weight learning assigns each γ the weight that the
+// reliability score (Def. 2) consumes. The engine is nevertheless general:
+// clauses may have any arity, variables ground over declared domains, and
+// the samplers operate over arbitrary ground programs — the HoloClean
+// baseline reuses them.
+package mln
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Predicate is a named relation with a fixed arity.
+type Predicate struct {
+	Name  string
+	Arity int
+}
+
+// Term is either a variable (IsVar) or a constant symbol.
+type Term struct {
+	Symbol string
+	IsVar  bool
+}
+
+// Var creates a variable term.
+func Var(name string) Term { return Term{Symbol: name, IsVar: true} }
+
+// Const creates a constant term.
+func Const(value string) Term { return Term{Symbol: value} }
+
+// String renders the term; variables are lowercase by convention already,
+// constants are quoted.
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Symbol
+	}
+	return fmt.Sprintf("%q", t.Symbol)
+}
+
+// Atom is a predicate applied to terms.
+type Atom struct {
+	Pred *Predicate
+	Args []Term
+}
+
+// NewAtom builds an atom, validating arity.
+func NewAtom(p *Predicate, args ...Term) (Atom, error) {
+	if len(args) != p.Arity {
+		return Atom{}, fmt.Errorf("mln: predicate %s/%d applied to %d args", p.Name, p.Arity, len(args))
+	}
+	return Atom{Pred: p, Args: args}, nil
+}
+
+// MustAtom is NewAtom that panics on arity mismatch.
+func MustAtom(p *Predicate, args ...Term) Atom {
+	a, err := NewAtom(p, args...)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// IsGround reports whether the atom contains no variables.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if t.IsVar {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a canonical string for a ground atom, usable as a map key.
+func (a Atom) Key() string {
+	parts := make([]string, 0, len(a.Args)+1)
+	parts = append(parts, a.Pred.Name)
+	for _, t := range a.Args {
+		parts = append(parts, t.Symbol)
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	args := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.String()
+	}
+	return fmt.Sprintf("%s(%s)", a.Pred.Name, strings.Join(args, ", "))
+}
+
+// Literal is an atom or its negation.
+type Literal struct {
+	Atom    Atom
+	Negated bool
+}
+
+// Pos and Neg construct literals.
+func Pos(a Atom) Literal { return Literal{Atom: a} }
+
+// Neg constructs a negated literal.
+func Neg(a Atom) Literal { return Literal{Atom: a, Negated: true} }
+
+// String renders the literal.
+func (l Literal) String() string {
+	if l.Negated {
+		return "!" + l.Atom.String()
+	}
+	return l.Atom.String()
+}
+
+// Clause is a weighted disjunction of literals (an MLN rule). Hard clauses
+// carry effectively infinite weight.
+type Clause struct {
+	Literals []Literal
+	Weight   float64
+	Hard     bool
+	// Name is an optional label (e.g. the source rule id).
+	Name string
+}
+
+// Vars returns the sorted distinct variable names in the clause.
+func (c *Clause) Vars() []string {
+	set := make(map[string]struct{})
+	for _, l := range c.Literals {
+		for _, t := range l.Atom.Args {
+			if t.IsVar {
+				set[t.Symbol] = struct{}{}
+			}
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsGround reports whether the clause contains no variables.
+func (c *Clause) IsGround() bool {
+	for _, l := range c.Literals {
+		if !l.Atom.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the clause as "w: l1 v l2 v ...".
+func (c *Clause) String() string {
+	parts := make([]string, len(c.Literals))
+	for i, l := range c.Literals {
+		parts[i] = l.String()
+	}
+	body := strings.Join(parts, " v ")
+	if c.Hard {
+		return body + "."
+	}
+	return fmt.Sprintf("%.4g: %s", c.Weight, body)
+}
+
+// Program is a set of predicates and clauses with per-variable domains.
+type Program struct {
+	preds   map[string]*Predicate
+	Clauses []*Clause
+	domains map[string][]string
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	return &Program{
+		preds:   make(map[string]*Predicate),
+		domains: make(map[string][]string),
+	}
+}
+
+// Predicate interns (declares or fetches) a predicate by name and arity.
+func (p *Program) Predicate(name string, arity int) (*Predicate, error) {
+	if pr, ok := p.preds[name]; ok {
+		if pr.Arity != arity {
+			return nil, fmt.Errorf("mln: predicate %s redeclared with arity %d (was %d)", name, arity, pr.Arity)
+		}
+		return pr, nil
+	}
+	pr := &Predicate{Name: name, Arity: arity}
+	p.preds[name] = pr
+	return pr, nil
+}
+
+// MustPredicate is Predicate that panics on arity conflicts.
+func (p *Program) MustPredicate(name string, arity int) *Predicate {
+	pr, err := p.Predicate(name, arity)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}
+
+// AddClause appends a clause to the program.
+func (p *Program) AddClause(c *Clause) { p.Clauses = append(p.Clauses, c) }
+
+// SetDomain declares the constants a variable ranges over during cartesian
+// grounding.
+func (p *Program) SetDomain(variable string, constants []string) {
+	vals := make([]string, len(constants))
+	copy(vals, constants)
+	p.domains[variable] = vals
+}
+
+// Domain returns the declared domain of a variable (nil if undeclared).
+func (p *Program) Domain(variable string) []string { return p.domains[variable] }
+
+// String renders the whole program.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, c := range p.Clauses {
+		b.WriteString(c.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

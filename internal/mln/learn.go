@@ -1,0 +1,208 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+)
+
+// LearnOptions configures the diagonal-Newton weight learner.
+type LearnOptions struct {
+	// MaxIters bounds the Newton iterations (default 100).
+	MaxIters int
+	// Tolerance stops the loop once the max absolute weight change falls
+	// below it (default 1e-6).
+	Tolerance float64
+	// Damping is added to the Hessian diagonal for numerical stability
+	// (default 1e-3). Larger damping ⇒ smaller, safer steps.
+	Damping float64
+	// PriorSigma is the std-dev of the Gaussian prior centred on the initial
+	// weights (default 2.0). The prior both regularizes and pins the
+	// per-group shift invariance of the softmax likelihood.
+	PriorSigma float64
+	// MaxStep clips each per-weight Newton step (default 2.0).
+	MaxStep float64
+}
+
+func (o LearnOptions) withDefaults() LearnOptions {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 100
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-6
+	}
+	if o.Damping <= 0 {
+		o.Damping = 1e-3
+	}
+	if o.PriorSigma <= 0 {
+		o.PriorSigma = 2.0
+	}
+	if o.MaxStep <= 0 {
+		o.MaxStep = 2.0
+	}
+	return o
+}
+
+// LearnResult reports learner diagnostics.
+type LearnResult struct {
+	Weights    []float64
+	Iterations int
+	LogLik     float64
+	Converged  bool
+}
+
+// LearnWeights fits ground-clause weights by maximizing the grouped softmax
+// log-likelihood with a damped diagonal-Newton update — the optimizer family
+// Tuffy uses for MLN weight learning.
+//
+// The model: candidates are partitioned into groups (in MLNClean, one group
+// per MLN-index group, candidates = its distinct γs). Within group g the
+// probability of candidate i is softmax over the group's weights, matching
+// Eq. 2 restricted to the competing ground clauses (ln Pr(γ) = w − ln Z,
+// Eq. 3). counts[i] is the observed support c(γᵢ). The objective is
+//
+//	L(w) = Σ_g Σ_{i∈g} counts[i]·log softmax_g(w)_i − Σ_i (w_i−w⁰_i)²/(2σ²)
+//
+// and the update is wᵢ += clip(g_i / (−H_ii + damping)) with
+// g_i = counts[i] − C_g·p_i − (w_i−w⁰_i)/σ² and H_ii = −C_g·p_i(1−p_i) − 1/σ².
+//
+// init supplies the starting (and prior-centre) weights; pass the Eq. 4
+// priors w⁰ = c(γ)/Σc. groups must partition 0..len(counts)-1; indices may
+// appear in at most one group.
+func LearnWeights(groups [][]int, counts []float64, init []float64, opts LearnOptions) (LearnResult, error) {
+	o := opts.withDefaults()
+	n := len(counts)
+	if len(init) != n {
+		return LearnResult{}, fmt.Errorf("mln: init has %d weights for %d candidates", len(init), n)
+	}
+	seen := make([]bool, n)
+	for _, g := range groups {
+		for _, i := range g {
+			if i < 0 || i >= n {
+				return LearnResult{}, fmt.Errorf("mln: group index %d out of range [0,%d)", i, n)
+			}
+			if seen[i] {
+				return LearnResult{}, fmt.Errorf("mln: candidate %d appears in multiple groups", i)
+			}
+			seen[i] = true
+		}
+	}
+	for i, c := range counts {
+		if c < 0 {
+			return LearnResult{}, fmt.Errorf("mln: negative count %g for candidate %d", c, i)
+		}
+	}
+
+	w := make([]float64, n)
+	copy(w, init)
+	invSigma2 := 1 / (o.PriorSigma * o.PriorSigma)
+
+	res := LearnResult{Weights: w}
+	for iter := 1; iter <= o.MaxIters; iter++ {
+		maxDelta := 0.0
+		for _, g := range groups {
+			if len(g) < 2 {
+				// A singleton group's softmax is degenerate (p=1); only the
+				// prior acts, so the weight stays at its prior centre.
+				continue
+			}
+			total := 0.0
+			for _, i := range g {
+				total += counts[i]
+			}
+			if total == 0 {
+				continue
+			}
+			// Coordinate-descent Newton: refresh the group's softmax before
+			// each single-weight update. Updating all weights of a group
+			// from one stale distribution makes opposing steps compound
+			// (the softmax is shift-invariant) and the sweep oscillates.
+			for k, i := range g {
+				probs := softmax(w, g)
+				p := probs[k]
+				grad := counts[i] - total*p - (w[i]-init[i])*invSigma2
+				hess := total*p*(1-p) + invSigma2 + o.Damping
+				step := grad / hess
+				if step > o.MaxStep {
+					step = o.MaxStep
+				} else if step < -o.MaxStep {
+					step = -o.MaxStep
+				}
+				w[i] += step
+				if d := math.Abs(step); d > maxDelta {
+					maxDelta = d
+				}
+			}
+		}
+		res.Iterations = iter
+		if maxDelta < o.Tolerance {
+			res.Converged = true
+			break
+		}
+	}
+	res.LogLik = groupedLogLik(groups, counts, w, init, invSigma2)
+	return res, nil
+}
+
+func softmax(w []float64, idx []int) []float64 {
+	maxW := math.Inf(-1)
+	for _, i := range idx {
+		if w[i] > maxW {
+			maxW = w[i]
+		}
+	}
+	probs := make([]float64, len(idx))
+	var z float64
+	for k, i := range idx {
+		probs[k] = math.Exp(w[i] - maxW)
+		z += probs[k]
+	}
+	for k := range probs {
+		probs[k] /= z
+	}
+	return probs
+}
+
+func groupedLogLik(groups [][]int, counts, w, init []float64, invSigma2 float64) float64 {
+	ll := 0.0
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		maxW := math.Inf(-1)
+		for _, i := range g {
+			if w[i] > maxW {
+				maxW = w[i]
+			}
+		}
+		var z float64
+		for _, i := range g {
+			z += math.Exp(w[i] - maxW)
+		}
+		logZ := math.Log(z) + maxW
+		for _, i := range g {
+			ll += counts[i] * (w[i] - logZ)
+		}
+	}
+	for i := range w {
+		d := w[i] - init[i]
+		ll -= d * d * invSigma2 / 2
+	}
+	return ll
+}
+
+// PriorWeights computes the Eq. 4 priors: w⁰ᵢ = c(γᵢ) / Σⱼ c(γⱼ) over all
+// candidates in a block.
+func PriorWeights(counts []float64) []float64 {
+	var total float64
+	for _, c := range counts {
+		total += c
+	}
+	out := make([]float64, len(counts))
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = c / total
+	}
+	return out
+}

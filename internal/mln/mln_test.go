@@ -1,0 +1,404 @@
+package mln
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/rules"
+)
+
+func TestAtomConstruction(t *testing.T) {
+	p := &Predicate{Name: "CT", Arity: 1}
+	if _, err := NewAtom(p, Const("DOTHAN"), Const("X")); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	a := MustAtom(p, Const("DOTHAN"))
+	if !a.IsGround() {
+		t.Error("constant atom should be ground")
+	}
+	v := MustAtom(p, Var("x"))
+	if v.IsGround() {
+		t.Error("variable atom should not be ground")
+	}
+	if a.Key() == v.Key() {
+		t.Error("distinct atoms share a key")
+	}
+	if !strings.Contains(a.String(), "DOTHAN") {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestProgramPredicateInterning(t *testing.T) {
+	prog := NewProgram()
+	a := prog.MustPredicate("CT", 1)
+	b := prog.MustPredicate("CT", 1)
+	if a != b {
+		t.Error("same-name predicates should be interned")
+	}
+	if _, err := prog.Predicate("CT", 2); err == nil {
+		t.Error("arity conflict should fail")
+	}
+}
+
+func TestClauseVarsAndString(t *testing.T) {
+	prog := NewProgram()
+	ct := prog.MustPredicate("CT", 1)
+	st := prog.MustPredicate("ST", 1)
+	c := &Clause{
+		Literals: []Literal{Neg(MustAtom(ct, Var("x"))), Pos(MustAtom(st, Var("y")))},
+		Weight:   1.5,
+	}
+	vars := c.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if c.IsGround() {
+		t.Error("clause with variables is not ground")
+	}
+	if !strings.Contains(c.String(), "!CT(x)") {
+		t.Errorf("String = %q", c.String())
+	}
+	hard := &Clause{Literals: c.Literals, Hard: true}
+	if !strings.HasSuffix(hard.String(), ".") {
+		t.Errorf("hard clause String = %q", hard.String())
+	}
+}
+
+func TestApplySubstitution(t *testing.T) {
+	prog := NewProgram()
+	ct := prog.MustPredicate("CT", 1)
+	st := prog.MustPredicate("ST", 1)
+	c := &Clause{Literals: []Literal{Neg(MustAtom(ct, Var("x"))), Pos(MustAtom(st, Var("y")))}}
+	g, err := c.Apply(Substitution{"x": "DOTHAN", "y": "AL"})
+	if err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if g.Literals[0].Atom.Args[0].Symbol != "DOTHAN" || g.Literals[1].Atom.Args[0].Symbol != "AL" {
+		t.Errorf("ground literals: %v", g)
+	}
+	if _, err := c.Apply(Substitution{"x": "DOTHAN"}); err == nil {
+		t.Error("unbound variable should fail")
+	}
+}
+
+func TestGroundCartesianCount(t *testing.T) {
+	prog := NewProgram()
+	ct := prog.MustPredicate("CT", 1)
+	st := prog.MustPredicate("ST", 1)
+	c := &Clause{Literals: []Literal{Neg(MustAtom(ct, Var("x"))), Pos(MustAtom(st, Var("y")))}}
+	prog.SetDomain("x", []string{"a", "b", "c"})
+	prog.SetDomain("y", []string{"1", "2"})
+	gs, err := prog.GroundCartesian(c)
+	if err != nil {
+		t.Fatalf("GroundCartesian: %v", err)
+	}
+	if len(gs) != 6 {
+		t.Errorf("ground clauses = %d, want 3×2", len(gs))
+	}
+	prog.SetDomain("y", nil)
+	if _, err := prog.GroundCartesian(c); err == nil {
+		t.Error("missing domain should fail")
+	}
+}
+
+func TestGroundCartesianCountProperty(t *testing.T) {
+	f := func(nx, ny uint8) bool {
+		x := int(nx%5) + 1
+		y := int(ny%5) + 1
+		prog := NewProgram()
+		a := prog.MustPredicate("A", 1)
+		b := prog.MustPredicate("B", 1)
+		c := &Clause{Literals: []Literal{Neg(MustAtom(a, Var("x"))), Pos(MustAtom(b, Var("y")))}}
+		dx := make([]string, x)
+		for i := range dx {
+			dx[i] = strings.Repeat("x", i+1)
+		}
+		dy := make([]string, y)
+		for i := range dy {
+			dy[i] = strings.Repeat("y", i+1)
+		}
+		prog.SetDomain("x", dx)
+		prog.SetDomain("y", dy)
+		gs, err := prog.GroundCartesian(c)
+		return err == nil && len(gs) == x*y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTable3Grounding reproduces Table 3: grounding r1 = CT ⇒ ST over the
+// paper's sample yields exactly four ground MLN rules.
+func TestTable3Grounding(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701")
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+
+	r := rules.MustParseStrings("FD: CT -> ST")[0]
+	prog := NewProgram()
+	gs, err := GroundRuleFromTable(prog, r, tb)
+	if err != nil {
+		t.Fatalf("GroundRuleFromTable: %v", err)
+	}
+	if len(gs) != 4 {
+		t.Fatalf("ground rules = %d, want 4 (Table 3)", len(gs))
+	}
+	// Counts: DOTHAN/AL supports 2 tuples, BOAZ/AL supports 2.
+	counts := make(map[string]int)
+	for _, g := range gs {
+		counts[g.Literals[0].Atom.Args[0].Symbol+"/"+g.Literals[1].Atom.Args[0].Symbol] = g.Count
+	}
+	if counts["DOTHAN/AL"] != 2 || counts["DOTH/AL"] != 1 || counts["BOAZ/AL"] != 2 || counts["BOAZ/AK"] != 1 {
+		t.Errorf("support counts = %v", counts)
+	}
+}
+
+func TestClauseFromRuleShapes(t *testing.T) {
+	prog := NewProgram()
+	fd := rules.MustParseStrings("FD: CT -> ST")[0]
+	c, err := ClauseFromRule(prog, fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Literals[0].Negated || c.Literals[1].Negated {
+		t.Errorf("FD clause polarity: %v", c)
+	}
+	cfd := rules.MustParseStrings("CFD: HN=ELIZA, CT=BOAZ -> PN=999")[0]
+	cc, err := ClauseFromRule(prog, cfd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cc.IsGround() {
+		t.Errorf("fully-constant CFD clause should be ground: %v", cc)
+	}
+	dc := rules.MustParseStrings("DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))")[0]
+	dcl, err := ClauseFromRule(prog, dc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dcl.Literals) != 2 || !dcl.Literals[0].Negated {
+		t.Errorf("DC clause: %v", dcl)
+	}
+}
+
+func TestPriorWeights(t *testing.T) {
+	w := PriorWeights([]float64{1, 2, 5})
+	if math.Abs(w[0]-0.125) > 1e-12 || math.Abs(w[2]-0.625) > 1e-12 {
+		t.Errorf("priors = %v", w)
+	}
+	if got := PriorWeights([]float64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("zero-count priors = %v", got)
+	}
+}
+
+func TestLearnWeightsMonotone(t *testing.T) {
+	// Within a group, higher support must learn a higher weight.
+	counts := []float64{8, 1}
+	res, err := LearnWeights([][]int{{0, 1}}, counts, PriorWeights(counts), LearnOptions{})
+	if err != nil {
+		t.Fatalf("LearnWeights: %v", err)
+	}
+	if res.Weights[0] <= res.Weights[1] {
+		t.Errorf("weights not monotone in counts: %v", res.Weights)
+	}
+	// Softmax of learned weights approaches the count proportions.
+	p0 := math.Exp(res.Weights[0]) / (math.Exp(res.Weights[0]) + math.Exp(res.Weights[1]))
+	if math.Abs(p0-8.0/9.0) > 0.05 {
+		t.Errorf("softmax probability %.3f, want ≈ %.3f", p0, 8.0/9.0)
+	}
+}
+
+func TestLearnWeightsMonotoneProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ca, cb := float64(a%50)+1, float64(b%50)+1
+		counts := []float64{ca, cb}
+		res, err := LearnWeights([][]int{{0, 1}}, counts, PriorWeights(counts), LearnOptions{})
+		if err != nil {
+			return false
+		}
+		switch {
+		case ca > cb:
+			return res.Weights[0] > res.Weights[1]
+		case ca < cb:
+			return res.Weights[0] < res.Weights[1]
+		default:
+			return math.Abs(res.Weights[0]-res.Weights[1]) < 1e-6
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLearnWeightsValidation(t *testing.T) {
+	if _, err := LearnWeights([][]int{{0}}, []float64{1}, []float64{1, 2}, LearnOptions{}); err == nil {
+		t.Error("init length mismatch should fail")
+	}
+	if _, err := LearnWeights([][]int{{0, 0}}, []float64{1, 1}, []float64{0, 0}, LearnOptions{}); err == nil {
+		t.Error("duplicate group membership should fail")
+	}
+	if _, err := LearnWeights([][]int{{5}}, []float64{1}, []float64{0}, LearnOptions{}); err == nil {
+		t.Error("out-of-range index should fail")
+	}
+	if _, err := LearnWeights([][]int{{0}}, []float64{-1}, []float64{0}, LearnOptions{}); err == nil {
+		t.Error("negative count should fail")
+	}
+}
+
+func TestLearnWeightsSingletonGroupKeepsPrior(t *testing.T) {
+	counts := []float64{7}
+	init := []float64{0.42}
+	res, err := LearnWeights([][]int{{0}}, counts, init, LearnOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Weights[0] != 0.42 {
+		t.Errorf("singleton group weight moved: %v", res.Weights[0])
+	}
+}
+
+func TestLearnWeightsConverges(t *testing.T) {
+	counts := []float64{10, 5, 1}
+	res, err := LearnWeights([][]int{{0, 1, 2}}, counts, PriorWeights(counts), LearnOptions{MaxIters: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Errorf("learner did not converge in %d iterations", res.Iterations)
+	}
+	if res.LogLik >= 0 {
+		t.Errorf("log-likelihood should be negative, got %v", res.LogLik)
+	}
+}
+
+func TestWorldSatisfiedWeight(t *testing.T) {
+	prog := NewProgram()
+	a := prog.MustPredicate("A", 1)
+	b := prog.MustPredicate("B", 1)
+	// w=2: !A(x) v B(x), grounded at x=1.
+	c := &Clause{Literals: []Literal{Neg(MustAtom(a, Var("x"))), Pos(MustAtom(b, Var("x")))}, Weight: 2}
+	g, err := c.Apply(Substitution{"x": "1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWorld([]*GroundClause{g})
+	if w.NumAtoms() != 2 {
+		t.Fatalf("atoms = %d", w.NumAtoms())
+	}
+	// All-false world satisfies the clause (¬A is true).
+	if got := w.SatisfiedWeight(); got != 2 {
+		t.Errorf("all-false weight = %v, want 2", got)
+	}
+	// A=true, B=false violates it.
+	if err := w.SetByAtom(MustAtom(a, Const("1")), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SatisfiedWeight(); got != 0 {
+		t.Errorf("violating weight = %v, want 0", got)
+	}
+	// A=true, B=true satisfies again.
+	if err := w.SetByAtom(MustAtom(b, Const("1")), true); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.SatisfiedWeight(); got != 2 {
+		t.Errorf("satisfied weight = %v, want 2", got)
+	}
+	if err := w.SetByAtom(MustAtom(a, Const("nope")), true); err == nil {
+		t.Error("unknown atom should fail")
+	}
+}
+
+func TestGibbsMarginalDirection(t *testing.T) {
+	// Single ground clause with positive weight: B(1) with weight 3. The
+	// marginal of B(1) must be well above 1/2.
+	prog := NewProgram()
+	b := prog.MustPredicate("B", 1)
+	g := &GroundClause{Literals: []Literal{Pos(MustAtom(b, Const("1")))}, Weight: 3, Count: 1}
+	w := NewWorld([]*GroundClause{g})
+	rng := rand.New(rand.NewSource(1))
+	probs := w.Gibbs([]int{0}, nil, rng, GibbsOptions{Burnin: 200, Samples: 2000})
+	if probs[0] < 0.9 {
+		t.Errorf("P(B) = %.3f, want ≥ 0.9 (logistic(3) ≈ 0.95)", probs[0])
+	}
+	// Evidence pins the atom.
+	probs = w.Gibbs([]int{0}, map[int]bool{0: false}, rng, GibbsOptions{})
+	if probs[0] != 0 {
+		t.Errorf("evidence-fixed marginal = %v", probs[0])
+	}
+}
+
+func TestMaxWalkSATFindsSatisfyingAssignment(t *testing.T) {
+	// A(1) v B(1); !A(1); weights 1 each → MAP sets B=true, A=false.
+	prog := NewProgram()
+	a := prog.MustPredicate("A", 1)
+	b := prog.MustPredicate("B", 1)
+	g1 := &GroundClause{Literals: []Literal{Pos(MustAtom(a, Const("1"))), Pos(MustAtom(b, Const("1")))}, Weight: 1, Count: 1}
+	g2 := &GroundClause{Literals: []Literal{Neg(MustAtom(a, Const("1")))}, Weight: 1, Count: 1}
+	w := NewWorld([]*GroundClause{g1, g2})
+	rng := rand.New(rand.NewSource(7))
+	best := w.MaxWalkSAT(nil, rng, MaxWalkSATOptions{MaxFlips: 500, Tries: 2})
+	if best != 2 {
+		t.Errorf("MAP weight = %v, want 2", best)
+	}
+	aID := w.AtomID(MustAtom(a, Const("1")))
+	bID := w.AtomID(MustAtom(b, Const("1")))
+	if w.Truth(aID) || !w.Truth(bID) {
+		t.Errorf("MAP state: A=%v B=%v, want A=false B=true", w.Truth(aID), w.Truth(bID))
+	}
+}
+
+func TestGroundFromBindingsMergesDuplicates(t *testing.T) {
+	prog := NewProgram()
+	a := prog.MustPredicate("A", 1)
+	c := &Clause{Literals: []Literal{Pos(MustAtom(a, Var("x")))}}
+	subs := []Substitution{{"x": "1"}, {"x": "1"}, {"x": "2"}}
+	gs, err := GroundFromBindings(c, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 2 {
+		t.Fatalf("ground clauses = %d, want 2", len(gs))
+	}
+	if gs[0].Count != 2 || gs[1].Count != 1 {
+		t.Errorf("counts = %d, %d", gs[0].Count, gs[1].Count)
+	}
+}
+
+func TestAtomsCollection(t *testing.T) {
+	prog := NewProgram()
+	a := prog.MustPredicate("A", 1)
+	g1 := &GroundClause{Literals: []Literal{Pos(MustAtom(a, Const("1"))), Neg(MustAtom(a, Const("2")))}}
+	g2 := &GroundClause{Literals: []Literal{Pos(MustAtom(a, Const("2")))}}
+	atoms := Atoms([]*GroundClause{g1, g2})
+	if len(atoms) != 2 {
+		t.Errorf("distinct atoms = %d, want 2", len(atoms))
+	}
+}
+
+func TestGroundAllFromTable(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	tb.MustAppend("1", "x")
+	tb.MustAppend("2", "y")
+	rs := rules.MustParseStrings("FD: A -> B")
+	prog := NewProgram()
+	per, err := GroundAllFromTable(prog, rs, tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(per) != 1 || len(per[0]) != 2 {
+		t.Errorf("grounding shape: %v", per)
+	}
+	// Rule referencing a missing attribute fails cleanly.
+	bad := rules.MustParseStrings("FD: A -> Missing")
+	if _, err := GroundAllFromTable(prog, bad, tb); err == nil {
+		t.Error("missing attribute should fail")
+	}
+}

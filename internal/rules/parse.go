@@ -1,0 +1,235 @@
+package rules
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads one rule from its textual form. Supported syntaxes (whitespace
+// insensitive; "->" and "=>" are interchangeable):
+//
+//	FD:  CT -> ST
+//	FD:  ProviderID -> City, PhoneNumber
+//	CFD: Make=acura, Type -> Doors
+//	CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400
+//	DC:  not(PhoneNumber(t)=PhoneNumber(t') and State(t)!=State(t'))
+//
+// The leading "<id> <KIND>:" prefix is optional in ParseList files, where
+// ids default to r1, r2, …; Parse requires the KIND prefix.
+func Parse(id, text string) (*Rule, error) {
+	text = strings.TrimSpace(text)
+	kindStr, rest, ok := strings.Cut(text, ":")
+	if !ok {
+		return nil, fmt.Errorf("rules: %s: missing KIND prefix in %q", id, text)
+	}
+	rest = strings.TrimSpace(rest)
+	switch strings.ToUpper(strings.TrimSpace(kindStr)) {
+	case "FD":
+		return parseImplication(id, FD, rest)
+	case "CFD":
+		return parseImplication(id, CFD, rest)
+	case "DC":
+		return parseDC(id, rest)
+	default:
+		return nil, fmt.Errorf("rules: %s: unknown rule kind %q", id, kindStr)
+	}
+}
+
+func parseImplication(id string, kind Kind, text string) (*Rule, error) {
+	lhs, rhs, ok := cutArrow(text)
+	if !ok {
+		return nil, fmt.Errorf("rules: %s: implication needs '->' in %q", id, text)
+	}
+	reason, err := parsePatterns(id, lhs, kind)
+	if err != nil {
+		return nil, err
+	}
+	result, err := parsePatterns(id, rhs, kind)
+	if err != nil {
+		return nil, err
+	}
+	if kind == FD {
+		for _, p := range append(append([]Pattern{}, reason...), result...) {
+			if p.Const != "" {
+				return nil, fmt.Errorf("rules: %s: FD cannot bind constants (use CFD): %q", id, p.Attr)
+			}
+		}
+	}
+	return New(id, kind, reason, result)
+}
+
+func cutArrow(text string) (lhs, rhs string, ok bool) {
+	if l, r, found := strings.Cut(text, "=>"); found {
+		return strings.TrimSpace(l), strings.TrimSpace(r), true
+	}
+	if l, r, found := strings.Cut(text, "->"); found {
+		return strings.TrimSpace(l), strings.TrimSpace(r), true
+	}
+	return "", "", false
+}
+
+func parsePatterns(id, text string, kind Kind) ([]Pattern, error) {
+	var out []Pattern
+	for _, part := range strings.Split(text, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("rules: %s: empty pattern in %q", id, text)
+		}
+		attr, val, bound := strings.Cut(part, "=")
+		attr = strings.TrimSpace(attr)
+		p := Pattern{Attr: attr}
+		if bound {
+			p.Const = strings.Trim(strings.TrimSpace(val), `"`)
+			if p.Const == "" {
+				return nil, fmt.Errorf("rules: %s: empty constant for %q", id, attr)
+			}
+			if kind == FD {
+				return nil, fmt.Errorf("rules: %s: FD cannot bind constants (use CFD)", id)
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseDC parses the pairwise denial-constraint syntax:
+//
+//	not(A(t)=A(t') and B(t)!=B(t'))
+//
+// Each predicate compares the same attribute across the two quantified
+// tuples with = or !=. Per §4, the final predicate is the result part.
+func parseDC(id, text string) (*Rule, error) {
+	text = strings.TrimSpace(text)
+	lower := strings.ToLower(text)
+	if strings.HasPrefix(lower, "forall") {
+		// Tolerate an explicit "forall t,t'" quantifier prefix.
+		if i := strings.Index(lower, "not("); i >= 0 {
+			text = text[i:]
+			lower = lower[i:]
+		}
+	}
+	if !strings.HasPrefix(lower, "not(") || !strings.HasSuffix(text, ")") {
+		return nil, fmt.Errorf("rules: %s: DC must be of form not(...): %q", id, text)
+	}
+	body := text[len("not(") : len(text)-1]
+	preds := splitAnd(body)
+	if len(preds) < 2 {
+		return nil, fmt.Errorf("rules: %s: DC needs at least two predicates: %q", id, body)
+	}
+	var pats []Pattern
+	for _, pr := range preds {
+		p, err := parseDCPredicate(id, pr)
+		if err != nil {
+			return nil, err
+		}
+		pats = append(pats, p)
+	}
+	return New(id, DC, pats[:len(pats)-1], pats[len(pats)-1:])
+}
+
+func splitAnd(body string) []string {
+	var parts []string
+	depth := 0
+	start := 0
+	lower := strings.ToLower(body)
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		}
+		if depth == 0 && i+5 <= len(body) && lower[i:i+5] == " and " {
+			parts = append(parts, strings.TrimSpace(body[start:i]))
+			start = i + 5
+			i += 4
+		}
+	}
+	parts = append(parts, strings.TrimSpace(body[start:]))
+	return parts
+}
+
+// parseDCPredicate parses "Attr(t)=Attr(t')" or "Attr(t)!=Attr(t')".
+func parseDCPredicate(id, text string) (Pattern, error) {
+	op := "="
+	var l, r string
+	if li, ri, found := strings.Cut(text, "!="); found {
+		op, l, r = "!=", li, ri
+	} else if li, ri, found := strings.Cut(text, "="); found {
+		l, r = li, ri
+	} else {
+		return Pattern{}, fmt.Errorf("rules: %s: DC predicate needs = or !=: %q", id, text)
+	}
+	la := predicateAttr(l)
+	ra := predicateAttr(r)
+	if la == "" || ra == "" {
+		return Pattern{}, fmt.Errorf("rules: %s: cannot parse DC predicate %q", id, text)
+	}
+	if la != ra {
+		return Pattern{}, fmt.Errorf("rules: %s: DC predicate must compare the same attribute on both tuples, got %q vs %q", id, la, ra)
+	}
+	return Pattern{Attr: la, Op: op}, nil
+}
+
+func predicateAttr(s string) string {
+	s = strings.TrimSpace(s)
+	if i := strings.IndexByte(s, '('); i > 0 {
+		return strings.TrimSpace(s[:i])
+	}
+	return s
+}
+
+// ParseList reads a rule set, one rule per line. Blank lines and lines
+// starting with '#' are skipped. Each line may begin with an explicit
+// "<id>:" label before the KIND; otherwise ids are assigned r1, r2, ….
+func ParseList(r io.Reader) ([]*Rule, error) {
+	var out []*Rule
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	n := 0
+	for line := 1; sc.Scan(); line++ {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		n++
+		id := fmt.Sprintf("r%d", n)
+		// Optional explicit id label: "myid: FD: A -> B". Distinguish from the
+		// KIND prefix by checking whether the first token is a kind name.
+		if head, rest, ok := strings.Cut(text, ":"); ok {
+			switch strings.ToUpper(strings.TrimSpace(head)) {
+			case "FD", "CFD", "DC":
+				// no label
+			default:
+				id = strings.TrimSpace(head)
+				text = strings.TrimSpace(rest)
+			}
+		}
+		rule, err := Parse(id, text)
+		if err != nil {
+			return nil, fmt.Errorf("rules: line %d: %w", line, err)
+		}
+		out = append(out, rule)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ParseStrings parses each string as one rule line (convenience for tests
+// and examples).
+func ParseStrings(lines ...string) ([]*Rule, error) {
+	return ParseList(strings.NewReader(strings.Join(lines, "\n")))
+}
+
+// MustParseStrings is ParseStrings that panics on error.
+func MustParseStrings(lines ...string) []*Rule {
+	rs, err := ParseStrings(lines...)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}

@@ -1,0 +1,190 @@
+package rules
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFD(t *testing.T) {
+	r, err := Parse("r1", "FD: CT -> ST")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r.Kind != FD || r.ID != "r1" {
+		t.Errorf("parsed %v %v", r.Kind, r.ID)
+	}
+	if !reflect.DeepEqual(r.ReasonAttrs(), []string{"CT"}) || !reflect.DeepEqual(r.ResultAttrs(), []string{"ST"}) {
+		t.Errorf("parts: %v -> %v", r.ReasonAttrs(), r.ResultAttrs())
+	}
+}
+
+func TestParseFDMultiResult(t *testing.T) {
+	r, err := Parse("r", "FD: ProviderID -> City, PhoneNumber")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(r.ResultAttrs(), []string{"City", "PhoneNumber"}) {
+		t.Errorf("result attrs: %v", r.ResultAttrs())
+	}
+}
+
+func TestParseFDCompositeReason(t *testing.T) {
+	r, err := Parse("r", "FD: Model, Type -> Make")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if !reflect.DeepEqual(r.ReasonAttrs(), []string{"Model", "Type"}) {
+		t.Errorf("reason attrs: %v", r.ReasonAttrs())
+	}
+}
+
+func TestParseArrowVariants(t *testing.T) {
+	a, err := Parse("r", "FD: A -> B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse("r", "FD: A => B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("arrow variants differ: %q vs %q", a, b)
+	}
+}
+
+func TestParseCFD(t *testing.T) {
+	r, err := Parse("r3", `CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r.Kind != CFD {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Reason[0].Const != "ELIZA" || r.Reason[1].Const != "BOAZ" || r.Result[0].Const != "2567688400" {
+		t.Errorf("constants: %+v -> %+v", r.Reason, r.Result)
+	}
+	// Mixed constant/variable CFD (Table 4's acura rule).
+	r2, err := Parse("r", "CFD: Make=acura, Type -> Doors")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r2.Reason[0].Const != "acura" || !r2.Reason[1].IsVar() || !r2.Result[0].IsVar() {
+		t.Errorf("mixed CFD: %+v -> %+v", r2.Reason, r2.Result)
+	}
+	// Quoted constants are unquoted.
+	r3, err := Parse("r", `CFD: HN="ELIZA" -> PN="1"`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r3.Reason[0].Const != "ELIZA" {
+		t.Errorf("quoted constant: %q", r3.Reason[0].Const)
+	}
+}
+
+func TestParseDC(t *testing.T) {
+	r, err := Parse("r2", "DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if r.Kind != DC {
+		t.Fatalf("kind = %v", r.Kind)
+	}
+	if r.Reason[0].Attr != "PN" || r.Reason[0].Op != "=" {
+		t.Errorf("reason: %+v", r.Reason)
+	}
+	if r.Result[0].Attr != "ST" || r.Result[0].Op != "!=" {
+		t.Errorf("result: %+v", r.Result)
+	}
+	// Multi-predicate DC: last predicate is the result (§4).
+	r2, err := Parse("r", "DC: not(A(t)=A(t') and B(t)=B(t') and C(t)!=C(t'))")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(r2.Reason) != 2 || r2.Result[0].Attr != "C" {
+		t.Errorf("multi DC: %v -> %v", r2.ReasonAttrs(), r2.ResultAttrs())
+	}
+	// Tolerates an explicit quantifier prefix.
+	r3, err := Parse("r", "DC: forall t,t' not(PN(t)=PN(t') and ST(t)!=ST(t'))")
+	if err != nil {
+		t.Fatalf("Parse with quantifier: %v", err)
+	}
+	if r3.Reason[0].Attr != "PN" {
+		t.Errorf("quantified DC: %+v", r3.Reason)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"CT -> ST",                              // missing kind
+		"XX: CT -> ST",                          // unknown kind
+		"FD: CT",                                // no arrow
+		"FD: -> ST",                             // empty reason
+		"FD: CT= -> ST",                         // empty constant
+		"FD: CT=x -> ST",                        // FD cannot bind constants
+		"DC: PN(t)=PN(t')",                      // DC must be not(...)
+		"DC: not(PN(t)=PN(t'))",                 // single predicate
+		"DC: not(PN(t)<PN(t') and A(t)=A(t'))",  // unsupported op
+		"DC: not(PN(t)=ST(t') and A(t)!=A(t'))", // attr mismatch
+	}
+	for _, text := range bad {
+		if _, err := Parse("r", text); err == nil {
+			t.Errorf("Parse(%q) should fail", text)
+		}
+	}
+}
+
+func TestParseList(t *testing.T) {
+	input := `
+# HAI rules
+FD: PhoneNumber -> ZIPCode
+
+zipcity: FD: ZIPCode -> City
+DC: not(PhoneNumber(t)=PhoneNumber(t') and State(t)!=State(t'))
+`
+	rs, err := ParseList(strings.NewReader(input))
+	if err != nil {
+		t.Fatalf("ParseList: %v", err)
+	}
+	if len(rs) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rs))
+	}
+	if rs[0].ID != "r1" {
+		t.Errorf("auto id = %q", rs[0].ID)
+	}
+	if rs[1].ID != "zipcity" {
+		t.Errorf("explicit id = %q", rs[1].ID)
+	}
+	if rs[2].Kind != DC {
+		t.Errorf("third rule kind = %v", rs[2].Kind)
+	}
+}
+
+func TestParseListError(t *testing.T) {
+	if _, err := ParseList(strings.NewReader("FD: broken")); err == nil {
+		t.Error("broken rule line should fail")
+	}
+}
+
+func TestMustParseStringsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseStrings should panic on bad input")
+		}
+	}()
+	MustParseStrings("FD: nope")
+}
+
+func TestParseStringRoundtrip(t *testing.T) {
+	// Parsed rules render to strings that mention their structure.
+	rs := MustParseStrings(
+		"FD: A -> B",
+		"CFD: A=x, B -> C",
+		"DC: not(A(t)=A(t') and B(t)!=B(t'))",
+	)
+	for _, r := range rs {
+		if r.String() == "" {
+			t.Errorf("empty String for %v", r.Kind)
+		}
+	}
+}
