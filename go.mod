@@ -1,0 +1,3 @@
+module mlnclean
+
+go 1.24

@@ -293,12 +293,19 @@ func TestMaxRuneLen(t *testing.T) {
 	}
 }
 
-func TestIntKey(t *testing.T) {
-	if intKey(0) != "0" {
-		t.Error("intKey(0)")
+func TestStateKey(t *testing.T) {
+	f := newFuser([]version{{attrs: []string{"A", "B"}, values: []string{"", ""}}}, nil, 10)
+	a1 := assignment{"A": "x"}
+	a2 := assignment{"A": "x", "B": "y"}
+	if f.stateKey(1, a1) == f.stateKey(1, a2) {
+		t.Error("different assignments share a state key")
 	}
-	if intKey(0x1f) != "1f" {
-		t.Errorf("intKey(0x1f) = %q", intKey(0x1f))
+	if f.stateKey(1, a1) == f.stateKey(2, a1) {
+		t.Error("different masks share a state key")
+	}
+	// Absent attribute vs empty value must be distinguishable.
+	if f.stateKey(1, assignment{"A": ""}) == f.stateKey(1, assignment{}) {
+		t.Error("empty value collides with absent attribute")
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/binary"
 	"runtime"
 	"sort"
 	"strings"
@@ -49,22 +50,6 @@ func (a assignment) absorb(attrs, values []string) {
 	for i, attr := range attrs {
 		a[attr] = values[i]
 	}
-}
-
-func (a assignment) key() string {
-	keys := make([]string, 0, len(a))
-	for k := range a {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	for _, k := range keys {
-		b.WriteString(k)
-		b.WriteByte('\x1f')
-		b.WriteString(a[k])
-		b.WriteByte('\x1e')
-	}
-	return b.String()
 }
 
 // FusionBlock is one block's stage-I output as consumed by FSCR: the winner
@@ -339,9 +324,23 @@ type fuser struct {
 	bestRaw   float64            // raw Eq. 5 f-score of the best fusion
 	best      assignment
 	conflicts map[string]struct{}
+	// attrOrder is the sorted union of the versions' attributes, fixed at
+	// construction so state keys never re-sort per memo probe.
+	attrOrder []string
 }
 
 func newFuser(versions []version, candidates []*blockCands, maxStates int) *fuser {
+	attrSet := make(map[string]struct{})
+	for _, v := range versions {
+		for _, a := range v.attrs {
+			attrSet[a] = struct{}{}
+		}
+	}
+	attrOrder := make([]string, 0, len(attrSet))
+	for a := range attrSet {
+		attrOrder = append(attrOrder, a)
+	}
+	sort.Strings(attrOrder)
 	return &fuser{
 		versions:   versions,
 		candidates: candidates,
@@ -350,6 +349,7 @@ func newFuser(versions []version, candidates []*blockCands, maxStates int) *fuse
 		dirty:      func(string) string { return "" },
 		visited:    make(map[string]float64),
 		conflicts:  make(map[string]struct{}),
+		attrOrder:  attrOrder,
 	}
 }
 
@@ -438,7 +438,7 @@ func (f *fuser) extend(merged assignment, fscore float64, mask int) {
 	if f.states >= f.maxStates {
 		return
 	}
-	key := stateKey(mask, merged)
+	key := f.stateKey(mask, merged)
 	if prev, ok := f.visited[key]; ok && fscore <= prev {
 		return
 	}
@@ -504,21 +504,27 @@ func (f *fuser) cfdVacuous(v version, merged assignment) bool {
 	return anyConst
 }
 
-func stateKey(mask int, merged assignment) string {
-	return strings.Join([]string{intKey(mask), merged.key()}, "|")
-}
-
-func intKey(mask int) string {
-	const digits = "0123456789abcdef"
-	if mask == 0 {
-		return "0"
+// stateKey identifies a search state: the consumed-version mask plus the
+// merged assignment rendered over the fuser's fixed attribute order (a
+// presence byte per attribute disambiguates absent from empty values).
+func (f *fuser) stateKey(mask int, merged assignment) string {
+	var b strings.Builder
+	n := 9 + len(f.attrOrder)*2
+	for _, v := range merged {
+		n += len(v)
 	}
-	var b [16]byte
-	i := len(b)
-	for mask > 0 {
-		i--
-		b[i] = digits[mask&0xf]
-		mask >>= 4
+	b.Grow(n)
+	var mb [8]byte
+	binary.LittleEndian.PutUint64(mb[:], uint64(mask))
+	b.Write(mb[:])
+	for _, a := range f.attrOrder {
+		if v, ok := merged[a]; ok {
+			b.WriteByte(1)
+			b.WriteString(v)
+		} else {
+			b.WriteByte(0)
+		}
+		b.WriteByte('\x1e')
 	}
-	return string(b[i:])
+	return b.String()
 }

@@ -23,6 +23,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"strings"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/errgen"
@@ -154,22 +155,54 @@ type model struct {
 	topValues map[string][]string
 	// ruleOf[attr] lists rules whose result part contains attr.
 	ruleOf map[string][]*rules.Rule
+	// reasonCols caches each rule's reason-attribute column indices so
+	// context keys build straight from tuple storage, with no per-call
+	// projection slice or schema lookups.
+	reasonCols map[*rules.Rule][]int
+}
+
+// ctxKey renders the (rule, reason values) context identity for tuple t —
+// the key the co-occurrence statistics are bucketed under. Layout matches
+// ruleID + "\x1f" + JoinKey(reason projection), built in one pass.
+func (m *model) ctxKey(r *rules.Rule, t *dataset.Tuple) string {
+	cols := m.reasonCols[r]
+	n := len(r.ID) + len(cols)
+	for _, j := range cols {
+		n += len(t.Values[j])
+	}
+	var b strings.Builder
+	b.Grow(n)
+	b.WriteString(r.ID)
+	b.WriteByte('\x1f')
+	for i, j := range cols {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteString(t.Values[j])
+	}
+	return b.String()
 }
 
 func buildModel(dirty *dataset.Table, rs []*rules.Rule, noisy map[errgen.Cell]bool) *model {
 	m := &model{
-		dirty:     dirty,
-		rules:     rs,
-		noisy:     noisy,
-		cleanFreq: make(map[string]map[string]int),
-		cooccur:   make(map[string]map[string]map[string]int),
-		topValues: make(map[string][]string),
-		ruleOf:    make(map[string][]*rules.Rule),
+		dirty:      dirty,
+		rules:      rs,
+		noisy:      noisy,
+		cleanFreq:  make(map[string]map[string]int),
+		cooccur:    make(map[string]map[string]map[string]int),
+		topValues:  make(map[string][]string),
+		ruleOf:     make(map[string][]*rules.Rule),
+		reasonCols: make(map[*rules.Rule][]int),
 	}
 	for _, r := range rs {
 		for _, a := range r.ResultAttrs() {
 			m.ruleOf[a] = append(m.ruleOf[a], r)
 		}
+		cols := make([]int, 0, len(r.Reason))
+		for _, a := range r.ReasonAttrs() {
+			cols = append(cols, dirty.Schema.MustIndex(a))
+		}
+		m.reasonCols[r] = cols
 	}
 	for _, t := range dirty.Tuples {
 		for j, v := range t.Values {
@@ -193,7 +226,7 @@ func buildModel(dirty *dataset.Table, rs []*rules.Rule, noisy map[errgen.Cell]bo
 			if m.anyNoisy(t, r.ReasonAttrs()) {
 				continue
 			}
-			ctxKey := r.ID + "\x1f" + dataset.JoinKey(dirty.Project(t, r.ReasonAttrs()))
+			ctxKey := m.ctxKey(r, t)
 			for _, a := range r.ResultAttrs() {
 				if m.noisy[errgen.Cell{TupleID: t.ID, Attr: a}] {
 					continue
@@ -269,8 +302,7 @@ func (m *model) candidates(t *dataset.Tuple, attr string, topK int) []string {
 		if !r.AppliesTo(m.dirty, t) {
 			continue
 		}
-		ctxKey := r.ID + "\x1f" + dataset.JoinKey(m.dirty.Project(t, r.ReasonAttrs()))
-		votes := m.cooccur[attr][ctxKey]
+		votes := m.cooccur[attr][m.ctxKey(r, t)]
 		vals := make([]string, 0, len(votes))
 		for v := range votes {
 			vals = append(vals, v)
@@ -300,8 +332,7 @@ func (m *model) features(t *dataset.Tuple, attr, v string) [featureCount]float64
 		if !r.AppliesTo(m.dirty, t) {
 			continue
 		}
-		ctxKey := r.ID + "\x1f" + dataset.JoinKey(m.dirty.Project(t, r.ReasonAttrs()))
-		votes := m.cooccur[attr][ctxKey]
+		votes := m.cooccur[attr][m.ctxKey(r, t)]
 		if len(votes) == 0 {
 			continue
 		}

@@ -1,0 +1,127 @@
+package mln
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Benchmark fixtures model the shapes MLNClean produces at scale: tuple-driven
+// grounding of low-arity clauses with heavy duplication (BenchmarkGrounding),
+// and sampling over ground programs whose clauses are short but numerous
+// (BenchmarkMaxWalkSATFlips, BenchmarkGibbsSweeps).
+
+// benchSubs generates nSubs substitutions for a 3-variable clause with a
+// realistic duplicate rate: ~nCities distinct x values, a handful of y/z
+// variants per x.
+func benchSubs(nSubs, nCities int, seed int64) []Substitution {
+	rng := rand.New(rand.NewSource(seed))
+	subs := make([]Substitution, nSubs)
+	for i := range subs {
+		c := rng.Intn(nCities)
+		subs[i] = Substitution{
+			"x": fmt.Sprintf("city-%d", c),
+			"y": fmt.Sprintf("state-%d", c%(nCities/8+1)),
+			"z": fmt.Sprintf("zip-%d-%d", c, rng.Intn(4)),
+		}
+	}
+	return subs
+}
+
+func benchClause(prog *Program) *Clause {
+	ct := prog.MustPredicate("CT", 1)
+	st := prog.MustPredicate("ST", 1)
+	zp := prog.MustPredicate("ZP", 1)
+	return &Clause{
+		Name:     "r1",
+		Weight:   1,
+		Literals: []Literal{Neg(MustAtom(ct, Var("x"))), Neg(MustAtom(zp, Var("z"))), Pos(MustAtom(st, Var("y")))},
+	}
+}
+
+// BenchmarkGrounding measures tuple-driven grounding throughput
+// (substitutions deduplicated per second) at several input sizes.
+func BenchmarkGrounding(b *testing.B) {
+	for _, n := range []int{1000, 20000, 200000} {
+		b.Run(fmt.Sprintf("subs=%d", n), func(b *testing.B) {
+			prog := NewProgram()
+			c := benchClause(prog)
+			subs := benchSubs(n, 256, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gs, err := GroundFromBindings(c, subs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = gs
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "subs/s")
+		})
+	}
+}
+
+// benchWorld builds a random ground program: nAtoms unary atoms, nClauses
+// 3-literal clauses with random polarities and weights. Deterministic in seed.
+func benchWorld(nAtoms, nClauses int, seed int64) *World {
+	rng := rand.New(rand.NewSource(seed))
+	prog := NewProgram()
+	v := prog.MustPredicate("V", 1)
+	atoms := make([]Atom, nAtoms)
+	for i := range atoms {
+		atoms[i] = MustAtom(v, Const(fmt.Sprintf("a%d", i)))
+	}
+	gs := make([]*GroundClause, nClauses)
+	for i := range gs {
+		lits := make([]Literal, 3)
+		for j := range lits {
+			lits[j] = Literal{Atom: atoms[rng.Intn(nAtoms)], Negated: rng.Intn(2) == 0}
+		}
+		gs[i] = &GroundClause{Literals: lits, Weight: rng.Float64()*2 - 0.5, Count: 1 + rng.Intn(3)}
+	}
+	return NewWorld(gs)
+}
+
+// BenchmarkMaxWalkSATFlips measures MAP local-search speed in flips per
+// second over a 2k-atom / 10k-clause ground program.
+func BenchmarkMaxWalkSATFlips(b *testing.B) {
+	w := benchWorld(2000, 10000, 7)
+	const flips = 20000
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.MaxWalkSAT(nil, rng, MaxWalkSATOptions{MaxFlips: flips, Tries: 1})
+	}
+	b.ReportMetric(float64(flips)*float64(b.N)/b.Elapsed().Seconds(), "flips/s")
+}
+
+// BenchmarkGibbsSweeps measures Gibbs sampling speed in full sweeps (one
+// conditional resample of every free atom) per second.
+func BenchmarkGibbsSweeps(b *testing.B) {
+	w := benchWorld(2000, 10000, 7)
+	query := make([]int, w.NumAtoms())
+	for i := range query {
+		query[i] = i
+	}
+	const sweeps = 100
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Gibbs(query, nil, rng, GibbsOptions{Burnin: sweeps / 2, Samples: sweeps / 2})
+	}
+	b.ReportMetric(float64(sweeps)*float64(b.N)/b.Elapsed().Seconds(), "sweeps/s")
+}
+
+// BenchmarkNewWorld measures ground-program indexing cost.
+func BenchmarkNewWorld(b *testing.B) {
+	prog := NewProgram()
+	c := benchClause(prog)
+	subs := benchSubs(200000, 4096, 42)
+	gs, err := GroundFromBindings(c, subs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = NewWorld(gs)
+	}
+}

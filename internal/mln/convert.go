@@ -60,6 +60,11 @@ func TupleSubstitution(tb *dataset.Table, t *dataset.Tuple, r *rules.Rule) Subst
 // table, reproducing the Table 3 grounding: one ground MLN rule per distinct
 // combination of the rule's attribute values, with Count = the number of
 // supporting tuples (c(γ) of Eq. 4).
+//
+// The grounding interns into the program's store and feeds the dense-ID
+// dedup engine directly: rows are projected straight from tuple storage
+// (no per-tuple Substitution maps) and duplicate bindings never instantiate
+// a clause.
 func GroundRuleFromTable(p *Program, r *rules.Rule, tb *dataset.Table) ([]*GroundClause, error) {
 	if err := r.Validate(tb.Schema); err != nil {
 		return nil, err
@@ -68,14 +73,53 @@ func GroundRuleFromTable(p *Program, r *rules.Rule, tb *dataset.Table) ([]*Groun
 	if err != nil {
 		return nil, err
 	}
-	var subs []Substitution
+	vars := c.Vars()
+	if len(vars) > maxKeyVars {
+		var subs []Substitution
+		for _, t := range tb.Tuples {
+			if !r.AppliesTo(tb, t) {
+				continue
+			}
+			subs = append(subs, TupleSubstitution(tb, t, r))
+		}
+		return GroundFromBindingsStore(p.store, c, subs)
+	}
+	// Column index per clause variable, mirroring TupleSubstitution's
+	// x_Attr ↦ t.[Attr] convention.
+	varAttr := make(map[string]string)
+	for _, pat := range r.Reason {
+		if pat.Const == "" || r.Kind == rules.CFD {
+			varAttr["x_"+pat.Attr] = pat.Attr
+		}
+	}
+	for _, pat := range r.Result {
+		if pat.Const == "" || r.Kind == rules.CFD {
+			varAttr["x_"+pat.Attr] = pat.Attr
+		}
+	}
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		attr, ok := varAttr[v]
+		if !ok {
+			return nil, fmt.Errorf("mln: unbound variable %q in %s", v, c)
+		}
+		cols[i] = tb.Schema.MustIndex(attr)
+	}
+	cc := compile(c, p.store)
+	nv := len(vars)
+	rows := make([][]string, 0, len(tb.Tuples))
+	flat := make([]string, 0, nv*len(tb.Tuples))
 	for _, t := range tb.Tuples {
 		if !r.AppliesTo(tb, t) {
 			continue
 		}
-		subs = append(subs, TupleSubstitution(tb, t, r))
+		lo := len(flat)
+		for _, j := range cols {
+			flat = append(flat, t.Values[j])
+		}
+		rows = append(rows, flat[lo:len(flat):len(flat)])
 	}
-	return GroundFromBindings(c, subs)
+	return groundRowsSharded(p.store, cc, rows, groundShards(len(rows))), nil
 }
 
 // GroundAllFromTable grounds every rule against the table, returning the

@@ -2,7 +2,10 @@ package mln
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 )
 
 // GroundClause is a clause with no variables, plus bookkeeping for how many
@@ -15,9 +18,17 @@ type GroundClause struct {
 	// Count is the number of distinct substitutions (or source tuples) that
 	// produced this exact ground clause.
 	Count int
+
+	// Dense-ID fast path, populated by store-aware grounding: lits packs
+	// (atomID<<1 | negated) per literal, with atom IDs owned by store.
+	// NewWorld indexes clauses sharing one store without hashing strings.
+	store *Store
+	lits  []int32
 }
 
-// Key returns a canonical identity string for the ground clause.
+// Key returns a canonical identity string for the ground clause. It is a
+// debugging/tracing renderer; the hot grounding and inference paths identify
+// clauses by dense integer keys instead.
 func (g *GroundClause) Key() string {
 	parts := make([]string, len(g.Literals))
 	for i, l := range g.Literals {
@@ -31,14 +42,19 @@ func (g *GroundClause) Key() string {
 }
 
 func joinKeyParts(parts []string) string {
-	out := ""
+	n := 0
+	for _, p := range parts {
+		n += len(p) + 1
+	}
+	var b strings.Builder
+	b.Grow(n)
 	for i, p := range parts {
 		if i > 0 {
-			out += "\x1e"
+			b.WriteByte('\x1e')
 		}
-		out += p
+		b.WriteString(p)
 	}
-	return out
+	return b.String()
 }
 
 // String renders the ground clause.
@@ -73,10 +89,308 @@ func (c *Clause) Apply(sub Substitution) (*GroundClause, error) {
 	return g, nil
 }
 
+// ---------------------------------------------------------------------------
+// Dense-ID grounding engine.
+//
+// A ground clause produced from a fixed clause template is a bijective
+// function of the values bound to the clause's distinct variables, so the
+// dedup identity of a grounding is just the tuple of interned value symbols —
+// a fixed-width [maxKeyVars]int32 key hashed directly, with no string
+// building and no Apply call for duplicate bindings. Clauses with more
+// variables than maxKeyVars fall back to the legacy string-keyed path.
+
+// maxKeyVars bounds the clause variables representable in a fixed-width
+// binding key. MLNClean rules have one variable per attribute, so real
+// clauses sit far below the bound.
+const maxKeyVars = 8
+
+// minShardRows is the smallest per-worker slice worth a goroutine during
+// parallel grounding.
+const minShardRows = 4096
+
+type bindKey [maxKeyVars]int32
+
+// groundEntry is one deduplicated binding: where it first occurred, how many
+// bindings mapped to it, and its interned value tuple.
+type groundEntry struct {
+	firstIdx int
+	count    int
+	key      bindKey
+}
+
+// compiledClause is a clause template with constants pre-interned and every
+// argument resolved to either a variable position or a constant symbol.
+type compiledClause struct {
+	c    *Clause
+	vars []string
+	lits []compiledLit
+}
+
+type compiledLit struct {
+	pred    *Predicate
+	negated bool
+	args    []compiledArg
+}
+
+type compiledArg struct {
+	// varPos indexes compiledClause.vars, or is -1 for a constant.
+	varPos   int
+	constSym int32
+	constVal string
+}
+
+func compile(c *Clause, s *Store) *compiledClause {
+	cc := &compiledClause{c: c, vars: c.Vars(), lits: make([]compiledLit, len(c.Literals))}
+	vidx := make(map[string]int, len(cc.vars))
+	for i, v := range cc.vars {
+		vidx[v] = i
+	}
+	for i, l := range c.Literals {
+		cl := compiledLit{pred: l.Atom.Pred, negated: l.Negated, args: make([]compiledArg, len(l.Atom.Args))}
+		for j, t := range l.Atom.Args {
+			if t.IsVar {
+				cl.args[j] = compiledArg{varPos: vidx[t.Symbol]}
+			} else {
+				cl.args[j] = compiledArg{varPos: -1, constSym: s.Sym(t.Symbol), constVal: t.Symbol}
+			}
+		}
+		cc.lits[i] = cl
+	}
+	return cc
+}
+
+// groundOne instantiates the template for one deduplicated binding, interning
+// the ground atoms into s and packing the dense literal codes. valStrs
+// resolves a variable position to its bound string.
+func groundOne(s *Store, cc *compiledClause, valSyms []int32, valStrs func(int) string, count int) *GroundClause {
+	c := cc.c
+	g := &GroundClause{Weight: c.Weight, Hard: c.Hard, Name: c.Name, Count: count, store: s}
+	g.Literals = make([]Literal, len(cc.lits))
+	g.lits = make([]int32, len(cc.lits))
+	var symBuf [4]int32
+	for i, cl := range cc.lits {
+		args := make([]Term, len(cl.args))
+		syms := symBuf[:0]
+		if len(cl.args) > len(symBuf) {
+			syms = make([]int32, 0, len(cl.args))
+		}
+		for j, a := range cl.args {
+			if a.varPos >= 0 {
+				args[j] = Const(valStrs(a.varPos))
+				syms = append(syms, valSyms[a.varPos])
+			} else {
+				args[j] = Const(a.constVal)
+				syms = append(syms, a.constSym)
+			}
+		}
+		code := s.internAtomSyms(cl.pred, syms) << 1
+		if cl.negated {
+			code |= 1
+		}
+		g.Literals[i] = Literal{Atom: Atom{Pred: cl.pred, Args: args}, Negated: cl.negated}
+		g.lits[i] = code
+	}
+	return g
+}
+
+// groundShards picks the worker count for n bindings.
+func groundShards(n int) int {
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 2 || n < 2*minShardRows {
+		return 1
+	}
+	s := n / minShardRows
+	if s > procs {
+		s = procs
+	}
+	return s
+}
+
+// runShards splits [0, n) into `shards` contiguous chunks and runs fn on
+// each concurrently, returning the per-shard outputs in chunk order.
+func runShards(n, shards int, fn func(lo, hi int) []groundEntry) [][]groundEntry {
+	results := make([][]groundEntry, shards)
+	var wg sync.WaitGroup
+	chunk := (n + shards - 1) / shards
+	for w := 0; w < shards; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = fn(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return results
+}
+
+// mergeShardEntries combines shard dedup outputs. Shards cover ascending
+// row ranges and each shard's entries are in first-occurrence order, so a
+// first-insert-wins merge walked in shard order yields entries sorted by
+// global first occurrence — identical to serial dedup. rekey, if non-nil,
+// translates an entry's shard-local key into the global store's symbols.
+func mergeShardEntries(results [][]groundEntry, rekey func(groundEntry) bindKey) []groundEntry {
+	gm := make(map[bindKey]int32)
+	var out []groundEntry
+	for _, res := range results {
+		for _, e := range res {
+			if rekey != nil {
+				e.key = rekey(e)
+			}
+			if gi, ok := gm[e.key]; ok {
+				out[gi].count += e.count
+				continue
+			}
+			gm[e.key] = int32(len(out))
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// dedupRows collapses rows (one value per clause variable, in cc.vars order)
+// into first-occurrence-ordered entries. base offsets firstIdx so shard
+// outputs carry global positions; intern supplies symbol IDs (the global
+// store's in the serial path, a shard-local interner in the parallel one).
+func dedupRows(rows [][]string, base, nv int, intern func(string) int32) []groundEntry {
+	hint := len(rows)
+	if hint > 1<<14 {
+		hint = 1 << 14 // uniques are usually far fewer than bindings
+	}
+	m := make(map[bindKey]int32, hint)
+	var entries []groundEntry
+	var key bindKey
+	for i, row := range rows {
+		for j := 0; j < nv; j++ {
+			key[j] = intern(row[j])
+		}
+		if ei, ok := m[key]; ok {
+			entries[ei].count++
+			continue
+		}
+		m[key] = int32(len(entries))
+		entries = append(entries, groundEntry{firstIdx: base + i, count: 1, key: key})
+	}
+	return entries
+}
+
+// groundRowsSharded is the tuple-driven grounding core: dedup rows across
+// `shards` workers (shard-local interners and maps, no shared state), then
+// merge the shard outputs by re-interning each unique entry's values into
+// the global store, preserving serial first-occurrence order.
+func groundRowsSharded(s *Store, cc *compiledClause, rows [][]string, shards int) []*GroundClause {
+	nv := len(cc.vars)
+	var entries []groundEntry
+	if shards <= 1 {
+		entries = dedupRows(rows, 0, nv, s.Sym)
+	} else {
+		results := runShards(len(rows), shards, func(lo, hi int) []groundEntry {
+			local := make(map[string]int32)
+			intern := func(x string) int32 {
+				if id, ok := local[x]; ok {
+					return id
+				}
+				id := int32(len(local))
+				local[x] = id
+				return id
+			}
+			return dedupRows(rows[lo:hi], lo, nv, intern)
+		})
+		entries = mergeShardEntries(results, func(e groundEntry) bindKey {
+			row := rows[e.firstIdx]
+			var key bindKey
+			for j := 0; j < nv; j++ {
+				key[j] = s.Sym(row[j])
+			}
+			return key
+		})
+	}
+	out := make([]*GroundClause, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		row := rows[e.firstIdx]
+		out[i] = groundOne(s, cc, e.key[:nv], func(vp int) string { return row[vp] }, e.count)
+	}
+	return out
+}
+
+// GroundFromBindings grounds the clause once per provided substitution
+// (tuple-driven grounding, the mode MLNClean uses: each tuple of the dirty
+// table contributes the substitution binding rule variables to its attribute
+// values, reproducing Table 3). Identical ground clauses are merged and
+// their Count accumulates — Count is exactly c(γ) of Eq. 4.
+func GroundFromBindings(c *Clause, subs []Substitution) ([]*GroundClause, error) {
+	return GroundFromBindingsStore(NewStore(), c, subs)
+}
+
+// GroundFromBindingsStore is GroundFromBindings interning into a caller-owned
+// store; grounding several clauses into one store lets NewWorld index the
+// union without re-hashing any atom. Large inputs dedup across parallel
+// worker shards.
+func GroundFromBindingsStore(s *Store, c *Clause, subs []Substitution) ([]*GroundClause, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	vars := c.Vars()
+	if len(vars) > maxKeyVars {
+		return groundFromBindingsByKey(s, c, subs)
+	}
+	cc := compile(c, s)
+	nv := len(vars)
+	flat := make([]string, nv*len(subs))
+	rows := make([][]string, len(subs))
+	for i, sub := range subs {
+		row := flat[i*nv : (i+1)*nv : (i+1)*nv]
+		for j, v := range vars {
+			val, ok := sub[v]
+			if !ok {
+				return nil, fmt.Errorf("mln: unbound variable %q in %s", v, c)
+			}
+			row[j] = val
+		}
+		rows[i] = row
+	}
+	return groundRowsSharded(s, cc, rows, groundShards(len(rows))), nil
+}
+
+// groundFromBindingsByKey is the legacy string-keyed dedup, kept for clauses
+// whose variable count exceeds the fixed-width binding key. A non-nil store
+// still receives the clauses' atoms, so mixing one oversized clause into a
+// store-ground program does not knock the whole world off the dense-ID
+// fast path.
+func groundFromBindingsByKey(s *Store, c *Clause, subs []Substitution) ([]*GroundClause, error) {
+	var out []*GroundClause
+	seen := make(map[string]*GroundClause)
+	for _, sub := range subs {
+		g, err := c.Apply(sub)
+		if err != nil {
+			return nil, err
+		}
+		if prev, ok := seen[g.Key()]; ok {
+			prev.Count++
+			continue
+		}
+		if s != nil {
+			s.internClause(g)
+		}
+		seen[g.Key()] = g
+		out = append(out, g)
+	}
+	return out, nil
+}
+
 // GroundCartesian grounds the clause over the cartesian product of the
 // program's declared variable domains. The number of ground clauses is
 // Π |domain(v)| over the clause's variables. Duplicate ground clauses are
-// merged with their counts summed.
+// merged with their counts summed. Large products enumerate in parallel,
+// chunked over the first variable's domain.
 func (p *Program) GroundCartesian(c *Clause) ([]*GroundClause, error) {
 	vars := c.Vars()
 	for _, v := range vars {
@@ -84,6 +398,86 @@ func (p *Program) GroundCartesian(c *Clause) ([]*GroundClause, error) {
 			return nil, fmt.Errorf("mln: variable %q has no declared domain", v)
 		}
 	}
+	if len(vars) > maxKeyVars {
+		return p.groundCartesianByKey(c, vars)
+	}
+	s := p.store
+	cc := compile(c, s)
+	nv := len(vars)
+	if nv == 0 {
+		return []*GroundClause{groundOne(s, cc, nil, nil, 1)}, nil
+	}
+	domSyms := make([][]int32, nv)
+	stride := 1 // Π |domain(vars[i])| for i ≥ 1
+	for i, v := range vars {
+		d := p.domains[v]
+		domSyms[i] = make([]int32, len(d))
+		for j, val := range d {
+			domSyms[i][j] = s.Sym(val)
+		}
+		if i > 0 {
+			stride *= len(d)
+		}
+	}
+	total := stride * len(domSyms[0])
+	shards := groundShards(total)
+	if shards > len(domSyms[0]) {
+		shards = len(domSyms[0])
+	}
+	var entries []groundEntry
+	if shards <= 1 {
+		entries = cartDedup(domSyms, 0, len(domSyms[0]), stride)
+	} else {
+		results := runShards(len(domSyms[0]), shards, func(lo, hi int) []groundEntry {
+			return cartDedup(domSyms, lo, hi, stride)
+		})
+		// Domain symbols were pre-interned, so shard keys are already global.
+		entries = mergeShardEntries(results, nil)
+	}
+	out := make([]*GroundClause, len(entries))
+	for i := range entries {
+		e := &entries[i]
+		out[i] = groundOne(s, cc, e.key[:nv], func(vp int) string { return s.SymName(e.key[vp]) }, e.count)
+	}
+	return out, nil
+}
+
+// cartDedup enumerates the cartesian product restricted to indices [lo, hi)
+// of the first variable's domain, deduplicating bindings. The enumeration
+// index (first variable outermost) is the global first-occurrence position.
+func cartDedup(domSyms [][]int32, lo, hi, stride int) []groundEntry {
+	m := make(map[bindKey]int32)
+	var entries []groundEntry
+	var key bindKey
+	nv := len(domSyms)
+	idx := lo * stride
+	var rec func(vi int)
+	rec = func(vi int) {
+		if vi == nv {
+			if ei, ok := m[key]; ok {
+				entries[ei].count++
+			} else {
+				m[key] = int32(len(entries))
+				entries = append(entries, groundEntry{firstIdx: idx, count: 1, key: key})
+			}
+			idx++
+			return
+		}
+		for _, sym := range domSyms[vi] {
+			key[vi] = sym
+			rec(vi + 1)
+		}
+	}
+	for i0 := lo; i0 < hi; i0++ {
+		key[0] = domSyms[0][i0]
+		rec(1)
+	}
+	return entries
+}
+
+// groundCartesianByKey is the legacy recursive grounding for clauses beyond
+// the fixed-width binding key.
+func (p *Program) groundCartesianByKey(c *Clause, vars []string) ([]*GroundClause, error) {
 	var out []*GroundClause
 	seen := make(map[string]*GroundClause)
 	sub := make(Substitution, len(vars))
@@ -98,6 +492,7 @@ func (p *Program) GroundCartesian(c *Clause) ([]*GroundClause, error) {
 				prev.Count++
 				return nil
 			}
+			p.store.internClause(g)
 			seen[g.Key()] = g
 			out = append(out, g)
 			return nil
@@ -116,7 +511,9 @@ func (p *Program) GroundCartesian(c *Clause) ([]*GroundClause, error) {
 	return out, nil
 }
 
-// GroundAll grounds every clause in the program cartesian-style.
+// GroundAll grounds every clause in the program cartesian-style. All clauses
+// share the program's store, so NewWorld over the union takes the dense-ID
+// fast path.
 func (p *Program) GroundAll() ([]*GroundClause, error) {
 	var out []*GroundClause
 	for _, c := range p.Clauses {
@@ -125,29 +522,6 @@ func (p *Program) GroundAll() ([]*GroundClause, error) {
 			return nil, err
 		}
 		out = append(out, gs...)
-	}
-	return out, nil
-}
-
-// GroundFromBindings grounds the clause once per provided substitution
-// (tuple-driven grounding, the mode MLNClean uses: each tuple of the dirty
-// table contributes the substitution binding rule variables to its attribute
-// values, reproducing Table 3). Identical ground clauses are merged and
-// their Count accumulates — Count is exactly c(γ) of Eq. 4.
-func GroundFromBindings(c *Clause, subs []Substitution) ([]*GroundClause, error) {
-	var out []*GroundClause
-	seen := make(map[string]*GroundClause)
-	for _, sub := range subs {
-		g, err := c.Apply(sub)
-		if err != nil {
-			return nil, err
-		}
-		if prev, ok := seen[g.Key()]; ok {
-			prev.Count++
-			continue
-		}
-		seen[g.Key()] = g
-		out = append(out, g)
 	}
 	return out, nil
 }

@@ -8,69 +8,246 @@ import (
 
 // World is a truth assignment over the ground atoms of a ground program.
 // Atoms are addressed by dense integer ids assigned by NewWorld.
+//
+// The world maintains per-clause satisfied-literal counts and a running
+// satisfied-weight sum ("make/break" bookkeeping from the WalkSAT
+// literature): flipping an atom updates only the clauses touching it, in
+// O(1) per clause, so flip gains, Gibbs conditionals, and SatisfiedWeight
+// never rescan clause literals.
 type World struct {
-	atoms   []Atom
-	atomID  map[string]int
-	truth   []bool
-	clauses []*GroundClause
+	store *Store
+	// storeAtom maps world atom id → store atom id; s2w is the inverse
+	// (−1 for store atoms outside this world).
+	storeAtom []int32
+	s2w       []int32
+	truth     []bool
+	// clauseW caches Weight·Count per clause.
+	clauseW []float64
 	// clauseLits[c] lists (atomID, negated) pairs for clause c.
 	clauseLits [][]worldLit
-	// atomClauses[a] lists the clauses mentioning atom a.
-	atomClauses [][]int
+	// satLits[c] counts clause c's currently-true literals.
+	satLits []int32
+	// totalSat is the maintained Σ wᵢ·nᵢ(x) over satisfied clauses.
+	totalSat float64
+	// Occurrence lists aggregate, per clause touching an atom, how many
+	// positive and negated occurrences of it the clause holds — everything a
+	// flip needs. Flattened: atom a's entries are
+	// occFlat[occStart[a]:occStart[a+1]], contiguous for cache locality.
+	occFlat  []atomOcc
+	occStart []int32
+
+	// Scratch reused across Gibbs/MaxWalkSAT calls.
+	freeScratch  []int
+	countScratch []int
 }
 
 type worldLit struct {
-	atom    int
+	atom    int32
 	negated bool
 }
 
-// NewWorld indexes a ground program for inference. All atoms start false.
-func NewWorld(clauses []*GroundClause) *World {
-	w := &World{atomID: make(map[string]int)}
+type atomOcc struct {
+	clause   int32
+	pos, neg int32
+}
+
+// sharedStore returns the store all clauses carry dense literal codes for,
+// or nil if the clauses were not store-ground (hand-built literals).
+func sharedStore(clauses []*GroundClause) *Store {
+	if len(clauses) == 0 {
+		return nil
+	}
+	s := clauses[0].store
+	if s == nil {
+		return nil
+	}
 	for _, g := range clauses {
-		for _, l := range g.Literals {
-			k := l.Atom.Key()
-			if _, ok := w.atomID[k]; !ok {
-				w.atomID[k] = len(w.atoms)
-				w.atoms = append(w.atoms, l.Atom)
+		if g.store != s || g.lits == nil {
+			return nil
+		}
+	}
+	return s
+}
+
+// NewWorld indexes a ground program for inference. All atoms start false.
+// Clauses ground through one Store are indexed via their dense literal codes
+// with no string hashing; hand-built clauses are interned on the fly.
+func NewWorld(clauses []*GroundClause) *World {
+	w := &World{}
+	s := sharedStore(clauses)
+	codes := make([][]int32, len(clauses))
+	if s != nil {
+		for ci, g := range clauses {
+			codes[ci] = g.lits
+		}
+	} else {
+		s = NewStore()
+		for ci, g := range clauses {
+			cs := make([]int32, len(g.Literals))
+			for li, l := range g.Literals {
+				code := s.InternAtom(l.Atom) << 1
+				if l.Negated {
+					code |= 1
+				}
+				cs[li] = code
+			}
+			codes[ci] = cs
+		}
+	}
+	w.store = s
+	w.s2w = make([]int32, s.NumAtoms())
+	for i := range w.s2w {
+		w.s2w[i] = -1
+	}
+	for _, cs := range codes {
+		for _, code := range cs {
+			sa := code >> 1
+			if w.s2w[sa] < 0 {
+				w.s2w[sa] = int32(len(w.storeAtom))
+				w.storeAtom = append(w.storeAtom, sa)
 			}
 		}
 	}
-	w.truth = make([]bool, len(w.atoms))
-	w.clauses = clauses
+	n := len(w.storeAtom)
+	w.truth = make([]bool, n)
+	w.clauseW = make([]float64, len(clauses))
 	w.clauseLits = make([][]worldLit, len(clauses))
-	w.atomClauses = make([][]int, len(w.atoms))
-	for ci, g := range clauses {
-		lits := make([]worldLit, len(g.Literals))
-		for li, l := range g.Literals {
-			id := w.atomID[l.Atom.Key()]
-			lits[li] = worldLit{atom: id, negated: l.Negated}
-			w.atomClauses[id] = append(w.atomClauses[id], ci)
+	w.satLits = make([]int32, len(clauses))
+	occs := make([][]atomOcc, n)
+	totalOccs := 0
+	for ci, cs := range codes {
+		g := clauses[ci]
+		w.clauseW[ci] = g.Weight * float64(g.Count)
+		lits := make([]worldLit, len(cs))
+		for li, code := range cs {
+			a := w.s2w[code>>1]
+			neg := code&1 == 1
+			lits[li] = worldLit{atom: a, negated: neg}
+			// Aggregate per-(atom, clause) occurrence counts. Literals of one
+			// clause are processed together, so the clause's entry, if any,
+			// is the last one appended for this atom.
+			os := occs[a]
+			if k := len(os) - 1; k >= 0 && os[k].clause == int32(ci) {
+				if neg {
+					os[k].neg++
+				} else {
+					os[k].pos++
+				}
+			} else {
+				o := atomOcc{clause: int32(ci)}
+				if neg {
+					o.neg = 1
+				} else {
+					o.pos = 1
+				}
+				occs[a] = append(os, o)
+				totalOccs++
+			}
 		}
 		w.clauseLits[ci] = lits
 	}
+	w.occFlat = make([]atomOcc, 0, totalOccs)
+	w.occStart = make([]int32, n+1)
+	for a, os := range occs {
+		w.occStart[a] = int32(len(w.occFlat))
+		w.occFlat = append(w.occFlat, os...)
+	}
+	w.occStart[n] = int32(len(w.occFlat))
+	w.recount()
 	return w
 }
 
+// recount rebuilds the satisfied-literal counters and running weight from
+// the current truth assignment in one pass over all literals. Used at
+// construction and after bulk truth rewrites; incremental flips keep the
+// counters exact in between.
+func (w *World) recount() {
+	w.totalSat = 0
+	for ci, lits := range w.clauseLits {
+		var n int32
+		for _, l := range lits {
+			if w.truth[l.atom] != l.negated {
+				n++
+			}
+		}
+		w.satLits[ci] = n
+		if n > 0 {
+			w.totalSat += w.clauseW[ci]
+		}
+	}
+}
+
+// flip toggles atom id, updating counters in O(clauses touching id).
+func (w *World) flip(id int) {
+	t := w.truth[id]
+	for _, o := range w.occFlat[w.occStart[id]:w.occStart[id+1]] {
+		d := o.pos - o.neg // Δ satisfied literals when id goes false→true
+		if t {
+			d = -d
+		}
+		s := w.satLits[o.clause]
+		ns := s + d
+		w.satLits[o.clause] = ns
+		if s == 0 {
+			if ns > 0 {
+				w.totalSat += w.clauseW[o.clause]
+			}
+		} else if ns == 0 {
+			w.totalSat -= w.clauseW[o.clause]
+		}
+	}
+	w.truth[id] = !t
+}
+
+// flipGain computes the change in satisfied weight if atom id were flipped,
+// without mutating anything.
+func (w *World) flipGain(id int) float64 {
+	t := w.truth[id]
+	var gain float64
+	for _, o := range w.occFlat[w.occStart[id]:w.occStart[id+1]] {
+		d := o.pos - o.neg
+		if t {
+			d = -d
+		}
+		s := w.satLits[o.clause]
+		if s == 0 {
+			if s+d > 0 {
+				gain += w.clauseW[o.clause]
+			}
+		} else if s+d == 0 {
+			gain -= w.clauseW[o.clause]
+		}
+	}
+	return gain
+}
+
 // NumAtoms returns the number of distinct ground atoms.
-func (w *World) NumAtoms() int { return len(w.atoms) }
+func (w *World) NumAtoms() int { return len(w.storeAtom) }
 
 // AtomID returns the dense id of a ground atom, or -1.
 func (w *World) AtomID(a Atom) int {
-	if id, ok := w.atomID[a.Key()]; ok {
-		return id
+	sa := w.store.LookupAtom(a)
+	if sa < 0 || int(sa) >= len(w.s2w) {
+		return -1
+	}
+	if id := w.s2w[sa]; id >= 0 {
+		return int(id)
 	}
 	return -1
 }
 
 // Atom returns the atom with the given id.
-func (w *World) Atom(id int) Atom { return w.atoms[id] }
+func (w *World) Atom(id int) Atom { return w.store.AtomAt(w.storeAtom[id]) }
 
 // Truth returns the current assignment of atom id.
 func (w *World) Truth(id int) bool { return w.truth[id] }
 
-// Set assigns atom id.
-func (w *World) Set(id int, v bool) { w.truth[id] = v }
+// Set assigns atom id, keeping the incremental counters exact.
+func (w *World) Set(id int, v bool) {
+	if w.truth[id] != v {
+		w.flip(id)
+	}
+}
 
 // SetByAtom assigns a ground atom by value; unknown atoms are an error.
 func (w *World) SetByAtom(a Atom, v bool) error {
@@ -78,32 +255,15 @@ func (w *World) SetByAtom(a Atom, v bool) error {
 	if id < 0 {
 		return fmt.Errorf("mln: atom %s not in world", a)
 	}
-	w.truth[id] = v
+	w.Set(id, v)
 	return nil
-}
-
-// clauseSatisfied evaluates clause ci under the current assignment.
-func (w *World) clauseSatisfied(ci int) bool {
-	for _, l := range w.clauseLits[ci] {
-		if w.truth[l.atom] != l.negated {
-			return true
-		}
-	}
-	return false
 }
 
 // SatisfiedWeight returns Σ wᵢ·nᵢ(x): the sum of weights of satisfied ground
 // clauses (each weighted by its Count), i.e. the log of the unnormalized
-// probability of the current world (Eq. 2).
-func (w *World) SatisfiedWeight() float64 {
-	var sum float64
-	for ci, g := range w.clauses {
-		if w.clauseSatisfied(ci) {
-			sum += g.Weight * float64(g.Count)
-		}
-	}
-	return sum
-}
+// probability of the current world (Eq. 2). O(1): the sum is maintained
+// incrementally across flips.
+func (w *World) SatisfiedWeight() float64 { return w.totalSat }
 
 // LogProb returns ln Pr(x) up to the constant −ln Z (Eq. 3): the satisfied
 // weight of the world.
@@ -133,28 +293,37 @@ func (o GibbsOptions) withDefaults() GibbsOptions {
 func (w *World) Gibbs(query []int, evidence map[int]bool, rng *rand.Rand, opts GibbsOptions) []float64 {
 	o := opts.withDefaults()
 	for id, v := range evidence {
-		w.truth[id] = v
+		w.Set(id, v)
 	}
-	free := make([]int, 0, len(query))
+	free := w.freeScratch[:0]
 	for _, q := range query {
 		if _, fixed := evidence[q]; !fixed {
 			free = append(free, q)
 		}
 	}
+	w.freeScratch = free
 	// Randomize initial state of free atoms.
 	for _, id := range free {
-		w.truth[id] = rng.Intn(2) == 0
+		w.Set(id, rng.Intn(2) == 0)
 	}
-	counts := make(map[int]int, len(query))
+	counts := w.countScratch
+	if cap(counts) < len(w.truth) {
+		counts = make([]int, len(w.truth))
+		w.countScratch = counts
+	} else {
+		counts = counts[:len(w.truth)]
+		clear(counts)
+	}
 	sweep := func(collect bool) {
 		for _, id := range free {
-			// P(a=true | rest) ∝ exp(weight with a=true); compare both.
-			w.truth[id] = true
-			wTrue := w.localWeight(id)
-			w.truth[id] = false
-			wFalse := w.localWeight(id)
-			p := 1 / (1 + math.Exp(wFalse-wTrue))
-			w.truth[id] = rng.Float64() < p
+			// P(a=true | rest) is the logistic of the weight delta between
+			// the two states — one incremental gain evaluation.
+			delta := w.flipGain(id)
+			if w.truth[id] {
+				delta = -delta
+			}
+			p := 1 / (1 + math.Exp(-delta))
+			w.Set(id, rng.Float64() < p)
 		}
 		if collect {
 			for _, q := range query {
@@ -181,19 +350,6 @@ func (w *World) Gibbs(query []int, evidence map[int]bool, rng *rand.Rand, opts G
 		out[i] = float64(counts[q]) / float64(o.Samples)
 	}
 	return out
-}
-
-// localWeight sums the weights of satisfied clauses touching atom id —
-// sufficient for the Gibbs conditional because clauses not mentioning the
-// atom contribute equally to both states.
-func (w *World) localWeight(id int) float64 {
-	var sum float64
-	for _, ci := range w.atomClauses[id] {
-		if w.clauseSatisfied(ci) {
-			sum += w.clauses[ci].Weight * float64(w.clauses[ci].Count)
-		}
-	}
-	return sum
 }
 
 // MaxWalkSATOptions configures MAP inference.
@@ -224,22 +380,23 @@ func (o MaxWalkSATOptions) withDefaults() MaxWalkSATOptions {
 // the world is left in the best state.
 func (w *World) MaxWalkSAT(evidence map[int]bool, rng *rand.Rand, opts MaxWalkSATOptions) float64 {
 	o := opts.withDefaults()
-	var free []int
+	free := w.freeScratch[:0]
 	for id := range w.truth {
 		if _, fixed := evidence[id]; !fixed {
 			free = append(free, id)
 		}
 	}
+	w.freeScratch = free
 	for id, v := range evidence {
-		w.truth[id] = v
+		w.Set(id, v)
 	}
 	best := make([]bool, len(w.truth))
 	bestW := math.Inf(-1)
 	for try := 0; try < o.Tries; try++ {
 		for _, id := range free {
-			w.truth[id] = rng.Intn(2) == 0
+			w.Set(id, rng.Intn(2) == 0)
 		}
-		cur := w.SatisfiedWeight()
+		cur := w.totalSat
 		if cur > bestW {
 			bestW = cur
 			copy(best, w.truth)
@@ -249,24 +406,27 @@ func (w *World) MaxWalkSAT(evidence map[int]bool, rng *rand.Rand, opts MaxWalkSA
 		}
 		for flip := 0; flip < o.MaxFlips; flip++ {
 			var id int
+			gain := math.Inf(-1)
 			if rng.Float64() < o.NoiseP {
 				id = free[rng.Intn(len(free))]
+				gain = w.flipGain(id)
 			} else {
 				// Greedy: pick the free atom whose flip gains the most.
-				bestGain := math.Inf(-1)
 				id = free[0]
 				// Sample a few candidates to keep per-flip cost bounded.
 				for k := 0; k < 8; k++ {
 					cand := free[rng.Intn(len(free))]
-					g := w.flipGain(cand)
-					if g > bestGain {
-						bestGain = g
+					if g := w.flipGain(cand); g > gain {
+						gain = g
 						id = cand
 					}
 				}
+				if math.IsInf(gain, -1) {
+					gain = w.flipGain(id)
+				}
 			}
-			cur += w.flipGain(id)
-			w.truth[id] = !w.truth[id]
+			cur += gain
+			w.flip(id)
 			if cur > bestW {
 				bestW = cur
 				copy(best, w.truth)
@@ -274,14 +434,6 @@ func (w *World) MaxWalkSAT(evidence map[int]bool, rng *rand.Rand, opts MaxWalkSA
 		}
 	}
 	copy(w.truth, best)
+	w.recount()
 	return bestW
-}
-
-// flipGain computes the change in satisfied weight if atom id were flipped.
-func (w *World) flipGain(id int) float64 {
-	before := w.localWeight(id)
-	w.truth[id] = !w.truth[id]
-	after := w.localWeight(id)
-	w.truth[id] = !w.truth[id]
-	return after - before
 }

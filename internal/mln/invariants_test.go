@@ -1,0 +1,332 @@
+package mln
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// naiveSatisfiedWeight recomputes Σ w·Count over satisfied clauses from
+// scratch, the way the pre-incremental engine did.
+func naiveSatisfiedWeight(clauses []*GroundClause, w *World) float64 {
+	var sum float64
+	for _, g := range clauses {
+		sat := false
+		for _, l := range g.Literals {
+			id := w.AtomID(l.Atom)
+			if id < 0 {
+				continue
+			}
+			if w.Truth(id) != l.Negated {
+				sat = true
+				break
+			}
+		}
+		if sat {
+			sum += g.Weight * float64(g.Count)
+		}
+	}
+	return sum
+}
+
+// benchWorldClauses mirrors benchWorld but returns the clauses too.
+func benchWorldClauses(nAtoms, nClauses int, seed int64) ([]*GroundClause, *World) {
+	rng := rand.New(rand.NewSource(seed))
+	prog := NewProgram()
+	v := prog.MustPredicate("V", 1)
+	atoms := make([]Atom, nAtoms)
+	for i := range atoms {
+		atoms[i] = MustAtom(v, Const(fmt.Sprintf("a%d", i)))
+	}
+	gs := make([]*GroundClause, nClauses)
+	for i := range gs {
+		lits := make([]Literal, 1+rng.Intn(3))
+		for j := range lits {
+			lits[j] = Literal{Atom: atoms[rng.Intn(nAtoms)], Negated: rng.Intn(2) == 0}
+		}
+		gs[i] = &GroundClause{Literals: lits, Weight: rng.Float64()*2 - 0.5, Count: 1 + rng.Intn(3)}
+	}
+	return gs, NewWorld(gs)
+}
+
+// TestIncrementalSatisfiedWeightMatchesRecount drives a randomized flip
+// sequence through Set and checks the maintained satisfied weight against a
+// from-scratch recount at every step.
+func TestIncrementalSatisfiedWeightMatchesRecount(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		gs, w := benchWorldClauses(40, 150, seed)
+		rng := rand.New(rand.NewSource(seed + 100))
+		for step := 0; step < 400; step++ {
+			w.Set(rng.Intn(w.NumAtoms()), rng.Intn(2) == 0)
+			got, want := w.SatisfiedWeight(), naiveSatisfiedWeight(gs, w)
+			if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+				t.Fatalf("seed %d step %d: incremental weight %v, recount %v", seed, step, got, want)
+			}
+		}
+	}
+}
+
+// TestFlipGainMatchesNaive checks the O(touched clauses) flip gain against
+// the difference of two full recounts.
+func TestFlipGainMatchesNaive(t *testing.T) {
+	gs, w := benchWorldClauses(30, 120, 9)
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 300; step++ {
+		id := rng.Intn(w.NumAtoms())
+		before := naiveSatisfiedWeight(gs, w)
+		gain := w.flipGain(id)
+		w.Set(id, !w.Truth(id))
+		after := naiveSatisfiedWeight(gs, w)
+		if math.Abs(gain-(after-before)) > 1e-9 {
+			t.Fatalf("step %d: flipGain %v, naive delta %v", step, gain, after-before)
+		}
+	}
+}
+
+// TestMaxWalkSATLeavesCountersConsistent verifies the world's incremental
+// state is exact after a full MAP search (restarts, bulk rewrites and all).
+func TestMaxWalkSATLeavesCountersConsistent(t *testing.T) {
+	gs, w := benchWorldClauses(50, 200, 11)
+	rng := rand.New(rand.NewSource(5))
+	best := w.MaxWalkSAT(nil, rng, MaxWalkSATOptions{MaxFlips: 2000, Tries: 2})
+	if got := naiveSatisfiedWeight(gs, w); math.Abs(got-w.SatisfiedWeight()) > 1e-9 {
+		t.Errorf("post-MAP recount %v, maintained %v", got, w.SatisfiedWeight())
+	}
+	if w.SatisfiedWeight() > best+1e-9 {
+		t.Errorf("final state weight %v exceeds reported best %v", w.SatisfiedWeight(), best)
+	}
+}
+
+// groundingFingerprint renders (clause, Count) pairs in output order.
+func groundingFingerprint(gs []*GroundClause) []string {
+	out := make([]string, len(gs))
+	for i, g := range gs {
+		out[i] = fmt.Sprintf("%s×%d", g.String(), g.Count)
+	}
+	return out
+}
+
+// withGOMAXPROCS runs fn under a forced GOMAXPROCS so the sharded grounding
+// paths are exercised even on single-core CI machines.
+func withGOMAXPROCS(n int, fn func()) {
+	old := runtime.GOMAXPROCS(n)
+	defer runtime.GOMAXPROCS(old)
+	fn()
+}
+
+// TestParallelGroundingMatchesSerial checks that sharded tuple-driven
+// grounding produces the same (clause, Count) sequence as serial grounding.
+func TestParallelGroundingMatchesSerial(t *testing.T) {
+	prog := NewProgram()
+	c := benchClause(prog)
+	subs := benchSubs(30000, 64, 99)
+
+	var serial, par []*GroundClause
+	var serialErr, parErr error
+	withGOMAXPROCS(1, func() { serial, serialErr = GroundFromBindings(c, subs) })
+	withGOMAXPROCS(4, func() { par, parErr = GroundFromBindings(c, subs) })
+	if serialErr != nil || parErr != nil {
+		t.Fatalf("grounding: serial %v, parallel %v", serialErr, parErr)
+	}
+	sf, pf := groundingFingerprint(serial), groundingFingerprint(par)
+	if len(sf) != len(pf) {
+		t.Fatalf("serial %d clauses, parallel %d", len(sf), len(pf))
+	}
+	for i := range sf {
+		if sf[i] != pf[i] {
+			t.Fatalf("clause %d differs:\nserial   %s\nparallel %s", i, sf[i], pf[i])
+		}
+	}
+	total := 0
+	for _, g := range par {
+		total += g.Count
+	}
+	if total != len(subs) {
+		t.Errorf("counts sum to %d, want %d", total, len(subs))
+	}
+}
+
+// TestParallelCartesianMatchesSerial does the same for cartesian grounding,
+// including duplicate domain constants (the only source of cartesian dedup).
+func TestParallelCartesianMatchesSerial(t *testing.T) {
+	mk := func() (*Program, *Clause) {
+		prog := NewProgram()
+		a := prog.MustPredicate("A", 1)
+		b := prog.MustPredicate("B", 1)
+		c := &Clause{Literals: []Literal{Neg(MustAtom(a, Var("x"))), Pos(MustAtom(b, Var("y")))}, Weight: 1}
+		dx := make([]string, 220)
+		for i := range dx {
+			dx[i] = fmt.Sprintf("x%d", i%200) // 20 duplicates
+		}
+		dy := make([]string, 100)
+		for i := range dy {
+			dy[i] = fmt.Sprintf("y%d", i)
+		}
+		prog.SetDomain("x", dx)
+		prog.SetDomain("y", dy)
+		return prog, c
+	}
+
+	var serial, par []*GroundClause
+	var serialErr, parErr error
+	withGOMAXPROCS(1, func() {
+		prog, c := mk()
+		serial, serialErr = prog.GroundCartesian(c)
+	})
+	withGOMAXPROCS(4, func() {
+		prog, c := mk()
+		par, parErr = prog.GroundCartesian(c)
+	})
+	if serialErr != nil || parErr != nil {
+		t.Fatalf("grounding: serial %v, parallel %v", serialErr, parErr)
+	}
+	sf, pf := groundingFingerprint(serial), groundingFingerprint(par)
+	if len(sf) != len(pf) {
+		t.Fatalf("serial %d clauses, parallel %d", len(sf), len(pf))
+	}
+	for i := range sf {
+		if sf[i] != pf[i] {
+			t.Fatalf("clause %d differs:\nserial   %s\nparallel %s", i, sf[i], pf[i])
+		}
+	}
+	if len(sf) != 200*100 {
+		t.Errorf("distinct clauses = %d, want 20000", len(sf))
+	}
+	total := 0
+	for _, g := range par {
+		total += g.Count
+	}
+	if total != 220*100 {
+		t.Errorf("counts sum to %d, want 22000", total)
+	}
+}
+
+// TestDensePathMatchesLegacyGrounding cross-checks the dense-ID engine
+// against the legacy string-keyed dedup on the same substitutions.
+func TestDensePathMatchesLegacyGrounding(t *testing.T) {
+	prog := NewProgram()
+	c := benchClause(prog)
+	subs := benchSubs(5000, 40, 7)
+	dense, err := GroundFromBindings(c, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy, err := groundFromBindingsByKey(nil, c, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	df, lf := groundingFingerprint(dense), groundingFingerprint(legacy)
+	if len(df) != len(lf) {
+		t.Fatalf("dense %d clauses, legacy %d", len(df), len(lf))
+	}
+	for i := range df {
+		if df[i] != lf[i] {
+			t.Fatalf("clause %d differs:\ndense  %s\nlegacy %s", i, df[i], lf[i])
+		}
+	}
+}
+
+// TestWorldFastAndFallbackPathsAgree runs identical inference over a world
+// indexed via dense literal codes (store-ground clauses) and one indexed via
+// the hand-built fallback; marginals at a fixed seed must coincide.
+func TestWorldFastAndFallbackPathsAgree(t *testing.T) {
+	prog := NewProgram()
+	c := benchClause(prog)
+	subs := benchSubs(2000, 24, 13)
+	dense, err := GroundFromBindings(c, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil store keeps the legacy clauses un-interned so NewWorld exercises
+	// its hand-built fallback path.
+	legacy, err := groundFromBindingsByKey(nil, c, subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wFast := NewWorld(dense)
+	wSlow := NewWorld(legacy)
+	if wFast.NumAtoms() != wSlow.NumAtoms() {
+		t.Fatalf("atom counts differ: %d vs %d", wFast.NumAtoms(), wSlow.NumAtoms())
+	}
+	query := make([]int, wFast.NumAtoms())
+	for i := range query {
+		query[i] = i
+	}
+	pFast := wFast.Gibbs(query, nil, rand.New(rand.NewSource(21)), GibbsOptions{Burnin: 50, Samples: 200})
+	pSlow := wSlow.Gibbs(query, nil, rand.New(rand.NewSource(21)), GibbsOptions{Burnin: 50, Samples: 200})
+	for i := range pFast {
+		if math.Abs(pFast[i]-pSlow[i]) > 1e-12 {
+			t.Fatalf("marginal %d differs: fast %v, fallback %v", i, pFast[i], pSlow[i])
+		}
+	}
+
+	mFast := wFast.MaxWalkSAT(nil, rand.New(rand.NewSource(33)), MaxWalkSATOptions{MaxFlips: 3000, Tries: 2})
+	mSlow := wSlow.MaxWalkSAT(nil, rand.New(rand.NewSource(33)), MaxWalkSATOptions{MaxFlips: 3000, Tries: 2})
+	if math.Abs(mFast-mSlow) > 1e-9 {
+		t.Errorf("MAP weights differ: fast %v, fallback %v", mFast, mSlow)
+	}
+}
+
+// TestWorldMixedStores exercises the fallback when clauses come from
+// different stores (e.g. independently ground rule sets concatenated).
+func TestWorldMixedStores(t *testing.T) {
+	progA := NewProgram()
+	a := progA.MustPredicate("A", 1)
+	ca := &Clause{Literals: []Literal{Pos(MustAtom(a, Var("x")))}, Weight: 2}
+	gsA, err := GroundFromBindings(ca, []Substitution{{"x": "1"}, {"x": "2"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	progB := NewProgram()
+	b := progB.MustPredicate("A", 1)
+	cb := &Clause{Literals: []Literal{Neg(MustAtom(b, Var("x")))}, Weight: 1}
+	gsB, err := GroundFromBindings(cb, []Substitution{{"x": "2"}, {"x": "3"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := append(append([]*GroundClause{}, gsA...), gsB...)
+	w := NewWorld(mixed)
+	if w.NumAtoms() != 3 {
+		t.Fatalf("atoms = %d, want 3 (A(1), A(2), A(3) merged across stores)", w.NumAtoms())
+	}
+	if got, want := w.SatisfiedWeight(), naiveSatisfiedWeight(mixed, w); math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed-store weight %v, recount %v", got, want)
+	}
+}
+
+// TestManyVarFallback covers the legacy string-keyed paths used when a
+// clause has more variables than the fixed-width binding key.
+func TestManyVarFallback(t *testing.T) {
+	prog := NewProgram()
+	p := prog.MustPredicate("P", 9)
+	args := make([]Term, 9)
+	for i := range args {
+		args[i] = Var(fmt.Sprintf("v%d", i))
+	}
+	c := &Clause{Literals: []Literal{Pos(MustAtom(p, args...))}, Weight: 1}
+
+	sub := Substitution{}
+	for i := 0; i < 9; i++ {
+		sub[fmt.Sprintf("v%d", i)] = fmt.Sprintf("c%d", i)
+	}
+	gs, err := GroundFromBindings(c, []Substitution{sub, sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gs) != 1 || gs[0].Count != 2 {
+		t.Fatalf("fallback grounding: %d clauses, count %d", len(gs), gs[0].Count)
+	}
+
+	for i := 0; i < 9; i++ {
+		prog.SetDomain(fmt.Sprintf("v%d", i), []string{"a", "b"})
+	}
+	cart, err := prog.GroundCartesian(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cart) != 1<<9 {
+		t.Fatalf("cartesian fallback = %d clauses, want 512", len(cart))
+	}
+}

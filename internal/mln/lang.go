@@ -169,11 +169,14 @@ func (c *Clause) String() string {
 	return fmt.Sprintf("%.4g: %s", c.Weight, body)
 }
 
-// Program is a set of predicates and clauses with per-variable domains.
+// Program is a set of predicates and clauses with per-variable domains. It
+// owns a symbol/atom Store so every grounding it produces shares one dense
+// ID space.
 type Program struct {
 	preds   map[string]*Predicate
 	Clauses []*Clause
 	domains map[string][]string
+	store   *Store
 }
 
 // NewProgram creates an empty program.
@@ -181,8 +184,12 @@ func NewProgram() *Program {
 	return &Program{
 		preds:   make(map[string]*Predicate),
 		domains: make(map[string][]string),
+		store:   NewStore(),
 	}
 }
+
+// Store returns the program's dense-ID ground store.
+func (p *Program) Store() *Store { return p.store }
 
 // Predicate interns (declares or fetches) a predicate by name and arity.
 func (p *Program) Predicate(name string, arity int) (*Predicate, error) {
@@ -194,6 +201,7 @@ func (p *Program) Predicate(name string, arity int) (*Predicate, error) {
 	}
 	pr := &Predicate{Name: name, Arity: arity}
 	p.preds[name] = pr
+	p.store.Sym(name) // intern at declaration so grounding never hashes it cold
 	return pr, nil
 }
 

@@ -96,6 +96,14 @@ func LearnWeights(groups [][]int, counts []float64, init []float64, opts LearnOp
 	copy(w, init)
 	invSigma2 := 1 / (o.PriorSigma * o.PriorSigma)
 
+	maxGroup := 0
+	for _, g := range groups {
+		if len(g) > maxGroup {
+			maxGroup = len(g)
+		}
+	}
+	probs := make([]float64, maxGroup)
+
 	res := LearnResult{Weights: w}
 	for iter := 1; iter <= o.MaxIters; iter++ {
 		maxDelta := 0.0
@@ -117,7 +125,7 @@ func LearnWeights(groups [][]int, counts []float64, init []float64, opts LearnOp
 			// from one stale distribution makes opposing steps compound
 			// (the softmax is shift-invariant) and the sweep oscillates.
 			for k, i := range g {
-				probs := softmax(w, g)
+				softmaxInto(probs[:len(g)], w, g)
 				p := probs[k]
 				grad := counts[i] - total*p - (w[i]-init[i])*invSigma2
 				hess := total*p*(1-p) + invSigma2 + o.Damping
@@ -143,23 +151,23 @@ func LearnWeights(groups [][]int, counts []float64, init []float64, opts LearnOp
 	return res, nil
 }
 
-func softmax(w []float64, idx []int) []float64 {
+// softmaxInto writes softmax(w[idx]) into dst (len(dst) == len(idx)),
+// allocating nothing — the Newton sweep calls it once per weight update.
+func softmaxInto(dst []float64, w []float64, idx []int) {
 	maxW := math.Inf(-1)
 	for _, i := range idx {
 		if w[i] > maxW {
 			maxW = w[i]
 		}
 	}
-	probs := make([]float64, len(idx))
 	var z float64
 	for k, i := range idx {
-		probs[k] = math.Exp(w[i] - maxW)
-		z += probs[k]
+		dst[k] = math.Exp(w[i] - maxW)
+		z += dst[k]
 	}
-	for k := range probs {
-		probs[k] /= z
+	for k := range dst {
+		dst[k] /= z
 	}
-	return probs
 }
 
 func groupedLogLik(groups [][]int, counts, w, init []float64, invSigma2 float64) float64 {

@@ -1,0 +1,160 @@
+package mln
+
+// Store is the dense-ID ground store: it interns constant and predicate
+// symbols into int32 IDs and hash-conses ground atoms into dense atom IDs,
+// so grounding dedup and world indexing hash fixed-width integer keys
+// instead of building per-atom strings.
+//
+// Atoms of arbitrary arity reduce to a left fold of interned (node, node)
+// pairs — pred ∘ arg₀ ∘ arg₁ ∘ … — so identifying an atom costs one small
+// map lookup per argument, each over a comparable [2]int32 key. Symbol and
+// pair nodes share one ID space, which makes the fold injective: a chain of
+// length k can never collide with a chain of length k′ ≠ k, and equal chains
+// imply equal symbols.
+//
+// A Store is not safe for concurrent mutation; the parallel grounding path
+// confines all Store writes to its serial pre-intern and merge phases.
+type Store struct {
+	syms map[string]int32
+	// symNames is indexed by node ID; entries for pair nodes are empty.
+	symNames []string
+	pairs    map[[2]int32]int32
+	// atomIDs maps a chain node to its dense atom ID; atomMeta holds, per
+	// dense atom ID, what is needed to reconstruct an Atom for rendering.
+	atomIDs  map[int32]int32
+	atomMeta []atomMeta
+}
+
+type atomMeta struct {
+	pred *Predicate
+	args []int32
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{
+		syms:    make(map[string]int32),
+		pairs:   make(map[[2]int32]int32),
+		atomIDs: make(map[int32]int32),
+	}
+}
+
+// Sym interns a symbol and returns its node ID.
+func (s *Store) Sym(x string) int32 {
+	if id, ok := s.syms[x]; ok {
+		return id
+	}
+	id := int32(len(s.symNames))
+	s.syms[x] = id
+	s.symNames = append(s.symNames, x)
+	return id
+}
+
+// SymName returns the string of an interned symbol node. Only valid for IDs
+// returned by Sym.
+func (s *Store) SymName(id int32) string { return s.symNames[id] }
+
+// lookupSym returns the node of an already-interned symbol, or -1.
+func (s *Store) lookupSym(x string) int32 {
+	if id, ok := s.syms[x]; ok {
+		return id
+	}
+	return -1
+}
+
+// pair hash-conses a (left, right) node pair.
+func (s *Store) pair(a, b int32) int32 {
+	k := [2]int32{a, b}
+	if id, ok := s.pairs[k]; ok {
+		return id
+	}
+	id := int32(len(s.symNames))
+	s.pairs[k] = id
+	s.symNames = append(s.symNames, "")
+	return id
+}
+
+// lookupPair returns the node of an existing pair, or -1.
+func (s *Store) lookupPair(a, b int32) int32 {
+	if id, ok := s.pairs[[2]int32{a, b}]; ok {
+		return id
+	}
+	return -1
+}
+
+// NumAtoms returns the number of distinct ground atoms interned so far.
+func (s *Store) NumAtoms() int { return len(s.atomMeta) }
+
+// internAtomSyms interns the ground atom pred(args…) given already-interned
+// argument symbols and returns its dense atom ID.
+func (s *Store) internAtomSyms(pred *Predicate, args []int32) int32 {
+	n := s.Sym(pred.Name)
+	for _, a := range args {
+		n = s.pair(n, a)
+	}
+	if id, ok := s.atomIDs[n]; ok {
+		return id
+	}
+	id := int32(len(s.atomMeta))
+	s.atomIDs[n] = id
+	meta := atomMeta{pred: pred, args: make([]int32, len(args))}
+	copy(meta.args, args)
+	s.atomMeta = append(s.atomMeta, meta)
+	return id
+}
+
+// InternAtom interns a ground atom from its string form.
+func (s *Store) InternAtom(a Atom) int32 {
+	var buf [4]int32
+	args := buf[:0]
+	for _, t := range a.Args {
+		args = append(args, s.Sym(t.Symbol))
+	}
+	return s.internAtomSyms(a.Pred, args)
+}
+
+// LookupAtom returns the dense ID of an already-interned ground atom, or -1.
+// It never inserts.
+func (s *Store) LookupAtom(a Atom) int32 {
+	n := s.lookupSym(a.Pred.Name)
+	if n < 0 {
+		return -1
+	}
+	for _, t := range a.Args {
+		arg := s.lookupSym(t.Symbol)
+		if arg < 0 {
+			return -1
+		}
+		if n = s.lookupPair(n, arg); n < 0 {
+			return -1
+		}
+	}
+	if id, ok := s.atomIDs[n]; ok {
+		return id
+	}
+	return -1
+}
+
+// internClause populates g's dense literal codes from its string-form
+// literals, claiming g for this store.
+func (s *Store) internClause(g *GroundClause) {
+	g.store = s
+	g.lits = make([]int32, len(g.Literals))
+	for i, l := range g.Literals {
+		code := s.InternAtom(l.Atom) << 1
+		if l.Negated {
+			code |= 1
+		}
+		g.lits[i] = code
+	}
+}
+
+// AtomAt reconstructs the Atom with the given dense ID.
+func (s *Store) AtomAt(id int32) Atom {
+	m := s.atomMeta[id]
+	args := make([]Term, len(m.args))
+	for i, a := range m.args {
+		args[i] = Const(s.SymName(a))
+	}
+	return Atom{Pred: m.pred, Args: args}
+}
