@@ -5,6 +5,13 @@
 //
 //	mlnclean -input dirty.csv -rules rules.txt -output clean.csv [flags]
 //
+// With -workers N (N > 1) the distributed executor of §6 cleans the table
+// on a concurrent worker pool: Algorithm 3 partitioning, per-worker
+// cleaning with the Eq. 6 weight merge, and a global gather. -transport
+// selects how coordinator and workers exchange messages (chan: in-process
+// channels; gob: every message round-trips through its serialized wire
+// form).
+//
 // The rule file holds one constraint per line (see internal/rules):
 //
 //	FD:  ZIPCode -> City
@@ -21,36 +28,53 @@ import (
 	"mlnclean/internal/core"
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/distance"
+	"mlnclean/internal/distributed"
 	"mlnclean/internal/rules"
 )
 
+// runConfig carries the CLI flags into run.
+type runConfig struct {
+	input, rulesPath, output string
+	tau                      int
+	metricName               string
+	keepDups                 bool
+	verbose                  bool
+	workers                  int
+	transport                string
+	batchSize                int
+	seed                     int64
+}
+
 func main() {
-	var (
-		input      = flag.String("input", "", "dirty CSV file (required)")
-		rulesPath  = flag.String("rules", "", "rule file, one constraint per line (required)")
-		output     = flag.String("output", "", "cleaned CSV file (default stdout)")
-		tau        = flag.Int("tau", 1, "AGP abnormal-group threshold τ")
-		metricName = flag.String("metric", "levenshtein", "distance metric: levenshtein|cosine")
-		keepDups   = flag.Bool("keep-duplicates", false, "skip duplicate elimination")
-		verbose    = flag.Bool("v", false, "print pipeline statistics to stderr")
-	)
+	var cfg runConfig
+	flag.StringVar(&cfg.input, "input", "", "dirty CSV file (required)")
+	flag.StringVar(&cfg.rulesPath, "rules", "", "rule file, one constraint per line (required)")
+	flag.StringVar(&cfg.output, "output", "", "cleaned CSV file (default stdout)")
+	flag.IntVar(&cfg.tau, "tau", 1, "AGP abnormal-group threshold τ")
+	flag.StringVar(&cfg.metricName, "metric", "levenshtein", "distance metric: levenshtein|cosine")
+	flag.BoolVar(&cfg.keepDups, "keep-duplicates", false, "skip duplicate elimination")
+	flag.BoolVar(&cfg.verbose, "v", false, "print pipeline statistics to stderr")
+	flag.IntVar(&cfg.workers, "workers", 1, "worker count; > 1 runs the distributed executor (§6)")
+	flag.StringVar(&cfg.transport, "transport", "chan", "distributed transport: chan|gob")
+	flag.IntVar(&cfg.batchSize, "batch", 1024, "tuples per distributed partition shipment")
+	flag.Int64Var(&cfg.seed, "seed", 1, "partition centroid seed (distributed only)")
 	flag.Parse()
-	if *input == "" || *rulesPath == "" {
+	if cfg.input == "" || cfg.rulesPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*input, *rulesPath, *output, *tau, *metricName, *keepDups, *verbose); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlnclean:", err)
 		os.Exit(1)
 	}
 }
 
-func run(input, rulesPath, output string, tau int, metricName string, keepDups, verbose bool) error {
-	dirty, err := dataset.ReadCSVFile(input)
+func run(cfg runConfig) error {
+	dirty, err := dataset.ReadCSVFile(cfg.input)
 	if err != nil {
 		return err
 	}
-	rf, err := os.Open(rulesPath)
+	rf, err := os.Open(cfg.rulesPath)
 	if err != nil {
 		return err
 	}
@@ -59,23 +83,54 @@ func run(input, rulesPath, output string, tau int, metricName string, keepDups, 
 	if err != nil {
 		return err
 	}
-	start := time.Now()
-	res, err := core.Clean(dirty, rs, core.Options{
-		Tau:            tau,
-		Metric:         distance.ByName(metricName),
-		KeepDuplicates: keepDups,
-	})
-	if err != nil {
-		return err
+	coreOpts := core.Options{
+		Tau:            cfg.tau,
+		Metric:         distance.ByName(cfg.metricName),
+		KeepDuplicates: cfg.keepDups,
 	}
-	if verbose {
+	start := time.Now()
+	var (
+		clean *dataset.Table
+		stats core.Stats
+	)
+	if cfg.workers > 1 {
+		factory, err := distributed.TransportByName(cfg.transport)
+		if err != nil {
+			return err
+		}
+		res, err := distributed.Clean(dirty, rs, distributed.Options{
+			Workers:   cfg.workers,
+			Seed:      cfg.seed,
+			Core:      coreOpts,
+			Transport: factory,
+			BatchSize: cfg.batchSize,
+		})
+		if err != nil {
+			return err
+		}
+		clean = res.Clean
+		stats = res.Stats
+		if cfg.verbose {
+			fmt.Fprintf(os.Stderr, "distributed: %d workers (%s transport), parts=%v, wall=%v, modeled cluster=%v\n",
+				res.Workers, cfg.transport, res.PartSizes,
+				res.WallTime.Round(time.Millisecond), res.ClusterTime().Round(time.Millisecond))
+		}
+	} else {
+		res, err := core.Clean(dirty, rs, coreOpts)
+		if err != nil {
+			return err
+		}
+		clean = res.Clean
+		stats = res.Stats
+	}
+	if cfg.verbose {
 		fmt.Fprintf(os.Stderr, "cleaned %d tuples with %d rules in %v\n", dirty.Len(), len(rs), time.Since(start).Round(time.Millisecond))
 		fmt.Fprintf(os.Stderr, "blocks=%d groups=%d abnormal=%d rsc-repairs=%d fscr-changes=%d duplicates-removed=%d\n",
-			res.Stats.Blocks, res.Stats.Groups, res.Stats.AbnormalGroups,
-			res.Stats.RSCRepairs, res.Stats.FSCRCellChanges, res.Stats.DuplicatesRemoved)
+			stats.Blocks, stats.Groups, stats.AbnormalGroups,
+			stats.RSCRepairs, stats.FSCRCellChanges, stats.DuplicatesRemoved)
 	}
-	if output == "" {
-		return res.Clean.WriteCSV(os.Stdout)
+	if cfg.output == "" {
+		return clean.WriteCSV(os.Stdout)
 	}
-	return res.Clean.WriteCSVFile(output)
+	return clean.WriteCSVFile(cfg.output)
 }

@@ -36,7 +36,7 @@ func TestRunEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run(input, rulesPath, output, 1, "levenshtein", false, false); err != nil {
+	if err := run(runConfig{input: input, rulesPath: rulesPath, output: output, tau: 1, metricName: "levenshtein", workers: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	clean, err := dataset.ReadCSVFile(output)
@@ -67,7 +67,7 @@ func TestRunKeepDuplicates(t *testing.T) {
 	if err := os.WriteFile(rulesPath, []byte("FD: A -> B\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input, rulesPath, output, 1, "levenshtein", true, true); err != nil {
+	if err := run(runConfig{input: input, rulesPath: rulesPath, output: output, tau: 1, metricName: "levenshtein", keepDups: true, verbose: true, workers: 1}); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	clean, err := dataset.ReadCSVFile(output)
@@ -79,9 +79,65 @@ func TestRunKeepDuplicates(t *testing.T) {
 	}
 }
 
+// TestRunDistributed drives the CLI through the distributed executor, once
+// per transport, and checks both clean the sample identically.
+func TestRunDistributed(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "dirty.csv")
+	rulesPath := filepath.Join(dir, "rules.txt")
+
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701")
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	if err := tb.WriteCSVFile(input); err != nil {
+		t.Fatal(err)
+	}
+	rulesText := strings.Join([]string{
+		"FD: CT -> ST",
+		"DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))",
+		"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	}, "\n")
+	if err := os.WriteFile(rulesPath, []byte(rulesText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	outputs := make(map[string]*dataset.Table)
+	for _, transport := range []string{"chan", "gob"} {
+		output := filepath.Join(dir, "clean-"+transport+".csv")
+		cfg := runConfig{
+			input: input, rulesPath: rulesPath, output: output,
+			tau: 1, metricName: "levenshtein",
+			workers: 2, transport: transport, batchSize: 2, seed: 1,
+		}
+		if err := run(cfg); err != nil {
+			t.Fatalf("run (%s): %v", transport, err)
+		}
+		clean, err := dataset.ReadCSVFile(output)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean.Len() == 0 || clean.Len() >= tb.Len() {
+			t.Errorf("%s: cleaned tuples = %d, want deduplicated subset", transport, clean.Len())
+		}
+		outputs[transport] = clean
+	}
+	if a, b := outputs["chan"], outputs["gob"]; a.Len() != b.Len() || len(a.Diff(b)) != 0 {
+		t.Error("chan and gob transports cleaned the sample differently")
+	}
+
+	cfg := runConfig{input: input, rulesPath: rulesPath, tau: 1, metricName: "levenshtein", workers: 2, transport: "carrier-pigeon"}
+	if err := run(cfg); err == nil {
+		t.Error("unknown transport should fail")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(filepath.Join(dir, "missing.csv"), "also-missing", "", 1, "levenshtein", false, false); err == nil {
+	if err := run(runConfig{input: filepath.Join(dir, "missing.csv"), rulesPath: "also-missing", tau: 1, metricName: "levenshtein", workers: 1}); err == nil {
 		t.Error("missing input should fail")
 	}
 	input := filepath.Join(dir, "in.csv")
@@ -90,14 +146,14 @@ func TestRunErrors(t *testing.T) {
 	if err := tb.WriteCSVFile(input); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input, filepath.Join(dir, "norules"), "", 1, "levenshtein", false, false); err == nil {
+	if err := run(runConfig{input: input, rulesPath: filepath.Join(dir, "norules"), tau: 1, metricName: "levenshtein", workers: 1}); err == nil {
 		t.Error("missing rules should fail")
 	}
 	badRules := filepath.Join(dir, "bad.txt")
 	if err := os.WriteFile(badRules, []byte("FD: broken\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(input, badRules, "", 1, "levenshtein", false, false); err == nil {
+	if err := run(runConfig{input: input, rulesPath: badRules, tau: 1, metricName: "levenshtein", workers: 1}); err == nil {
 		t.Error("broken rules should fail")
 	}
 }

@@ -1,7 +1,9 @@
 // Distributed: run MLNClean's Spark-style variant (§6) over a TPC-H
-// projection on a worker pool — Algorithm 3 partitioning, per-worker
-// cleaning with the Eq. 6 weight merge, and a global gather — sweeping the
-// worker count as in Table 6.
+// projection on the concurrent executor — Algorithm 3 partitioning,
+// per-worker cleaning on a goroutine pool with the Eq. 6 weight merge
+// exchanged over the transport, and a global gather — sweeping the worker
+// count as in Table 6, then streaming the same table through the batched
+// Submit path.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 
 	"mlnclean/internal/core"
 	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
 	"mlnclean/internal/distributed"
 	"mlnclean/internal/errgen"
 	"mlnclean/internal/eval"
@@ -29,7 +32,7 @@ func main() {
 	}
 	fmt.Printf("injected %d errors (5%%)\n\n", len(inj.Errors))
 
-	fmt.Println("workers   cluster time   F1      partition sizes")
+	fmt.Println("workers   wall time   cluster time   F1      partition sizes")
 	var base time.Duration
 	for _, workers := range []int{2, 4, 8} {
 		res, err := distributed.Clean(inj.Dirty, rs, distributed.Options{
@@ -45,11 +48,47 @@ func main() {
 		if workers == 2 {
 			base = ct
 		}
-		fmt.Printf("%-9d %-14v %.3f   %v\n", workers, ct.Round(time.Millisecond), q.F1, res.PartSizes)
+		fmt.Printf("%-9d %-11v %-14v %.3f   %v\n",
+			workers, res.WallTime.Round(time.Millisecond), ct.Round(time.Millisecond), q.F1, res.PartSizes)
 		if workers != 2 && base > 0 {
-			fmt.Printf("          (%.1fx speedup vs 2 workers)\n", float64(base)/float64(ct))
+			fmt.Printf("          (%.1fx modeled speedup vs 2 workers)\n", float64(base)/float64(ct))
 		}
 	}
-	fmt.Println("\n→ cluster time = partition + max(worker) + gather; near-linear")
-	fmt.Println("  speedup with stable accuracy, the Table 6 behaviour.")
+
+	// Streaming ingest: the same table fed through Executor.Submit in
+	// batches — partitions are assigned online and shipped over the
+	// transport as they arrive, never materialized up front.
+	ex, err := distributed.NewExecutor(inj.Dirty.Schema, rs, distributed.Options{
+		Workers: 4,
+		Seed:    1,
+		Core:    core.Options{Tau: 2},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const batchRows = 1000
+	for lo := 0; lo < inj.Dirty.Len(); lo += batchRows {
+		hi := lo + batchRows
+		if hi > inj.Dirty.Len() {
+			hi = inj.Dirty.Len()
+		}
+		batch := dataset.NewTable(inj.Dirty.Schema)
+		for _, t := range inj.Dirty.Tuples[lo:hi] {
+			batch.MustAppend(t.Values...)
+		}
+		if err := ex.Submit(batch); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res, err := ex.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := eval.RepairQuality(truth, inj.Dirty, res.Repaired)
+	fmt.Printf("\nstreaming Submit (4 workers, %d-row batches): wall=%v F1=%.3f parts=%v\n",
+		batchRows, res.WallTime.Round(time.Millisecond), q.F1, res.PartSizes)
+
+	fmt.Println("\n→ wall time is the measured concurrent run on this host; cluster")
+	fmt.Println("  time models partition + max(worker) + gather on an ideal cluster,")
+	fmt.Println("  giving the near-linear Table 6 speedup with stable accuracy.")
 }

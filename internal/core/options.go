@@ -132,3 +132,21 @@ type Stats struct {
 	DuplicatesRemoved int
 	LearnIterations   int
 }
+
+// Add folds another run's counters into s. Blocks is kept at the maximum
+// rather than summed: every distributed worker sees the same rule set, so
+// summing would multiply the block count by the worker count.
+func (s *Stats) Add(o Stats) {
+	s.Tuples += o.Tuples
+	if o.Blocks > s.Blocks {
+		s.Blocks = o.Blocks
+	}
+	s.Groups += o.Groups
+	s.AbnormalGroups += o.AbnormalGroups
+	s.AbnormalPieces += o.AbnormalPieces
+	s.RSCRepairs += o.RSCRepairs
+	s.FSCRCellChanges += o.FSCRCellChanges
+	s.FusionFailures += o.FusionFailures
+	s.DuplicatesRemoved += o.DuplicatesRemoved
+	s.LearnIterations += o.LearnIterations
+}

@@ -10,41 +10,62 @@ import (
 // The exported Stage* functions expose the pipeline's phases individually so
 // the distributed variant (§6) can interleave its Eq. 6 weight merge between
 // weight learning and RSC. Stand-alone cleaning uses Clean, which composes
-// them.
+// them. The stages keep no package-level state: per-block results land in a
+// slice indexed by block and are folded into st serially after the blocks
+// finish, so any number of workers may run stages over disjoint indexes
+// concurrently.
 
 // StageAGP runs abnormal-group processing on every block of the index,
 // in parallel, accumulating abnormal-group counts into st.
 func StageAGP(ix *index.Index, opts Options, st *Stats) {
 	opts = opts.withDefaults()
+	type agpOut struct{ groups, pieces int }
+	outs := make([]agpOut, len(ix.Blocks))
 	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
 		ab, abp := agp(bi, b, opts.Tau, opts.Metric, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
-		st.addAGP(ab, abp)
+		outs[bi] = agpOut{ab, abp}
 		return nil
 	})
+	for _, o := range outs {
+		st.AbnormalGroups += o.groups
+		st.AbnormalPieces += o.pieces
+	}
 }
 
 // StageLearn learns piece weights on every block of the index (Eq. 4 prior
 // + diagonal Newton).
 func StageLearn(ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
-	return forEachBlock(ix, opts, func(bi int, b *index.Block) error {
-		iters, err := learnBlockWeights(b, opts.Learn)
+	iters := make([]int, len(ix.Blocks))
+	err := forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+		n, err := learnBlockWeights(b, opts.Learn)
 		if err != nil {
 			return err
 		}
-		st.addLearn(iters)
+		iters[bi] = n
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	for _, n := range iters {
+		st.LearnIterations += n
+	}
+	return nil
 }
 
 // StageRSC runs reliability-score cleaning on every block, leaving exactly
 // one piece per group.
 func StageRSC(ix *index.Index, opts Options, st *Stats) {
 	opts = opts.withDefaults()
+	repairs := make([]int, len(ix.Blocks))
 	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
-		st.addRSC(rsc(bi, b, opts.Metric, opts.Trace))
+		repairs[bi] = rsc(bi, b, opts.Metric, opts.Trace)
 		return nil
 	})
+	for _, n := range repairs {
+		st.RSCRepairs += n
+	}
 }
 
 // forEachBlock applies fn to each block with bounded parallelism; the first
@@ -79,26 +100,4 @@ func forEachBlock(ix *index.Index, opts Options, fn func(int, *index.Block) erro
 		}
 	}
 	return nil
-}
-
-// Stats mutation helpers are mutex-guarded because blocks run concurrently.
-var statsMu sync.Mutex
-
-func (s *Stats) addAGP(groups, pieces int) {
-	statsMu.Lock()
-	s.AbnormalGroups += groups
-	s.AbnormalPieces += pieces
-	statsMu.Unlock()
-}
-
-func (s *Stats) addLearn(iters int) {
-	statsMu.Lock()
-	s.LearnIterations += iters
-	statsMu.Unlock()
-}
-
-func (s *Stats) addRSC(repairs int) {
-	statsMu.Lock()
-	s.RSCRepairs += repairs
-	statsMu.Unlock()
 }

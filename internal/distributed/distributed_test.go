@@ -125,6 +125,110 @@ func TestMergeWeightsEq6(t *testing.T) {
 	}
 }
 
+// TestDedupProperties: for random tables, Dedup is idempotent, keeps the
+// lowest-ID representative of every duplicate set, and its member groups
+// partition the input tuple IDs.
+func TestDedupProperties(t *testing.T) {
+	f := func(seed int64, rowsRaw uint8) bool {
+		rows := int(rowsRaw%50) + 1
+		tb := randomTable(seed, rows)
+		out, dups := Dedup(tb)
+
+		// Member groups partition the input IDs: collect them from the
+		// output representatives plus the reported duplicate sets.
+		seen := make(map[int]int)
+		for _, tp := range out.Tuples {
+			seen[tp.ID]++
+		}
+		for _, group := range dups {
+			if len(group) < 2 {
+				return false
+			}
+			rep := group[0]
+			for _, id := range group {
+				if id < rep {
+					return false // representative must be the lowest ID
+				}
+				if id != rep {
+					seen[id]++
+				}
+			}
+			if seen[rep] != 1 {
+				return false // representative must be in the output exactly once
+			}
+		}
+		if len(seen) != rows {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+
+		// Lowest-ID representative: every output tuple's ID is the minimum
+		// over the input tuples sharing its values.
+		minID := make(map[string]int)
+		for _, tp := range tb.Tuples {
+			k := dataset.JoinKey(tp.Values)
+			if cur, ok := minID[k]; !ok || tp.ID < cur {
+				minID[k] = tp.ID
+			}
+		}
+		for _, tp := range out.Tuples {
+			if tp.ID != minID[dataset.JoinKey(tp.Values)] {
+				return false
+			}
+		}
+
+		// Idempotence: deduplicating the output changes nothing.
+		again, dups2 := Dedup(out)
+		if len(dups2) != 0 || again.Len() != out.Len() {
+			return false
+		}
+		return len(again.Diff(out)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeWeightsProperty: on a two-worker fixture with random supports and
+// weights, the merged weight is exactly the hand-computed Eq. 6
+// support-weighted mean, on both workers' indexes.
+func TestMergeWeightsProperty(t *testing.T) {
+	r := rules.MustParseStrings("FD: A -> B")[0]
+	mk := func(n int, w float64) *index.Index {
+		tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+		for i := 0; i < n; i++ {
+			tb.MustAppend("k", "v")
+		}
+		ix, err := index.Build(tb, []*rules.Rule{r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix.Blocks[0].Groups[0].Pieces[0].Weight = w
+		return ix
+	}
+	f := func(n1Raw, n2Raw uint8, w1Raw, w2Raw uint16) bool {
+		n1, n2 := int(n1Raw%40)+1, int(n2Raw%40)+1
+		w1, w2 := float64(w1Raw)/65535, float64(w2Raw)/65535
+		ix1, ix2 := mk(n1, w1), mk(n2, w2)
+		mergeWeights([]*index.Index{ix1, ix2})
+		want := (float64(n1)*w1 + float64(n2)*w2) / float64(n1+n2)
+		for _, ix := range []*index.Index{ix1, ix2} {
+			got := ix.Blocks[0].Groups[0].Pieces[0].Weight
+			if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestDedupKeepsLowestID(t *testing.T) {
 	tb := dataset.NewTable(dataset.MustSchema("A"))
 	tb.MustAppend("x")

@@ -1,0 +1,558 @@
+package distributed
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// Executor is the concurrent distributed runtime: k workers, each running
+// the stand-alone stage-I/II pipeline over its partition on its own
+// goroutine, coordinated exclusively through a Transport. The coordinator
+// streams partition batches down, reduces the workers' Eq. 6 piece
+// summaries, broadcasts the merged weights, and gathers the workers' fusion
+// blocks for the global conflict-resolution pass.
+//
+// Two ingestion paths share the runtime:
+//
+//   - Clean partitions a whole table with Algorithm 3 (heap-balanced,
+//     eviction-based) and ships each part in batches.
+//   - Submit streams batches through an online relaxation of Algorithm 3:
+//     centroids are drawn from the first k tuples seen, and each tuple goes
+//     to the nearest centroid whose partition is under the running capacity
+//     ⌈seen/k⌉ — no retrospective eviction, so shipped tuples never move.
+type Executor struct {
+	schema *dataset.Schema
+	rs     []*rules.Rule
+	opts   Options
+	k      int
+	tr     Transport
+	metric distance.Metric
+	rng    *rand.Rand
+
+	// gather accumulates every submitted tuple (re-IDed sequentially); the
+	// global FSCR fuses from these original dirty values. Partitions are
+	// never materialized coordinator-side — batches ship as they arrive.
+	gather    *dataset.Table
+	centroids [][]string
+	loads     []int
+	shipped   int // gather tuples already assigned and shipped
+
+	distTime   time.Duration
+	assignTime time.Duration
+	createdAt  time.Time
+
+	workerWG sync.WaitGroup
+	finished bool
+	err      error
+}
+
+// NewExecutor starts opts.Workers workers (default 4) for streaming ingest
+// via Submit followed by Run. Whole-table runs should use Clean, which adds
+// the exact Algorithm 3 partitioning on top of the same runtime.
+func NewExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options) (*Executor, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	return newExecutor(schema, rs, opts, opts.Workers)
+}
+
+func newExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options, k int) (*Executor, error) {
+	if schema == nil {
+		return nil, fmt.Errorf("distributed: nil schema")
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("distributed: no rules")
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1024
+	}
+	metric := opts.Core.Metric
+	if metric == nil {
+		metric = defaultMetric()
+	}
+	factory := opts.Transport
+	if factory == nil {
+		factory = NewChanTransport
+	}
+	ex := &Executor{
+		schema:    schema,
+		rs:        rs,
+		opts:      opts,
+		k:         k,
+		tr:        factory(k),
+		metric:    metric,
+		rng:       rand.New(rand.NewSource(opts.Seed)),
+		gather:    dataset.NewTable(schema),
+		loads:     make([]int, k),
+		createdAt: time.Now(),
+	}
+	wopts := workerCoreOpts(opts.Core, k)
+	for w := 0; w < k; w++ {
+		ex.workerWG.Add(1)
+		go func(w int) {
+			defer ex.workerWG.Done()
+			workerMain(ex.tr, w, wopts)
+		}(w)
+	}
+	wire := rulesToWire(rs)
+	attrs := schema.Attrs()
+	for w := 0; w < k; w++ {
+		if err := ex.tr.ToWorker(w, Init{Worker: w, SchemaAttrs: attrs, Rules: wire}); err != nil {
+			ex.fail(err)
+			return nil, err
+		}
+	}
+	return ex, nil
+}
+
+// workerCoreOpts derives the per-worker pipeline options: τ scaled to
+// partition-local group sizes, and the block-level parallelism budget split
+// across the k concurrent workers so the pool doesn't oversubscribe the
+// host.
+func workerCoreOpts(o core.Options, workers int) core.Options {
+	o = workerTauOpts(o, workers)
+	if o.Parallelism <= 0 {
+		par := runtime.NumCPU() / workers
+		if par < 1 {
+			par = 1
+		}
+		o.Parallelism = par
+	}
+	return o
+}
+
+// Submit streams one batch of dirty tuples into the executor, assigning each
+// tuple to a partition online and shipping the assignments immediately.
+// Tuples are re-IDed sequentially across batches. Deterministic given the
+// seed and the batch sequence.
+func (ex *Executor) Submit(batch *dataset.Table) error {
+	if ex.err != nil {
+		return ex.err
+	}
+	if ex.finished {
+		return fmt.Errorf("distributed: executor already ran")
+	}
+	if batch == nil || batch.Len() == 0 {
+		return nil
+	}
+	if !batch.Schema.Equal(ex.schema) {
+		return fmt.Errorf("distributed: batch schema does not match executor schema")
+	}
+	for _, t := range batch.Tuples {
+		vals := make([]string, len(t.Values))
+		copy(vals, t.Values)
+		ex.gather.Tuples = append(ex.gather.Tuples, &dataset.Tuple{ID: len(ex.gather.Tuples), Values: vals})
+	}
+	if ex.centroids == nil && ex.gather.Len() < ex.k {
+		return nil // keep buffering until k centroid candidates exist
+	}
+	return ex.assignAndShip()
+}
+
+// assignAndShip assigns every not-yet-shipped gather tuple to a partition
+// and ships the new assignments, one TupleBatch per worker.
+func (ex *Executor) assignAndShip() error {
+	if ex.shipped >= ex.gather.Len() {
+		return nil
+	}
+	if ex.centroids == nil {
+		// Draw centroids from the tuples seen so far (the streaming analogue
+		// of Algorithm 3's random distinct centroids).
+		n := ex.gather.Len()
+		kk := ex.k
+		if kk > n {
+			kk = n
+		}
+		perm := ex.rng.Perm(n)
+		ex.centroids = make([][]string, ex.k)
+		for i := 0; i < kk; i++ {
+			ex.centroids[i] = ex.gather.Tuples[perm[i]].Values
+		}
+		for i := kk; i < ex.k; i++ {
+			ex.centroids[i] = ex.centroids[0] // degenerate: fewer tuples than workers
+		}
+	}
+	batches := make([]TupleBatch, ex.k)
+	for w := range batches {
+		batches[w].Worker = w
+	}
+	for ; ex.shipped < ex.gather.Len(); ex.shipped++ {
+		t := ex.gather.Tuples[ex.shipped]
+		t0 := time.Now()
+		dists := make([]float64, ex.k)
+		for w := 0; w < ex.k; w++ {
+			dists[w] = distance.Values(ex.metric, t.Values, ex.centroids[w])
+		}
+		ex.distTime += time.Since(t0)
+		t0 = time.Now()
+		// Running capacity ⌈(assigned+1)/k⌉ keeps partitions balanced; at
+		// least one worker is always under it.
+		capacity := (ex.shipped + ex.k) / ex.k
+		best := -1
+		for w := 0; w < ex.k; w++ {
+			if ex.loads[w] >= capacity {
+				continue
+			}
+			if best == -1 || dists[w] < dists[best] {
+				best = w
+			}
+		}
+		ex.loads[best]++
+		batches[best].IDs = append(batches[best].IDs, t.ID)
+		batches[best].Rows = append(batches[best].Rows, t.Values)
+		ex.assignTime += time.Since(t0)
+	}
+	for w := range batches {
+		if len(batches[w].IDs) == 0 {
+			continue
+		}
+		if err := ex.shipBatched(w, batches[w]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shipBatched sends one worker's assignment in BatchSize chunks.
+func (ex *Executor) shipBatched(w int, b TupleBatch) error {
+	size := ex.opts.BatchSize
+	for lo := 0; lo < len(b.IDs); lo += size {
+		hi := lo + size
+		if hi > len(b.IDs) {
+			hi = len(b.IDs)
+		}
+		msg := TupleBatch{Worker: w, IDs: b.IDs[lo:hi], Rows: b.Rows[lo:hi]}
+		if err := ex.tr.ToWorker(w, msg); err != nil {
+			ex.fail(err)
+			return err
+		}
+	}
+	return nil
+}
+
+// Run completes a streaming ingest: flushes any buffered tuples, drives the
+// workers through both stages, and gathers the result.
+func (ex *Executor) Run() (*Result, error) {
+	if ex.err != nil {
+		return nil, ex.err
+	}
+	if ex.finished {
+		return nil, fmt.Errorf("distributed: executor already ran")
+	}
+	if ex.gather.Len() == 0 {
+		ex.fail(fmt.Errorf("distributed: empty input table"))
+		return nil, ex.err
+	}
+	if err := ex.assignAndShip(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Workers:           ex.k,
+		PartitionDistTime: ex.distTime,
+		PartitionHeapTime: ex.assignTime,
+	}
+	return ex.finish(ex.gather, res)
+}
+
+// fail records the first error and tears the transport down so every worker
+// unblocks and exits.
+func (ex *Executor) fail(err error) {
+	if ex.err == nil {
+		ex.err = err
+	}
+	ex.finished = true
+	ex.tr.Close()
+	ex.workerWG.Wait()
+}
+
+// Close abandons an executor that will not be Run, releasing its worker
+// goroutines. Safe to call after Run (a no-op then).
+func (ex *Executor) Close() {
+	if ex.finished {
+		return
+	}
+	ex.fail(fmt.Errorf("distributed: executor closed"))
+}
+
+// finish drives the two-phase protocol to completion: stage I on every
+// worker, the Eq. 6 reduce + broadcast, stage II on every worker, then the
+// global gather (FSCR over the original dirty tuples + deduplication).
+func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
+	ok := false
+	defer func() {
+		ex.finished = true
+		ex.tr.Close()
+		ex.workerWG.Wait()
+		if !ok && ex.err == nil {
+			ex.err = fmt.Errorf("distributed: run aborted")
+		}
+	}()
+
+	for w := 0; w < ex.k; w++ {
+		if err := ex.tr.ToWorker(w, StartStageI{Worker: w}); err != nil {
+			return nil, err
+		}
+	}
+	sums := make([]WeightSummaries, ex.k)
+	for i := 0; i < ex.k; i++ {
+		m, err := ex.tr.CoordinatorRecv()
+		if err != nil {
+			return nil, err
+		}
+		ws, isWS := m.(WeightSummaries)
+		if !isWS {
+			return nil, fmt.Errorf("distributed: protocol: expected WeightSummaries, got %T", m)
+		}
+		if ws.Err != "" {
+			return nil, fmt.Errorf("distributed: worker %d: %s", ws.Worker, ws.Err)
+		}
+		sums[ws.Worker] = ws
+	}
+
+	// Eq. 6: reduce the workers' piece summaries to support-weighted mean
+	// weights — w(γ) = Σ nᵢ·wᵢ / Σ nᵢ — so sparse local evidence borrows
+	// support from the other parts. A pure reduce over shipped summaries:
+	// no worker index state is touched from the coordinator.
+	t0 := time.Now()
+	var merged []index.PieceSummary
+	if !ex.opts.SkipWeightMerge {
+		per := make([][]index.PieceSummary, ex.k)
+		for w := range sums {
+			per[w] = sums[w].Summaries
+		}
+		merged = reducePieceWeights(per)
+	}
+	res.GatherTime += time.Since(t0)
+	for w := 0; w < ex.k; w++ {
+		if err := ex.tr.ToWorker(w, MergedWeights{Worker: w, Merged: merged}); err != nil {
+			return nil, err
+		}
+	}
+
+	frs := make([]FusionResult, ex.k)
+	for i := 0; i < ex.k; i++ {
+		m, err := ex.tr.CoordinatorRecv()
+		if err != nil {
+			return nil, err
+		}
+		fr, isFR := m.(FusionResult)
+		if !isFR {
+			return nil, fmt.Errorf("distributed: protocol: expected FusionResult, got %T", m)
+		}
+		if fr.Err != "" {
+			return nil, fmt.Errorf("distributed: worker %d: %s", fr.Worker, fr.Err)
+		}
+		frs[fr.Worker] = fr
+	}
+
+	res.WorkerTimes = make([]time.Duration, ex.k)
+	res.PartSizes = make([]int, ex.k)
+	for w := 0; w < ex.k; w++ {
+		res.WorkerTimes[w] = time.Duration(sums[w].ElapsedNS + frs[w].ElapsedNS)
+		res.PartSizes[w] = frs[w].PartSize
+		res.Stats.Add(frs[w].Stats)
+	}
+
+	// Gather (§6: "conflicts and duplicates are eliminated in the same way
+	// to stand-alone MLNClean"): run a global conflict resolution over the
+	// union of all workers' blocks and deduplicate. The global FSCR fuses
+	// from the ORIGINAL dirty tuples — the union blocks already carry every
+	// worker's stage-I repairs, and fusing from the per-part FSCR outputs
+	// would move the observation baseline of the minimality prior, letting
+	// compounding double-fusions through. The per-part FSCR outputs remain
+	// what each worker would ship alone (and what WorkerTimes measures).
+	t0 = time.Now()
+	blocks := unionWireBlocks(frs, ex.rs)
+	var gatherStats core.Stats
+	repaired := core.RunFSCR(dirty, blocks, ex.opts.Core, &gatherStats)
+	res.Repaired = repaired
+	res.Stats.FSCRCellChanges += gatherStats.FSCRCellChanges
+	if ex.opts.Core.KeepDuplicates {
+		res.Clean = repaired.Clone()
+	} else {
+		clean, dups := Dedup(repaired)
+		res.Clean = clean
+		for _, d := range dups {
+			res.Stats.DuplicatesRemoved += len(d) - 1
+		}
+	}
+	res.GatherTime += time.Since(t0)
+	res.WallTime = time.Since(ex.createdAt)
+	ok = true
+	return res, nil
+}
+
+// workerMain is one worker's receive loop, driven entirely by transport
+// messages: accumulate partition batches, run stage I on StartStageI, apply
+// the merged weights and run stage II on MergedWeights, then exit.
+func workerMain(tr Transport, w int, opts core.Options) {
+	var (
+		schema  *dataset.Schema
+		rs      []*rules.Rule
+		batches []TupleBatch
+		initErr error
+		tb      *dataset.Table
+		ix      *index.Index
+		stats   core.Stats
+	)
+	for {
+		m, err := tr.WorkerRecv(w)
+		if err != nil {
+			return // transport closed: coordinator gave up
+		}
+		switch msg := m.(type) {
+		case Init:
+			if s, err := dataset.NewSchema(msg.SchemaAttrs...); err != nil {
+				initErr = err
+			} else if r, err := rulesFromWire(msg.Rules); err != nil {
+				initErr = err
+			} else {
+				schema, rs = s, r
+			}
+		case TupleBatch:
+			batches = append(batches, msg)
+		case StartStageI:
+			t0 := time.Now()
+			reply := WeightSummaries{Worker: w}
+			switch {
+			case initErr != nil:
+				reply.Err = initErr.Error()
+			case schema == nil:
+				reply.Err = "protocol: StartStageI before Init"
+			default:
+				tb = tableFromBatches(schema, batches)
+				batches = nil
+				stats.Tuples = tb.Len()
+				var err error
+				if ix, err = index.Build(tb, rs); err != nil {
+					reply.Err = err.Error()
+					break
+				}
+				stats.Blocks = len(ix.Blocks)
+				core.StageAGP(ix, opts, &stats)
+				if err := core.StageLearn(ix, opts, &stats); err != nil {
+					reply.Err = err.Error()
+					break
+				}
+				reply.Summaries = ix.PieceSummaries()
+			}
+			reply.ElapsedNS = time.Since(t0).Nanoseconds()
+			if tr.ToCoordinator(reply) != nil || reply.Err != "" {
+				return
+			}
+		case MergedWeights:
+			if ix == nil {
+				tr.ToCoordinator(FusionResult{Worker: w, Err: "protocol: MergedWeights before stage I"})
+				return
+			}
+			t0 := time.Now()
+			ix.ApplyPieceWeights(msg.Merged)
+			core.StageRSC(ix, opts, &stats)
+			for _, b := range ix.Blocks {
+				stats.Groups += len(b.Groups)
+			}
+			// The local FSCR output is what this worker would ship alone; the
+			// coordinator re-derives the final table globally, so the local
+			// pass contributes its (timed) cost, as on the real cluster.
+			core.RunFSCR(tb, fusionBlocks(ix), opts, &stats)
+			tr.ToCoordinator(FusionResult{
+				Worker:    w,
+				PartSize:  tb.Len(),
+				Blocks:    blocksToWire(ix),
+				Stats:     stats,
+				ElapsedNS: time.Since(t0).Nanoseconds(),
+			})
+			return
+		}
+	}
+}
+
+// reducePieceWeights is the coordinator half of Eq. 6: fold every worker's
+// piece summaries (in worker order, for deterministic float accumulation)
+// into support-weighted mean weights, emitted sorted by (rule, key).
+func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
+	type agg struct {
+		ruleID, key string
+		sumNW, sumN float64
+	}
+	byKey := make(map[string]*agg)
+	var order []string
+	for _, sums := range perWorker {
+		for _, s := range sums {
+			k := s.RuleID + "\x1e" + s.Key
+			a := byKey[k]
+			if a == nil {
+				a = &agg{ruleID: s.RuleID, key: s.Key}
+				byKey[k] = a
+				order = append(order, k)
+			}
+			n := float64(s.Count)
+			a.sumNW += n * s.Weight
+			a.sumN += n
+		}
+	}
+	sort.Strings(order)
+	out := make([]index.PieceSummary, 0, len(order))
+	for _, k := range order {
+		a := byKey[k]
+		if a.sumN <= 0 {
+			continue
+		}
+		out = append(out, index.PieceSummary{
+			RuleID: a.ruleID,
+			Key:    a.key,
+			Count:  int(a.sumN),
+			Weight: a.sumNW / a.sumN,
+		})
+	}
+	return out
+}
+
+// unionWireBlocks builds global FSCR inputs from every worker's shipped
+// blocks: per rule, the tuple→piece assignments of all workers plus the
+// union of their candidate pieces (deduplicated by value, keeping the
+// merged weight). Workers are folded in index order so candidate order is
+// deterministic regardless of message arrival order.
+func unionWireBlocks(frs []FusionResult, rs []*rules.Rule) []*core.FusionBlock {
+	blocks := make([]*core.FusionBlock, len(rs))
+	seen := make([]map[string]bool, len(rs))
+	for ri, r := range rs {
+		blocks[ri] = &core.FusionBlock{Rule: r, Attrs: r.Attrs(), Versions: make(map[int]*index.Piece)}
+		seen[ri] = make(map[string]bool)
+	}
+	for _, fr := range frs {
+		for bi := range fr.Blocks {
+			if bi >= len(blocks) {
+				continue
+			}
+			fb := blocks[bi]
+			for _, wp := range fr.Blocks[bi].Pieces {
+				p := &index.Piece{
+					Rule:     rs[bi],
+					Reason:   wp.Reason,
+					Result:   wp.Result,
+					TupleIDs: wp.TupleIDs,
+					Weight:   wp.Weight,
+				}
+				if k := p.Key(); !seen[bi][k] {
+					seen[bi][k] = true
+					fb.Candidates = append(fb.Candidates, p)
+				}
+				for _, id := range wp.TupleIDs {
+					fb.Versions[id] = p
+				}
+			}
+		}
+	}
+	return blocks
+}

@@ -1,14 +1,21 @@
-// Package distributed implements the Spark variant of MLNClean (§6) on a
-// goroutine worker pool: the heap-based balanced data partitioner of
-// Algorithm 3, per-worker stand-alone cleaning, the cross-worker weight
-// adjustment of Eq. 6, and a global gather step that resolves conflicts and
-// removes duplicates the same way the stand-alone pipeline does.
+// Package distributed implements the Spark variant of MLNClean (§6) as a
+// concurrent worker-pool executor: the heap-based balanced data partitioner
+// of Algorithm 3 (plus a streaming relaxation for batched ingest),
+// per-worker stand-alone cleaning on dedicated goroutines, the cross-worker
+// weight adjustment of Eq. 6 as a reduce over worker-emitted piece
+// summaries, and a global gather step that resolves conflicts and removes
+// duplicates the same way the stand-alone pipeline does. All
+// coordinator↔worker traffic crosses a pluggable Transport whose messages
+// are plain serializable data, so an RPC transport can replace the
+// in-process one without touching the pipeline.
 //
 // Substitution note (see DESIGN.md): the paper deploys on an 11-node Spark
 // cluster; here each "worker" is a goroutine running the stand-alone
 // pipeline over its partition. Reported cluster time uses the ideal-cluster
-// model max(worker times) + partition + gather, which preserves the scaling
-// shape of Fig. 15 / Table 6 independent of the host's core count.
+// model max(worker times) + partition + gather, which approximates the
+// scaling shape of Fig. 15 / Table 6 when the host has at least k free
+// cores (see Result.ClusterTime); Result.WallTime is the measured
+// concurrent counterpart.
 package distributed
 
 import (

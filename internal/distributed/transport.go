@@ -1,0 +1,233 @@
+package distributed
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport moves protocol messages between the coordinator and its k
+// workers. Messages to one peer are delivered in send order; sends apply
+// backpressure when a peer's inbox is full. Every message crossing the
+// interface is plain serializable data (see wire.go), so an implementation
+// is free to marshal it across a process boundary — ChanTransport passes
+// values in-process, GobTransport additionally round-trips every message
+// through its gob wire framing, and an RPC transport can slot in behind the
+// same five methods.
+type Transport interface {
+	// ToWorker delivers m to worker w's inbox.
+	ToWorker(w int, m Message) error
+	// WorkerRecv blocks until the next coordinator message for worker w.
+	WorkerRecv(w int) (Message, error)
+	// ToCoordinator delivers a worker reply to the coordinator.
+	ToCoordinator(m Message) error
+	// CoordinatorRecv blocks until the next worker reply.
+	CoordinatorRecv() (Message, error)
+	// Close tears the transport down; blocked and future calls fail.
+	Close() error
+}
+
+// TransportFactory builds a transport sized for a worker count; the executor
+// calls it after clamping the worker count to the table size.
+type TransportFactory func(workers int) Transport
+
+// TransportByName resolves a transport factory from its flag name.
+func TransportByName(name string) (TransportFactory, error) {
+	switch name {
+	case "", "chan":
+		return NewChanTransport, nil
+	case "gob":
+		return NewGobTransport, nil
+	default:
+		return nil, fmt.Errorf("distributed: unknown transport %q (chan|gob)", name)
+	}
+}
+
+// chanTransport is the in-process transport: one buffered inbox channel per
+// worker plus a shared upward channel. Message values cross goroutines
+// directly, without marshalling.
+type chanTransport struct {
+	down []chan Message
+	up   chan Message
+	done chan struct{}
+	once sync.Once
+}
+
+// NewChanTransport builds the in-process channel transport for k workers.
+func NewChanTransport(workers int) Transport {
+	t := &chanTransport{
+		down: make([]chan Message, workers),
+		up:   make(chan Message, 4*workers),
+		done: make(chan struct{}),
+	}
+	for w := range t.down {
+		t.down[w] = make(chan Message, 64)
+	}
+	return t
+}
+
+func (t *chanTransport) ToWorker(w int, m Message) error {
+	if w < 0 || w >= len(t.down) {
+		return fmt.Errorf("distributed: no worker %d", w)
+	}
+	select {
+	case <-t.done:
+		return errTransportClosed
+	default:
+	}
+	select {
+	case t.down[w] <- m:
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+func (t *chanTransport) WorkerRecv(w int) (Message, error) {
+	if w < 0 || w >= len(t.down) {
+		return nil, fmt.Errorf("distributed: no worker %d", w)
+	}
+	select {
+	case <-t.done:
+		return nil, errTransportClosed
+	default:
+	}
+	select {
+	case m := <-t.down[w]:
+		return m, nil
+	case <-t.done:
+		return nil, errTransportClosed
+	}
+}
+
+func (t *chanTransport) ToCoordinator(m Message) error {
+	select {
+	case <-t.done:
+		return errTransportClosed
+	default:
+	}
+	select {
+	case t.up <- m:
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+func (t *chanTransport) CoordinatorRecv() (Message, error) {
+	select {
+	case <-t.done:
+		return nil, errTransportClosed
+	default:
+	}
+	select {
+	case m := <-t.up:
+		return m, nil
+	case <-t.done:
+		return nil, errTransportClosed
+	}
+}
+
+func (t *chanTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}
+
+var errTransportClosed = fmt.Errorf("distributed: transport closed")
+
+// gobTransport is the channel transport with every message gob-encoded on
+// send and decoded on receive — the in-process stand-in for an RPC
+// transport, proving on every run that the message boundary is serializable.
+type gobTransport struct {
+	down []chan []byte
+	up   chan []byte
+	done chan struct{}
+	once sync.Once
+}
+
+// NewGobTransport builds the serializing transport for k workers.
+func NewGobTransport(workers int) Transport {
+	t := &gobTransport{
+		down: make([]chan []byte, workers),
+		up:   make(chan []byte, 4*workers),
+		done: make(chan struct{}),
+	}
+	for w := range t.down {
+		t.down[w] = make(chan []byte, 64)
+	}
+	return t
+}
+
+func (t *gobTransport) ToWorker(w int, m Message) error {
+	if w < 0 || w >= len(t.down) {
+		return fmt.Errorf("distributed: no worker %d", w)
+	}
+	b, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return errTransportClosed
+	default:
+	}
+	select {
+	case t.down[w] <- b:
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+func (t *gobTransport) WorkerRecv(w int) (Message, error) {
+	if w < 0 || w >= len(t.down) {
+		return nil, fmt.Errorf("distributed: no worker %d", w)
+	}
+	select {
+	case <-t.done:
+		return nil, errTransportClosed
+	default:
+	}
+	select {
+	case b := <-t.down[w]:
+		return DecodeMessage(b)
+	case <-t.done:
+		return nil, errTransportClosed
+	}
+}
+
+func (t *gobTransport) ToCoordinator(m Message) error {
+	b, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	select {
+	case <-t.done:
+		return errTransportClosed
+	default:
+	}
+	select {
+	case t.up <- b:
+		return nil
+	case <-t.done:
+		return errTransportClosed
+	}
+}
+
+func (t *gobTransport) CoordinatorRecv() (Message, error) {
+	select {
+	case <-t.done:
+		return nil, errTransportClosed
+	default:
+	}
+	select {
+	case b := <-t.up:
+		return DecodeMessage(b)
+	case <-t.done:
+		return nil, errTransportClosed
+	}
+}
+
+func (t *gobTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}

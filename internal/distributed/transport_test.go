@@ -1,0 +1,110 @@
+package distributed
+
+import (
+	"reflect"
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/index"
+)
+
+// TestMessageGobRoundTrip: every protocol message survives the wire framing
+// unchanged — the property an RPC transport relies on.
+func TestMessageGobRoundTrip(t *testing.T) {
+	msgs := []Message{
+		Init{Worker: 2, SchemaAttrs: []string{"A", "B"}, Rules: []WireRule{{
+			ID:     "r1",
+			Kind:   1,
+			Reason: []WirePattern{{Attr: "A", Const: "x"}},
+			Result: []WirePattern{{Attr: "B"}},
+		}}},
+		TupleBatch{Worker: 1, IDs: []int{3, 7}, Rows: [][]string{{"a", "b"}, {"c", "d"}}},
+		StartStageI{Worker: 0},
+		WeightSummaries{Worker: 1, ElapsedNS: 42, Summaries: []index.PieceSummary{
+			{RuleID: "r1", Key: "a\x1fb", Count: 3, Weight: 0.75},
+		}},
+		MergedWeights{Worker: 3, Merged: []index.PieceSummary{{RuleID: "r2", Key: "k", Count: 1, Weight: 1}}},
+		FusionResult{Worker: 2, PartSize: 9, ElapsedNS: 7, Stats: core.Stats{Tuples: 9, RSCRepairs: 2},
+			Blocks: []WireFusionBlock{{Pieces: []WirePiece{
+				{Reason: []string{"a"}, Result: []string{"b"}, TupleIDs: []int{1, 4}, Weight: 0.5},
+			}}}},
+	}
+	for _, m := range msgs {
+		b, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode %T: %v", m, err)
+		}
+		got, err := DecodeMessage(b)
+		if err != nil {
+			t.Fatalf("decode %T: %v", m, err)
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Errorf("round trip of %T diverged:\n sent %#v\n got  %#v", m, m, got)
+		}
+	}
+}
+
+// TestTransportByName resolves the flag names and rejects unknown ones.
+func TestTransportByName(t *testing.T) {
+	for _, name := range []string{"", "chan", "gob"} {
+		f, err := TransportByName(name)
+		if err != nil || f == nil {
+			t.Errorf("TransportByName(%q): %v", name, err)
+		}
+	}
+	if _, err := TransportByName("carrier-pigeon"); err == nil {
+		t.Error("unknown transport should fail")
+	}
+}
+
+// TestGobTransportMatchesChan: serializing every message through the gob
+// wire framing yields the identical cleaned table — the executor's output
+// does not depend on messages sharing memory.
+func TestGobTransportMatchesChan(t *testing.T) {
+	_, dirty, rs := equivalenceFixture(t)
+	viaChan, err := Clean(dirty, rs, Options{Workers: 4, Seed: 1, Core: core.Options{Tau: 2}, Transport: NewChanTransport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaGob, err := Clean(dirty, rs, Options{Workers: 4, Seed: 1, Core: core.Options{Tau: 2}, Transport: NewGobTransport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := viaChan.Repaired.Diff(viaGob.Repaired); len(d) != 0 {
+		t.Errorf("gob transport output differs from chan transport: %d cells, first %v", len(d), d[0])
+	}
+	if viaChan.Clean.Len() != viaGob.Clean.Len() {
+		t.Errorf("deduplicated sizes differ: chan %d, gob %d", viaChan.Clean.Len(), viaGob.Clean.Len())
+	}
+}
+
+// TestChanTransportClose: receives and sends fail after Close instead of
+// blocking forever, and Close is idempotent.
+func TestChanTransportClose(t *testing.T) {
+	for name, factory := range map[string]TransportFactory{"chan": NewChanTransport, "gob": NewGobTransport} {
+		tr := factory(2)
+		if err := tr.ToWorker(1, StartStageI{Worker: 1}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m, err := tr.WorkerRecv(1); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		} else if _, isStart := m.(StartStageI); !isStart {
+			t.Fatalf("%s: got %T", name, m)
+		}
+		if err := tr.ToWorker(5, StartStageI{}); err == nil {
+			t.Errorf("%s: out-of-range worker should fail", name)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("%s: double close: %v", name, err)
+		}
+		if _, err := tr.CoordinatorRecv(); err == nil {
+			t.Errorf("%s: recv after close should fail", name)
+		}
+		if err := tr.ToCoordinator(StartStageI{}); err == nil {
+			t.Errorf("%s: send after close should fail", name)
+		}
+	}
+}

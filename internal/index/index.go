@@ -223,6 +223,60 @@ func (ix *Index) Assignments() []map[int]*Group {
 	return out
 }
 
+// PieceSummary is the serializable weight-exchange record of one piece: its
+// identity (rule + full value key), local support count, and locally learned
+// weight. The distributed Eq. 6 weight merge reduces over these summaries
+// instead of touching worker index state directly, so the exchange can cross
+// a process boundary.
+type PieceSummary struct {
+	RuleID string
+	Key    string
+	Count  int
+	Weight float64
+}
+
+// PieceSummaries extracts one summary per piece in deterministic
+// block/group/piece order.
+func (ix *Index) PieceSummaries() []PieceSummary {
+	var out []PieceSummary
+	for _, b := range ix.Blocks {
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				out = append(out, PieceSummary{
+					RuleID: b.Rule.ID,
+					Key:    p.Key(),
+					Count:  p.Count(),
+					Weight: p.Weight,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// ApplyPieceWeights overwrites the weight of every piece matching a summary's
+// (rule, key) identity; pieces without a matching summary keep their local
+// weight. Counts are ignored — this is the write-back half of the Eq. 6
+// exchange.
+func (ix *Index) ApplyPieceWeights(ws []PieceSummary) {
+	if len(ws) == 0 {
+		return
+	}
+	merged := make(map[string]float64, len(ws))
+	for _, s := range ws {
+		merged[s.RuleID+"\x1e"+s.Key] = s.Weight
+	}
+	for _, b := range ix.Blocks {
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				if w, ok := merged[b.Rule.ID+"\x1e"+p.Key()]; ok {
+					p.Weight = w
+				}
+			}
+		}
+	}
+}
+
 // Stats summarizes index shape.
 type Stats struct {
 	Blocks int

@@ -232,3 +232,56 @@ func TestIndexTableAccessor(t *testing.T) {
 		t.Error("Table accessor")
 	}
 }
+
+// TestPieceSummariesRoundTrip: summaries report every piece's identity,
+// support and weight, and ApplyPieceWeights writes matching weights back
+// while leaving unmatched pieces alone.
+func TestPieceSummariesRoundTrip(t *testing.T) {
+	tb := sampleTable(t)
+	ix, _ := Build(tb, sampleRules(t))
+	var want int
+	for _, b := range ix.Blocks {
+		for _, g := range b.Groups {
+			for pi, p := range g.Pieces {
+				p.Weight = float64(pi + 1)
+				want++
+			}
+		}
+	}
+	sums := ix.PieceSummaries()
+	if len(sums) != want {
+		t.Fatalf("summaries = %d, want %d", len(sums), want)
+	}
+	seen := make(map[string]bool)
+	for _, s := range sums {
+		if s.Count < 1 || s.RuleID == "" || s.Key == "" {
+			t.Errorf("bad summary %+v", s)
+		}
+		k := s.RuleID + "|" + s.Key
+		if seen[k] {
+			t.Errorf("duplicate summary identity %s", k)
+		}
+		seen[k] = true
+	}
+
+	// Overwrite one piece's weight via a summary; everything else keeps its
+	// weight, including pieces named by no summary.
+	target := sums[0]
+	target.Weight = 42
+	ix.ApplyPieceWeights([]PieceSummary{target, {RuleID: "nope", Key: "nope", Weight: 7}})
+	for _, b := range ix.Blocks {
+		for _, g := range b.Groups {
+			for _, p := range g.Pieces {
+				got := p.Weight
+				if b.Rule.ID == target.RuleID && p.Key() == target.Key {
+					if got != 42 {
+						t.Errorf("target piece weight = %v, want 42", got)
+					}
+				} else if got == 42 || got == 7 {
+					t.Errorf("unmatched piece %s/%s weight overwritten to %v", b.Rule.ID, p.Key(), got)
+				}
+			}
+		}
+	}
+	ix.ApplyPieceWeights(nil) // no-op
+}

@@ -1,0 +1,91 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds is the in-code half of the FuzzParse seed corpus (the other half
+// lives in testdata/fuzz/FuzzParse): valid rules of every kind plus
+// near-misses that exercise the error paths.
+var fuzzSeeds = []string{
+	"FD: CT -> ST",
+	"FD: ProviderID -> City, PhoneNumber",
+	"FD: A => B",
+	"CFD: Make=acura, Type -> Doors",
+	"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	`CFD: A="x" -> B`,
+	"DC: not(PhoneNumber(t)=PhoneNumber(t') and State(t)!=State(t'))",
+	"DC: forall t,t' not(A(t)=A(t') and B(t)!=B(t'))",
+	"DC: not(A(t)=A(t') and B(t)=B(t') and C(t)!=C(t'))",
+	"FD:",
+	"FD: A ->",
+	"FD: -> B",
+	"FD: A -> A",
+	"FD: A=x -> B",
+	"XX: A -> B",
+	"DC: not(A(t)=B(t'))",
+	"DC: not(A(t)=A(t'))",
+	"CFD: A= -> B",
+	"fd: a -> b",
+	" DC : not(A(t)!=A(t') and A(t)=A(t'))",
+}
+
+// FuzzParse asserts that Parse never panics, and that every parsed rule
+// whose attributes and constants are free of syntax metacharacters
+// round-trips through its canonical text: parse → Canonical → parse yields
+// the same canonical text again.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := Parse("f", text)
+		if err != nil {
+			return // rejecting the input without panicking is the contract
+		}
+		if !roundTrippable(r) {
+			return // attrs/consts embedding syntax tokens are out of contract
+		}
+		canon := r.Canonical()
+		r2, err := Parse("f", canon)
+		if err != nil {
+			t.Fatalf("canonical form of %q does not re-parse: %q: %v", text, canon, err)
+		}
+		if got := r2.Canonical(); got != canon {
+			t.Fatalf("canonical round-trip of %q diverges:\n first %q\nsecond %q", text, canon, got)
+		}
+		if r2.Kind != r.Kind || len(r2.Reason) != len(r.Reason) || len(r2.Result) != len(r.Result) {
+			t.Fatalf("re-parsed rule shape differs for %q: %v vs %v", text, r, r2)
+		}
+	})
+}
+
+// roundTrippable reports whether every attribute and constant of the rule is
+// free of the grammar's metacharacters — the class of rules whose canonical
+// text is guaranteed to re-parse identically. Adversarial names embedding
+// separators (commas, arrows, parens, " and ", quotes) parse, but their
+// serialized form is ambiguous by construction.
+func roundTrippable(r *Rule) bool {
+	ok := func(s string) bool {
+		if s == "" || s != strings.TrimSpace(s) {
+			return false
+		}
+		if strings.ContainsAny(s, ",=()\"!\n\r") {
+			return false
+		}
+		if strings.Contains(s, "->") || strings.Contains(s, "=>") {
+			return false
+		}
+		return !strings.Contains(strings.ToLower(s), " and ")
+	}
+	for _, p := range append(append([]Pattern{}, r.Reason...), r.Result...) {
+		if !ok(p.Attr) {
+			return false
+		}
+		if p.Const != "" && !ok(p.Const) {
+			return false
+		}
+	}
+	return true
+}

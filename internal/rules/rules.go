@@ -261,6 +261,35 @@ func (r *Rule) PairViolates(tb *dataset.Table, a, b *dataset.Tuple) bool {
 	}
 }
 
+// Canonical renders the rule in the exact line syntax Parse accepts (no id
+// label), so Parse(Canonical()) reconstructs the rule. String, by contrast,
+// uses the paper's display notation, which is not parseable for CFDs.
+func (r *Rule) Canonical() string {
+	if r.Kind == DC {
+		preds := make([]string, 0, len(r.Reason)+len(r.Result))
+		for _, p := range append(append([]Pattern{}, r.Reason...), r.Result...) {
+			preds = append(preds, fmt.Sprintf("%s(t)%s%s(t')", p.Attr, p.Op, p.Attr))
+		}
+		return "DC: not(" + strings.Join(preds, " and ") + ")"
+	}
+	pat := func(p Pattern) string {
+		if p.Const != "" {
+			return p.Attr + "=" + p.Const
+		}
+		return p.Attr
+	}
+	parts := make([]string, len(r.Reason))
+	for i, p := range r.Reason {
+		parts[i] = pat(p)
+	}
+	out := r.Kind.String() + ": " + strings.Join(parts, ", ") + " -> "
+	parts = parts[:0]
+	for _, p := range r.Result {
+		parts = append(parts, pat(p))
+	}
+	return out + strings.Join(parts, ", ")
+}
+
 // String renders the rule in the paper's notation, e.g.
 // "r1 FD: CT => ST" or "r3 CFD: HN(\"ELIZA\"), CT(\"BOAZ\") => PN(\"2567688400\")".
 func (r *Rule) String() string {
