@@ -6,9 +6,15 @@
 //	benchrunner -list
 //	benchrunner -exp fig6-car
 //	benchrunner -exp all -scale small
+//	benchrunner -exp all -scale small -json BENCH_2026-07-30.json
+//
+// With -json the reports are additionally written to the named file as one
+// JSON document; CI runs this on every push and uploads the BENCH_*.json
+// artifact, so report trajectories can be diffed across commits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -17,11 +23,25 @@ import (
 	"mlnclean/internal/bench"
 )
 
+// jsonReport is the machine-readable form of one experiment run.
+type jsonReport struct {
+	*bench.Report
+	ElapsedMS int64 `json:"elapsed_ms"`
+}
+
+// jsonDoc is the top-level -json document.
+type jsonDoc struct {
+	GeneratedAt time.Time    `json:"generated_at"`
+	Scale       string       `json:"scale"`
+	Reports     []jsonReport `json:"reports"`
+}
+
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment name, or 'all' (see -list)")
-		scale = flag.String("scale", "default", "dataset scale: small|default|large")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp      = flag.String("exp", "", "experiment name, or 'all' (see -list)")
+		scale    = flag.String("scale", "default", "dataset scale: small|default|large")
+		list     = flag.Bool("list", false, "list available experiments")
+		jsonPath = flag.String("json", "", "also write the reports to this file as JSON")
 	)
 	flag.Parse()
 	if *list {
@@ -43,6 +63,7 @@ func main() {
 	if *exp == "all" {
 		names = bench.Names()
 	}
+	doc := jsonDoc{GeneratedAt: time.Now().UTC(), Scale: sc.Label}
 	for _, name := range names {
 		start := time.Now()
 		report, err := bench.Run(name, sc)
@@ -50,7 +71,21 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
 		report.Fprint(os.Stdout)
-		fmt.Printf("(%s scale, took %v)\n\n", sc.Label, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s scale, took %v)\n\n", sc.Label, elapsed.Round(time.Millisecond))
+		doc.Reports = append(doc.Reports, jsonReport{Report: report, ElapsedMS: elapsed.Milliseconds()})
+	}
+	if *jsonPath != "" {
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrunner: wrote %s (%d reports)\n", *jsonPath, len(doc.Reports))
 	}
 }

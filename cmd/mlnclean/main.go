@@ -10,7 +10,7 @@
 // cleaning with the Eq. 6 weight merge, and a global gather. -transport
 // selects how coordinator and workers exchange messages (chan: in-process
 // channels; gob: every message round-trips through its serialized wire
-// form).
+// form; http: the gob framing over a real loopback HTTP listener).
 //
 // The rule file holds one constraint per line (see internal/rules):
 //
@@ -55,7 +55,7 @@ func main() {
 	flag.BoolVar(&cfg.keepDups, "keep-duplicates", false, "skip duplicate elimination")
 	flag.BoolVar(&cfg.verbose, "v", false, "print pipeline statistics to stderr")
 	flag.IntVar(&cfg.workers, "workers", 1, "worker count; > 1 runs the distributed executor (§6)")
-	flag.StringVar(&cfg.transport, "transport", "chan", "distributed transport: chan|gob")
+	flag.StringVar(&cfg.transport, "transport", "chan", "distributed transport: chan|gob|http")
 	flag.IntVar(&cfg.batchSize, "batch", 1024, "tuples per distributed partition shipment")
 	flag.Int64Var(&cfg.seed, "seed", 1, "partition centroid seed (distributed only)")
 	flag.Parse()

@@ -1,0 +1,91 @@
+// Command mlnserve is the long-running MLNClean cleaning service: an
+// HTTP/JSON session API (create session → stream tuple batches → trigger
+// clean → poll → fetch repairs) over the distributed executor, with a
+// bounded session manager (idle eviction, backpressure) and a model cache
+// that amortizes rule parsing and Eq. 6 weight learning across requests.
+//
+// Usage:
+//
+//	mlnserve [-addr :7700] [-max-sessions 16] [-idle-timeout 10m] [-workers 2]
+//
+// Walkthrough (see the README's Serving section for the full curl script):
+//
+//	curl -s localhost:7700/v1/sessions -d '{"rules":"FD: CT -> ST","attrs":["CT","ST"]}'
+//	curl -s localhost:7700/v1/sessions/s-000001/tuples -d '{"rows":[["BOAZ","AL"],["BOAZ","AI"]]}'
+//	curl -s -X POST localhost:7700/v1/sessions/s-000001/clean
+//	curl -s localhost:7700/v1/sessions/s-000001/result
+//
+// SIGINT/SIGTERM shut the daemon down gracefully: in-flight HTTP requests
+// drain, every session's executor is cancelled, and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mlnclean/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":7700", "listen address")
+		maxSessions = flag.Int("max-sessions", 16, "concurrent session cap (backpressure past it)")
+		idleTimeout = flag.Duration("idle-timeout", 10*time.Minute, "evict sessions idle this long")
+		workers     = flag.Int("workers", 2, "default executor workers per session")
+	)
+	flag.Parse()
+	if err := run(*addr, *maxSessions, *idleTimeout, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "mlnserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, maxSessions int, idleTimeout time.Duration, workers int) error {
+	srv := server.New(server.ManagerConfig{
+		MaxSessions:    maxSessions,
+		IdleTimeout:    idleTimeout,
+		DefaultWorkers: workers,
+	})
+	httpSrv := &http.Server{
+		Addr:    addr,
+		Handler: srv,
+		// Slow-client protection; no overall ReadTimeout because tuple
+		// batches may legitimately stream for a while.
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mlnserve: listening on %s (max %d sessions, %v idle timeout)\n",
+			addr, maxSessions, idleTimeout)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		srv.Shutdown()
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "mlnserve: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	srv.Shutdown()
+	if err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+// Command mlnworker attaches out-of-process cleaning workers to a
+// distributed coordinator that was started with the remote HTTP transport
+// (distributed.NewRemoteHTTPTransport). Each worker claims a slot over
+// HTTP, long-polls its inbox, runs the stage-I/II pipeline on its partition,
+// and exits when the run completes.
+//
+// Usage:
+//
+//	mlnworker -coordinator http://10.0.0.5:7701 [-n 2] [-loop]
+//
+// With -loop the process reattaches after each run, serving a coordinator
+// that is recreated per cleaning request (e.g. a serving session configured
+// for remote workers).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"mlnclean/internal/distributed"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "", "coordinator base URL, e.g. http://host:7701 (required)")
+		n           = flag.Int("n", 1, "worker slots to claim and serve")
+		loop        = flag.Bool("loop", false, "reattach after each completed run")
+	)
+	flag.Parse()
+	if *coordinator == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for {
+				err := distributed.ServeHTTPWorker(ctx, *coordinator)
+				if ctx.Err() != nil {
+					return
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "mlnworker[%d]: %v\n", i, err)
+				}
+				if !*loop {
+					return
+				}
+				// Back off briefly between attach attempts so a missing
+				// coordinator doesn't spin the CPU.
+				select {
+				case <-time.After(500 * time.Millisecond):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

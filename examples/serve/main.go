@@ -1,0 +1,160 @@
+// Serve: the session API end to end — start the mlnserve handler on a
+// loopback port, then act as a client: create a session, stream a dirty
+// table in batches, trigger the clean, poll, and fetch the repairs. A second
+// session over the same rules demonstrates the model cache: the learned
+// Eq. 6 weights are preset and weight learning is skipped.
+//
+// Against a real daemon the same requests work verbatim:
+//
+//	go run ./cmd/mlnserve -addr :7700
+//	BASE=http://localhost:7700 (this program prints each call it makes)
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/server"
+)
+
+func main() {
+	// A real deployment runs `mlnserve`; here the handler serves loopback.
+	srv := server.New(server.ManagerConfig{DefaultWorkers: 2})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	base := ts.URL
+	fmt.Printf("mlnserve handler listening at %s\n\n", base)
+
+	// The hospital workload: generate, corrupt, and describe the rules in
+	// the wire syntax.
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 60, Measures: 10, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 11})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rulesText := ""
+	for i, r := range rs {
+		if i > 0 {
+			rulesText += "\n"
+		}
+		rulesText += r.Canonical()
+	}
+	dirty := inj.Dirty
+	fmt.Printf("hospital table: %d tuples, %d attrs, %d rules, %d injected errors\n\n",
+		dirty.Len(), dirty.Schema.Len(), len(rs), len(inj.Errors))
+
+	for round := 1; round <= 2; round++ {
+		// 1. Create a session.
+		var info server.SessionInfo
+		post(base+"/v1/sessions", server.CreateRequest{
+			Rules: rulesText,
+			Attrs: dirty.Schema.Attrs(),
+			Tau:   2,
+		}, &info)
+		fmt.Printf("round %d: session %s (weights cached: %v)\n", round, info.ID, info.WeightsCached)
+
+		// 2. Stream the table in three batches.
+		per := (dirty.Len() + 2) / 3
+		for lo := 0; lo < dirty.Len(); lo += per {
+			hi := min(lo+per, dirty.Len())
+			rows := make([][]string, 0, hi-lo)
+			for _, t := range dirty.Tuples[lo:hi] {
+				rows = append(rows, t.Values)
+			}
+			var ack server.TuplesResponse
+			post(base+"/v1/sessions/"+info.ID+"/tuples", server.TuplesRequest{Rows: rows}, &ack)
+			fmt.Printf("  streamed %d tuples (%d total)\n", ack.Received, ack.Total)
+		}
+
+		// 3. Trigger the clean and poll until done.
+		post(base+"/v1/sessions/"+info.ID+"/clean", nil, nil)
+		for {
+			var st server.SessionInfo
+			get(base+"/v1/sessions/"+info.ID, &st)
+			if st.State == server.StateDone {
+				break
+			}
+			if st.State == server.StateFailed {
+				log.Fatalf("session failed: %s", st.Error)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+
+		// 4. Fetch the repairs.
+		var res server.ResultResponse
+		get(base+"/v1/sessions/"+info.ID+"/result", &res)
+		fmt.Printf("  cleaned: %d rows, %d fused cells, %d duplicates removed, learned %d iterations, %d ms\n",
+			len(res.Rows), res.Stats.FSCRCellChanges, res.Stats.DuplicatesRemoved,
+			res.Stats.LearnIterations, res.WallMS)
+
+		del(base + "/v1/sessions/" + info.ID)
+	}
+
+	var stats server.StatsResponse
+	get(base+"/v1/stats", &stats)
+	fmt.Printf("\nmodel cache: %d models, rule hits/misses %d/%d, weight hits/misses %d/%d\n",
+		stats.Cache.Models, stats.Cache.RuleHits, stats.Cache.RuleMisses,
+		stats.Cache.WeightHits, stats.Cache.WeightMisses)
+	fmt.Println("→ round 2 skipped parsing and weight learning entirely.")
+}
+
+func post(url string, body, out any) {
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			log.Fatal(err)
+		}
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
+func del(url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+func decode(resp *http.Response, out any) {
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e)
+		log.Fatalf("%s %s: %s (%s)", resp.Request.Method, resp.Request.URL.Path, resp.Status, e.Error)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

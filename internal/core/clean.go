@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"mlnclean/internal/dataset"
@@ -41,6 +42,12 @@ type Result struct {
 //
 // The input table is not modified.
 func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
+	return CleanContext(context.Background(), dirty, rs, opts)
+}
+
+// CleanContext is Clean bounded by a context: the stage pipelines abort
+// between blocks once ctx is cancelled and the context's error is returned.
+func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if dirty == nil || dirty.Len() == 0 {
 		return nil, fmt.Errorf("core: empty input table")
@@ -52,16 +59,23 @@ func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error
 	st := Stats{Tuples: dirty.Len(), Blocks: len(ix.Blocks)}
 
 	// Stage I: clean each block's data version independently (§5.1).
-	StageAGP(ix, opts, &st)
-	if err := StageLearn(ix, opts, &st); err != nil {
+	if err := StageAGP(ctx, ix, opts, &st); err != nil {
 		return nil, err
 	}
-	StageRSC(ix, opts, &st)
+	if err := StageLearn(ctx, ix, opts, &st); err != nil {
+		return nil, err
+	}
+	if err := StageRSC(ctx, ix, opts, &st); err != nil {
+		return nil, err
+	}
 	for _, b := range ix.Blocks {
 		st.Groups += len(b.Groups)
 	}
 
 	// Stage II: fuse versions, then drop duplicates.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	repaired := fscr(dirty, ix, opts, &st)
 	res := &Result{Repaired: repaired, Index: ix, Stats: st}
 	if opts.KeepDuplicates {

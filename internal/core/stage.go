@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -13,31 +14,36 @@ import (
 // them. The stages keep no package-level state: per-block results land in a
 // slice indexed by block and are folded into st serially after the blocks
 // finish, so any number of workers may run stages over disjoint indexes
-// concurrently.
+// concurrently. Every stage takes a context and aborts between blocks once
+// it is cancelled, returning the context's error.
 
 // StageAGP runs abnormal-group processing on every block of the index,
 // in parallel, accumulating abnormal-group counts into st.
-func StageAGP(ix *index.Index, opts Options, st *Stats) {
+func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	type agpOut struct{ groups, pieces int }
 	outs := make([]agpOut, len(ix.Blocks))
-	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		ab, abp := agp(bi, b, opts.Tau, opts.Metric, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
 		outs[bi] = agpOut{ab, abp}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
 	for _, o := range outs {
 		st.AbnormalGroups += o.groups
 		st.AbnormalPieces += o.pieces
 	}
+	return nil
 }
 
 // StageLearn learns piece weights on every block of the index (Eq. 4 prior
 // + diagonal Newton).
-func StageLearn(ix *index.Index, opts Options, st *Stats) error {
+func StageLearn(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	iters := make([]int, len(ix.Blocks))
-	err := forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		n, err := learnBlockWeights(b, opts.Learn)
 		if err != nil {
 			return err
@@ -56,21 +62,26 @@ func StageLearn(ix *index.Index, opts Options, st *Stats) error {
 
 // StageRSC runs reliability-score cleaning on every block, leaving exactly
 // one piece per group.
-func StageRSC(ix *index.Index, opts Options, st *Stats) {
+func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	repairs := make([]int, len(ix.Blocks))
-	forEachBlock(ix, opts, func(bi int, b *index.Block) error {
+	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		repairs[bi] = rsc(bi, b, opts.Metric, opts.Trace)
 		return nil
 	})
+	if err != nil {
+		return err
+	}
 	for _, n := range repairs {
 		st.RSCRepairs += n
 	}
+	return nil
 }
 
 // forEachBlock applies fn to each block with bounded parallelism; the first
-// error wins.
-func forEachBlock(ix *index.Index, opts Options, fn func(int, *index.Block) error) error {
+// error wins. Blocks not yet started when ctx is cancelled are skipped, so a
+// cancelled stage returns promptly without waiting out the whole index.
+func forEachBlock(ctx context.Context, ix *index.Index, opts Options, fn func(int, *index.Block) error) error {
 	par := opts.Parallelism
 	if par <= 0 {
 		par = runtime.NumCPU()
@@ -90,6 +101,10 @@ func forEachBlock(ix *index.Index, opts Options, fn func(int, *index.Block) erro
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[bi] = err
+				return
+			}
 			errs[bi] = fn(bi, ix.Blocks[bi])
 		}(bi)
 	}

@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -8,8 +9,17 @@ import (
 )
 
 // ReadCSV parses a table from CSV. The first record is the header (schema).
+// A UTF-8 byte-order mark before the header is stripped (spreadsheet exports
+// routinely carry one; left in place it silently corrupts the first
+// attribute's name, so no rule would ever match it). Ragged rows — more or
+// fewer fields than the header — fail with the offending line number and
+// both field counts rather than misaligning values against attributes.
 func ReadCSV(r io.Reader) (*Table, error) {
-	cr := csv.NewReader(r)
+	br := bufio.NewReader(r)
+	if bom, err := br.Peek(3); err == nil && bom[0] == 0xEF && bom[1] == 0xBB && bom[2] == 0xBF {
+		br.Discard(3)
+	}
+	cr := csv.NewReader(br)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
 	if err != nil {
@@ -25,14 +35,32 @@ func ReadCSV(r io.Reader) (*Table, error) {
 		if err == io.EOF {
 			break
 		}
+		if len(rec) > 0 {
+			// Exact position from the reader (robust to quoted multi-line
+			// fields and blank lines, which a plain record counter is not).
+			line, _ = cr.FieldPos(0)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
+		}
+		if len(rec) != schema.Len() {
+			return nil, raggedRowError(line, len(rec), schema.Len())
 		}
 		if _, err := tb.Append(rec...); err != nil {
 			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
 		}
 	}
 	return tb, nil
+}
+
+// raggedRowError describes a row whose width disagrees with the header.
+func raggedRowError(line, got, want int) error {
+	kind := "short"
+	if got > want {
+		kind = "long"
+	}
+	return fmt.Errorf("dataset: CSV line %d: %s row has %d fields, header has %d",
+		line, kind, got, want)
 }
 
 // ReadCSVFile parses a table from the named CSV file.

@@ -45,16 +45,109 @@ func TestCSVFileRoundtrip(t *testing.T) {
 }
 
 func TestReadCSVErrors(t *testing.T) {
-	if _, err := ReadCSV(strings.NewReader("")); err == nil {
-		t.Error("empty input should fail (no header)")
-	}
-	if _, err := ReadCSV(strings.NewReader("A,A\n1,2\n")); err == nil {
-		t.Error("duplicate header should fail")
-	}
-	if _, err := ReadCSV(strings.NewReader("A,B\n1\n")); err == nil {
-		t.Error("short row should fail")
-	}
 	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
 		t.Error("missing file should fail")
+	}
+}
+
+// TestReadCSVEdgeCases covers the inputs that used to misalign silently or
+// fail opaquely: UTF-8 BOMs from spreadsheet exports, and ragged rows.
+func TestReadCSVEdgeCases(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		wantErr string // substring of the error; "" means success
+		attrs   []string
+		rows    [][]string
+	}{
+		{
+			name:  "plain",
+			input: "A,B\n1,2\n3,4\n",
+			attrs: []string{"A", "B"},
+			rows:  [][]string{{"1", "2"}, {"3", "4"}},
+		},
+		{
+			name:  "bom header",
+			input: "\ufeffA,B\n1,2\n",
+			attrs: []string{"A", "B"},
+			rows:  [][]string{{"1", "2"}},
+		},
+		{
+			name:  "bom with quoted header",
+			input: "\ufeff\"A\",B\nx,y\n",
+			attrs: []string{"A", "B"},
+			rows:  [][]string{{"x", "y"}},
+		},
+		{
+			name:  "crlf",
+			input: "A,B\r\n1,2\r\n",
+			attrs: []string{"A", "B"},
+			rows:  [][]string{{"1", "2"}},
+		},
+		{
+			name:  "blank lines skipped",
+			input: "A,B\n1,2\n\n3,4\n",
+			attrs: []string{"A", "B"},
+			rows:  [][]string{{"1", "2"}, {"3", "4"}},
+		},
+		{
+			name:    "short row",
+			input:   "A,B\n1,2\n3\n",
+			wantErr: "line 3: short row has 1 fields, header has 2",
+		},
+		{
+			name:    "long row",
+			input:   "A,B\n1,2,3\n",
+			wantErr: "line 2: long row has 3 fields, header has 2",
+		},
+		{
+			name:    "short row after multi-line quoted field",
+			input:   "A,B\n\"multi\nline\",2\n3\n",
+			wantErr: "line 4: short row has 1 fields, header has 2",
+		},
+		{
+			name:    "no header",
+			input:   "",
+			wantErr: "reading CSV header",
+		},
+		{
+			name:    "duplicate header",
+			input:   "A,A\n1,2\n",
+			wantErr: "duplicate attribute",
+		},
+		{
+			name:    "bare quote",
+			input:   "A,B\n\"oops,2\n",
+			wantErr: "line",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, err := ReadCSV(strings.NewReader(tc.input))
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("ReadCSV succeeded, want error containing %q", tc.wantErr)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %q does not contain %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := tb.Schema.Attrs(); strings.Join(got, ",") != strings.Join(tc.attrs, ",") {
+				t.Fatalf("attrs = %v, want %v", got, tc.attrs)
+			}
+			if tb.Len() != len(tc.rows) {
+				t.Fatalf("rows = %d, want %d", tb.Len(), len(tc.rows))
+			}
+			for i, want := range tc.rows {
+				got := tb.Tuples[i].Values
+				if strings.Join(got, ",") != strings.Join(want, ",") {
+					t.Errorf("row %d = %v, want %v", i, got, want)
+				}
+			}
+		})
 	}
 }

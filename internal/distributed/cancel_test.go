@@ -1,0 +1,87 @@
+package distributed
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+)
+
+// TestExecutorContextCancel: cancelling the executor's context aborts the
+// run promptly with the context's error and releases the worker goroutines
+// (the run returns instead of hanging on the transport).
+func TestExecutorContextCancel(t *testing.T) {
+	_, dirty, rs := equivalenceFixture(t)
+
+	t.Run("before run", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ex, err := NewExecutorContext(ctx, dirty.Schema, rs, Options{Workers: 2, Seed: 1, Core: core.Options{Tau: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ex.Submit(dirty); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+		if _, err := ex.Run(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run after cancel = %v, want context.Canceled", err)
+		}
+	})
+
+	t.Run("mid run", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := CleanContext(ctx, dirty, rs, Options{Workers: 2, Seed: 1, Core: core.Options{Tau: 2}})
+			done <- err
+		}()
+		// Cancel while the run is (very likely) in flight; whichever side
+		// wins the race, the call must return promptly and, if it lost, with
+		// the context's error.
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("CleanContext = %v, want nil or context.Canceled", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("cancelled run did not return")
+		}
+	})
+
+	t.Run("abandoned executor", func(t *testing.T) {
+		ctx, cancel := context.WithCancel(context.Background())
+		ex, err := NewExecutorContext(ctx, dirty.Schema, rs, Options{Workers: 4, Seed: 1, Core: core.Options{Tau: 2}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := dataset.NewTable(dirty.Schema)
+		for _, tp := range dirty.Tuples[:8] {
+			batch.MustAppend(tp.Values...)
+		}
+		if err := ex.Submit(batch); err != nil {
+			t.Fatal(err)
+		}
+		// The caller walks away: cancellation alone must tear the transport
+		// down so the worker goroutines drain without Run or Close.
+		cancel()
+		if err := ex.Submit(batch); err == nil {
+			t.Error("submit after cancel succeeded")
+		}
+	})
+}
+
+// TestCoreCleanContextCancel: the stand-alone pipeline honours a cancelled
+// context between stages and blocks.
+func TestCoreCleanContextCancel(t *testing.T) {
+	_, dirty, rs := equivalenceFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := core.CleanContext(ctx, dirty, rs, core.Options{Tau: 2}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("CleanContext with cancelled ctx = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,10 +26,17 @@ type Options struct {
 	SkipWeightMerge bool
 	// Transport builds the coordinator↔worker transport; nil uses the
 	// in-process channel transport. NewGobTransport round-trips every
-	// message through its serialized wire form.
+	// message through its serialized wire form; NewHTTPTransport moves it
+	// over loopback HTTP.
 	Transport TransportFactory
 	// BatchSize is the tuple count per partition shipment (default 1024).
 	BatchSize int
+	// PresetWeights, when non-empty, is a previously learned Eq. 6 weight
+	// vector for this rule set (see Result.MergedWeights): the workers skip
+	// weight learning entirely and the vector is broadcast verbatim — the
+	// serving model cache's fast path. Pieces absent from the vector keep
+	// their Eq. 4 prior weights.
+	PresetWeights []index.PieceSummary
 }
 
 // Result is the distributed cleaning output.
@@ -57,6 +65,11 @@ type Result struct {
 	WallTime time.Duration
 	// Workers is the worker count the run used.
 	Workers int
+	// MergedWeights is the Eq. 6 weight vector the run broadcast: the reduce
+	// result, or Options.PresetWeights when those were supplied. Cache it
+	// (keyed by rules.CanonicalHash) to skip weight learning on repeat
+	// workloads over the same rule set.
+	MergedWeights []index.PieceSummary
 	// Stats aggregates the worker pipelines' stats.
 	Stats core.Stats
 }
@@ -95,6 +108,12 @@ func (r *Result) ClusterTime() time.Duration {
 // global FSCR pass and removing duplicates exactly like the stand-alone
 // cleaner.
 func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
+	return CleanContext(context.Background(), dirty, rs, opts)
+}
+
+// CleanContext is Clean bounded by a context: cancelling ctx aborts the run
+// promptly, tearing down the transport and releasing the worker goroutines.
+func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
@@ -113,7 +132,7 @@ func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error
 		return nil, err
 	}
 
-	ex, err := newExecutor(dirty.Schema, rs, opts, len(parts))
+	ex, err := newExecutor(ctx, dirty.Schema, rs, opts, len(parts))
 	if err != nil {
 		return nil, err
 	}

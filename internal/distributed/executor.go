@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -31,6 +32,7 @@ import (
 //     to the nearest centroid whose partition is under the running capacity
 //     ⌈seen/k⌉ — no retrospective eviction, so shipped tuples never move.
 type Executor struct {
+	ctx    context.Context
 	schema *dataset.Schema
 	rs     []*rules.Rule
 	opts   Options
@@ -52,6 +54,8 @@ type Executor struct {
 	createdAt  time.Time
 
 	workerWG sync.WaitGroup
+	stop     chan struct{} // closed once the run ends; releases the ctx watcher
+	stopOnce sync.Once
 	finished bool
 	err      error
 }
@@ -60,13 +64,21 @@ type Executor struct {
 // via Submit followed by Run. Whole-table runs should use Clean, which adds
 // the exact Algorithm 3 partitioning on top of the same runtime.
 func NewExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options) (*Executor, error) {
+	return NewExecutorContext(context.Background(), schema, rs, opts)
+}
+
+// NewExecutorContext is NewExecutor bound to a context: cancelling ctx tears
+// the transport down, unblocking every worker goroutine and failing any
+// in-flight Submit/Run, so an abandoned run releases its goroutines without
+// an explicit Close.
+func NewExecutorContext(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, opts Options) (*Executor, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = 4
 	}
-	return newExecutor(schema, rs, opts, opts.Workers)
+	return newExecutor(ctx, schema, rs, opts, opts.Workers)
 }
 
-func newExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options, k int) (*Executor, error) {
+func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, opts Options, k int) (*Executor, error) {
 	if schema == nil {
 		return nil, fmt.Errorf("distributed: nil schema")
 	}
@@ -85,6 +97,7 @@ func newExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options, k int) 
 		factory = NewChanTransport
 	}
 	ex := &Executor{
+		ctx:       ctx,
 		schema:    schema,
 		rs:        rs,
 		opts:      opts,
@@ -94,22 +107,54 @@ func newExecutor(schema *dataset.Schema, rs []*rules.Rule, opts Options, k int) 
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		gather:    dataset.NewTable(schema),
 		loads:     make([]int, k),
+		stop:      make(chan struct{}),
 		createdAt: time.Now(),
 	}
+	// The watcher propagates cancellation by closing the transport (the only
+	// executor operation that is safe from another goroutine); every blocked
+	// transport call then fails and the workers drain out.
+	go func() {
+		select {
+		case <-ctx.Done():
+			ex.tr.Close()
+		case <-ex.stop:
+		}
+	}()
 	wopts := workerCoreOpts(opts.Core, k)
-	for w := 0; w < k; w++ {
-		ex.workerWG.Add(1)
-		go func(w int) {
-			defer ex.workerWG.Done()
-			workerMain(ex.tr, w, wopts)
-		}(w)
+	// A transport may override where its workers run: chan/gob workers talk
+	// to the coordinator value directly, the loopback HTTP transport hands
+	// out a client bound to its URL, and a remote coordinator returns nil —
+	// its workers attach from other processes.
+	wtr := Transport(ex.tr)
+	spawn := true
+	if d, ok := ex.tr.(workerHoster); ok {
+		if wt := d.LocalWorkerTransport(); wt != nil {
+			wtr = wt
+		} else {
+			spawn = false
+		}
+	}
+	if spawn {
+		for w := 0; w < k; w++ {
+			ex.workerWG.Add(1)
+			go func(w int) {
+				defer ex.workerWG.Done()
+				workerMain(ctx, wtr, w, wopts, false)
+			}(w)
+		}
 	}
 	wire := rulesToWire(rs)
 	attrs := schema.Attrs()
+	// Out-of-process workers get τ scaled for partition-local group sizes
+	// like local ones, but NOT the local CPU-split Parallelism — that was
+	// derived from this host's core count, while a remote worker should
+	// default to its own.
+	wireOpts := coreOptsToWire(workerTauOpts(opts.Core, k))
 	for w := 0; w < k; w++ {
-		if err := ex.tr.ToWorker(w, Init{Worker: w, SchemaAttrs: attrs, Rules: wire}); err != nil {
+		msg := Init{Worker: w, SchemaAttrs: attrs, Rules: wire, Opts: wireOpts, HasOpts: true}
+		if err := ex.tr.ToWorker(w, msg); err != nil {
 			ex.fail(err)
-			return nil, err
+			return nil, ex.err
 		}
 	}
 	return ex, nil
@@ -137,6 +182,10 @@ func workerCoreOpts(o core.Options, workers int) core.Options {
 // seed and the batch sequence.
 func (ex *Executor) Submit(batch *dataset.Table) error {
 	if ex.err != nil {
+		return ex.err
+	}
+	if err := ex.ctx.Err(); err != nil {
+		ex.fail(err)
 		return ex.err
 	}
 	if ex.finished {
@@ -246,6 +295,10 @@ func (ex *Executor) Run() (*Result, error) {
 	if ex.err != nil {
 		return nil, ex.err
 	}
+	if err := ex.ctx.Err(); err != nil {
+		ex.fail(err)
+		return nil, ex.err
+	}
 	if ex.finished {
 		return nil, fmt.Errorf("distributed: executor already ran")
 	}
@@ -265,12 +318,17 @@ func (ex *Executor) Run() (*Result, error) {
 }
 
 // fail records the first error and tears the transport down so every worker
-// unblocks and exits.
+// unblocks and exits. A transport error caused by cancellation is reported
+// as the context's error.
 func (ex *Executor) fail(err error) {
 	if ex.err == nil {
+		if ctxErr := ex.ctx.Err(); ctxErr != nil {
+			err = ctxErr
+		}
 		ex.err = err
 	}
 	ex.finished = true
+	ex.stopOnce.Do(func() { close(ex.stop) })
 	ex.tr.Close()
 	ex.workerWG.Wait()
 }
@@ -291,23 +349,29 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	ok := false
 	defer func() {
 		ex.finished = true
+		ex.stopOnce.Do(func() { close(ex.stop) })
 		ex.tr.Close()
 		ex.workerWG.Wait()
 		if !ok && ex.err == nil {
-			ex.err = fmt.Errorf("distributed: run aborted")
+			if ctxErr := ex.ctx.Err(); ctxErr != nil {
+				ex.err = ctxErr
+			} else {
+				ex.err = fmt.Errorf("distributed: run aborted")
+			}
 		}
 	}()
 
+	skipLearn := len(ex.opts.PresetWeights) > 0
 	for w := 0; w < ex.k; w++ {
-		if err := ex.tr.ToWorker(w, StartStageI{Worker: w}); err != nil {
-			return nil, err
+		if err := ex.tr.ToWorker(w, StartStageI{Worker: w, SkipLearn: skipLearn}); err != nil {
+			return nil, ex.runErr(err)
 		}
 	}
 	sums := make([]WeightSummaries, ex.k)
 	for i := 0; i < ex.k; i++ {
 		m, err := ex.tr.CoordinatorRecv()
 		if err != nil {
-			return nil, err
+			return nil, ex.runErr(err)
 		}
 		ws, isWS := m.(WeightSummaries)
 		if !isWS {
@@ -322,20 +386,26 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	// Eq. 6: reduce the workers' piece summaries to support-weighted mean
 	// weights — w(γ) = Σ nᵢ·wᵢ / Σ nᵢ — so sparse local evidence borrows
 	// support from the other parts. A pure reduce over shipped summaries:
-	// no worker index state is touched from the coordinator.
+	// no worker index state is touched from the coordinator. With preset
+	// weights (the serving model cache) the workers skipped learning and the
+	// cached vector is broadcast verbatim.
 	t0 := time.Now()
 	var merged []index.PieceSummary
-	if !ex.opts.SkipWeightMerge {
+	switch {
+	case skipLearn:
+		merged = ex.opts.PresetWeights
+	case !ex.opts.SkipWeightMerge:
 		per := make([][]index.PieceSummary, ex.k)
 		for w := range sums {
 			per[w] = sums[w].Summaries
 		}
 		merged = reducePieceWeights(per)
 	}
+	res.MergedWeights = index.CopySummaries(merged)
 	res.GatherTime += time.Since(t0)
 	for w := 0; w < ex.k; w++ {
 		if err := ex.tr.ToWorker(w, MergedWeights{Worker: w, Merged: merged}); err != nil {
-			return nil, err
+			return nil, ex.runErr(err)
 		}
 	}
 
@@ -343,7 +413,7 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	for i := 0; i < ex.k; i++ {
 		m, err := ex.tr.CoordinatorRecv()
 		if err != nil {
-			return nil, err
+			return nil, ex.runErr(err)
 		}
 		fr, isFR := m.(FusionResult)
 		if !isFR {
@@ -392,10 +462,30 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	return res, nil
 }
 
+// runErr maps a transport failure observed after cancellation back to the
+// context's error; other failures pass through.
+func (ex *Executor) runErr(err error) error {
+	if ctxErr := ex.ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}
+
+// workerHoster is implemented by transports that decide where their workers
+// live. LocalWorkerTransport returns the transport executor-spawned worker
+// goroutines must use (the loopback HTTP transport hands out a client bound
+// to its URL so every message really crosses the wire), or nil when the
+// workers attach from other processes and the executor must not spawn any.
+type workerHoster interface {
+	LocalWorkerTransport() Transport
+}
+
 // workerMain is one worker's receive loop, driven entirely by transport
 // messages: accumulate partition batches, run stage I on StartStageI, apply
-// the merged weights and run stage II on MergedWeights, then exit.
-func workerMain(tr Transport, w int, opts core.Options) {
+// the merged weights and run stage II on MergedWeights, then exit. With
+// optsFromInit (out-of-process workers) the pipeline options are
+// reconstructed from the Init message instead of the opts argument.
+func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, optsFromInit bool) {
 	var (
 		schema  *dataset.Schema
 		rs      []*rules.Rule
@@ -412,6 +502,9 @@ func workerMain(tr Transport, w int, opts core.Options) {
 		}
 		switch msg := m.(type) {
 		case Init:
+			if optsFromInit && msg.HasOpts {
+				opts = coreOptsFromWire(msg.Opts)
+			}
 			if s, err := dataset.NewSchema(msg.SchemaAttrs...); err != nil {
 				initErr = err
 			} else if r, err := rulesFromWire(msg.Rules); err != nil {
@@ -439,12 +532,17 @@ func workerMain(tr Transport, w int, opts core.Options) {
 					break
 				}
 				stats.Blocks = len(ix.Blocks)
-				core.StageAGP(ix, opts, &stats)
-				if err := core.StageLearn(ix, opts, &stats); err != nil {
+				if err := core.StageAGP(ctx, ix, opts, &stats); err != nil {
 					reply.Err = err.Error()
 					break
 				}
-				reply.Summaries = ix.PieceSummaries()
+				if !msg.SkipLearn {
+					if err := core.StageLearn(ctx, ix, opts, &stats); err != nil {
+						reply.Err = err.Error()
+						break
+					}
+					reply.Summaries = ix.PieceSummaries()
+				}
 			}
 			reply.ElapsedNS = time.Since(t0).Nanoseconds()
 			if tr.ToCoordinator(reply) != nil || reply.Err != "" {
@@ -457,7 +555,10 @@ func workerMain(tr Transport, w int, opts core.Options) {
 			}
 			t0 := time.Now()
 			ix.ApplyPieceWeights(msg.Merged)
-			core.StageRSC(ix, opts, &stats)
+			if err := core.StageRSC(ctx, ix, opts, &stats); err != nil {
+				tr.ToCoordinator(FusionResult{Worker: w, Err: err.Error()})
+				return
+			}
 			for _, b := range ix.Blocks {
 				stats.Groups += len(b.Groups)
 			}
@@ -481,6 +582,12 @@ func workerMain(tr Transport, w int, opts core.Options) {
 // piece summaries (in worker order, for deterministic float accumulation)
 // into support-weighted mean weights, emitted sorted by (rule, key).
 func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
+	// A single worker's summaries are already the merged vector; returning
+	// them verbatim keeps k=1 bit-identical to the stand-alone pipeline
+	// ((n·w)/n can differ from w in the last ulp).
+	if len(perWorker) == 1 {
+		return index.CopySummaries(perWorker[0])
+	}
 	type agg struct {
 		ruleID, key string
 		sumNW, sumN float64

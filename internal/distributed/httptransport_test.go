@@ -1,0 +1,94 @@
+package distributed
+
+import (
+	"context"
+	"testing"
+
+	"mlnclean/internal/core"
+)
+
+// TestHTTPTransportEquivalence: the full executor protocol over loopback
+// HTTP — every message really crossing the wire — produces output identical
+// to the in-process channel transport for k ∈ {1, 2, 4} workers, and is
+// deterministic across runs.
+func TestHTTPTransportEquivalence(t *testing.T) {
+	_, dirty, rs := equivalenceFixture(t)
+	for _, k := range []int{1, 2, 4} {
+		opts := Options{Workers: k, Seed: 1, Core: core.Options{Tau: 2}}
+		ref, err := Clean(dirty, rs, opts)
+		if err != nil {
+			t.Fatalf("k=%d chan: %v", k, err)
+		}
+		opts.Transport = NewHTTPTransport
+		got, err := Clean(dirty, rs, opts)
+		if err != nil {
+			t.Fatalf("k=%d http: %v", k, err)
+		}
+		if d := got.Repaired.Diff(ref.Repaired); len(d) != 0 {
+			t.Errorf("k=%d: http repaired output differs from chan transport: %d cells, first %+v", k, len(d), d[0])
+		}
+		if got.Clean.Len() != ref.Clean.Len() {
+			t.Errorf("k=%d: http clean size %d != chan %d", k, got.Clean.Len(), ref.Clean.Len())
+		}
+		again, err := Clean(dirty, rs, opts)
+		if err != nil {
+			t.Fatalf("k=%d http rerun: %v", k, err)
+		}
+		if d := got.Repaired.Diff(again.Repaired); len(d) != 0 {
+			t.Errorf("k=%d: http output not deterministic: %d cells differ", k, len(d))
+		}
+	}
+}
+
+// TestHTTPTransportRemoteWorkers: a coordinator with no local workers is
+// driven entirely by workers that attach through ServeHTTPWorker — the
+// out-of-process deployment shape, here exercised from extra goroutines.
+// The attached workers reconstruct their pipeline options from the Init
+// message (optsFromInit), so this also covers the wire-options path.
+func TestHTTPTransportRemoteWorkers(t *testing.T) {
+	_, dirty, rs := equivalenceFixture(t)
+	const k = 2
+	opts := Options{Workers: k, Seed: 1, Core: core.Options{Tau: 2}}
+
+	ref, err := Clean(dirty, rs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var coordURL = make(chan string, 1)
+	opts.Transport = func(workers int) Transport {
+		tr := NewRemoteHTTPTransport("127.0.0.1:0")(workers)
+		coordURL <- tr.(*httpTransport).CoordinatorURL()
+		return tr
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	type cleanOut struct {
+		res *Result
+		err error
+	}
+	done := make(chan cleanOut, 1)
+	go func() {
+		res, err := Clean(dirty, rs, opts)
+		done <- cleanOut{res, err}
+	}()
+
+	url := <-coordURL
+	for w := 0; w < k; w++ {
+		go ServeHTTPWorker(ctx, url)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if d := out.res.Repaired.Diff(ref.Repaired); len(d) != 0 {
+		t.Errorf("remote-worker output differs from local: %d cells, first %+v", len(d), d[0])
+	}
+
+	// Claiming beyond k slots must be refused.
+	if err := ServeHTTPWorker(ctx, url); err == nil {
+		t.Error("claim after run completed should fail (transport closed or slots exhausted)")
+	}
+}

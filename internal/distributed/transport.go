@@ -11,8 +11,8 @@ import (
 // interface is plain serializable data (see wire.go), so an implementation
 // is free to marshal it across a process boundary — ChanTransport passes
 // values in-process, GobTransport additionally round-trips every message
-// through its gob wire framing, and an RPC transport can slot in behind the
-// same five methods.
+// through its gob wire framing, and HTTPTransport (httptransport.go) moves
+// the same framing over real HTTP so workers can run out of process.
 type Transport interface {
 	// ToWorker delivers m to worker w's inbox.
 	ToWorker(w int, m Message) error
@@ -37,8 +37,10 @@ func TransportByName(name string) (TransportFactory, error) {
 		return NewChanTransport, nil
 	case "gob":
 		return NewGobTransport, nil
+	case "http":
+		return NewHTTPTransport, nil
 	default:
-		return nil, fmt.Errorf("distributed: unknown transport %q (chan|gob)", name)
+		return nil, fmt.Errorf("distributed: unknown transport %q (chan|gob|http)", name)
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 
 	"mlnclean/internal/core"
 	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
+	"mlnclean/internal/mln"
 	"mlnclean/internal/rules"
 )
 
@@ -28,11 +30,68 @@ import (
 //	                and terminates
 type Message interface{ isMessage() }
 
-// Init bootstraps a worker with the table schema and the rule set.
+// Init bootstraps a worker with the table schema, the rule set, and (when
+// HasOpts) the serializable pipeline options the coordinator derived for its
+// workers. Locally spawned workers receive their options in-process and may
+// ignore the wire copy (which cannot carry custom Metric implementations or
+// a Trace); out-of-process workers reconstruct core.Options from it.
 type Init struct {
 	Worker      int
 	SchemaAttrs []string
 	Rules       []WireRule
+	Opts        WireCoreOptions
+	HasOpts     bool
+}
+
+// WireCoreOptions is the serializable subset of core.Options shipped to
+// out-of-process workers. Metric crosses as its ByName flag name; Trace does
+// not cross at all.
+type WireCoreOptions struct {
+	Tau                int
+	TauSet             bool
+	Metric             string
+	AGPStrategy        int
+	MergeCapRatio      float64
+	MaxFusionStates    int
+	MinimalityPrior    float64
+	MinimalityPriorSet bool
+	KeepDuplicates     bool
+	Parallelism        int
+	Learn              mln.LearnOptions
+}
+
+// coreOptsToWire projects the serializable fields of o.
+func coreOptsToWire(o core.Options) WireCoreOptions {
+	return WireCoreOptions{
+		Tau:                o.Tau,
+		TauSet:             o.TauSet,
+		Metric:             distance.MetricName(o.Metric),
+		AGPStrategy:        int(o.AGPStrategy),
+		MergeCapRatio:      o.MergeCapRatio,
+		MaxFusionStates:    o.MaxFusionStates,
+		MinimalityPrior:    o.MinimalityPrior,
+		MinimalityPriorSet: o.MinimalityPriorSet,
+		KeepDuplicates:     o.KeepDuplicates,
+		Parallelism:        o.Parallelism,
+		Learn:              o.Learn,
+	}
+}
+
+// coreOptsFromWire reconstructs core.Options on an out-of-process worker.
+func coreOptsFromWire(w WireCoreOptions) core.Options {
+	return core.Options{
+		Tau:                w.Tau,
+		TauSet:             w.TauSet,
+		Metric:             distance.ByName(w.Metric),
+		AGPStrategy:        core.AGPStrategy(w.AGPStrategy),
+		MergeCapRatio:      w.MergeCapRatio,
+		MaxFusionStates:    w.MaxFusionStates,
+		MinimalityPrior:    w.MinimalityPrior,
+		MinimalityPriorSet: w.MinimalityPriorSet,
+		KeepDuplicates:     w.KeepDuplicates,
+		Parallelism:        w.Parallelism,
+		Learn:              w.Learn,
+	}
 }
 
 // TupleBatch ships one batch of partition tuples to a worker. IDs are the
@@ -43,9 +102,14 @@ type TupleBatch struct {
 	Rows   [][]string
 }
 
-// StartStageI signals that the worker's partition is complete.
+// StartStageI signals that the worker's partition is complete. SkipLearn
+// tells the worker the coordinator already holds a learned weight vector for
+// this rule set (the serving model cache): the worker runs AGP but skips
+// weight learning, replies with empty summaries, and waits for the cached
+// weights to arrive as MergedWeights.
 type StartStageI struct {
-	Worker int
+	Worker    int
+	SkipLearn bool
 }
 
 // WeightSummaries is the worker's reply after AGP + weight learning: one

@@ -254,6 +254,19 @@ func (ix *Index) PieceSummaries() []PieceSummary {
 	return out
 }
 
+// CopySummaries returns an independent copy of a summary vector. Holders of
+// long-lived weight vectors (the serving model cache, Result.MergedWeights)
+// copy on hand-off so later mutation by one party cannot corrupt another's
+// view.
+func CopySummaries(ws []PieceSummary) []PieceSummary {
+	if ws == nil {
+		return nil
+	}
+	out := make([]PieceSummary, len(ws))
+	copy(out, ws)
+	return out
+}
+
 // ApplyPieceWeights overwrites the weight of every piece matching a summary's
 // (rule, key) identity; pieces without a matching summary keep their local
 // weight. Counts are ignored — this is the write-back half of the Eq. 6

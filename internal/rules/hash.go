@@ -1,0 +1,24 @@
+package rules
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strings"
+)
+
+// CanonicalHash returns a stable content hash of a rule set: the SHA-256 of
+// the sorted Canonical() renderings. Two rule sets hash equal iff they
+// contain the same constraints, regardless of rule order, rule IDs, or
+// surface spelling ("=>" vs "->", whitespace) — Canonical normalizes all of
+// those. This is the model-cache key the serving layer interns parsed rule
+// sets and learned Eq. 6 weight vectors under.
+func CanonicalHash(rs []*Rule) string {
+	lines := make([]string, len(rs))
+	for i, r := range rs {
+		lines[i] = r.Canonical()
+	}
+	sort.Strings(lines)
+	sum := sha256.Sum256([]byte(strings.Join(lines, "\n")))
+	return hex.EncodeToString(sum[:])
+}

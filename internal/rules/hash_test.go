@@ -1,0 +1,29 @@
+package rules
+
+import "testing"
+
+// CanonicalHash must be invariant to rule order, ids, and surface spelling,
+// and sensitive to the constraints themselves.
+func TestCanonicalHash(t *testing.T) {
+	a, err := ParseStrings("FD: CT -> ST", "CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseStrings("CFD:  HN=ELIZA ,CT=BOAZ => PN=2567688400", "FD: CT => ST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHash(a) != CanonicalHash(b) {
+		t.Error("hash not invariant to order/spelling")
+	}
+	c, err := ParseStrings("FD: CT -> ST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CanonicalHash(a) == CanonicalHash(c) {
+		t.Error("different rule sets hash equal")
+	}
+	if len(CanonicalHash(nil)) != 64 {
+		t.Error("hash of empty set should still be a hex sha256")
+	}
+}

@@ -1,0 +1,185 @@
+// Package server is mlnserve's long-running cleaning service: an HTTP/JSON
+// session API (create session → stream tuple batches → trigger clean → poll
+// → fetch repairs) layered on the distributed Executor, with a session
+// manager (bounded concurrency, idle eviction, per-session cancellation) and
+// a model cache that amortizes rule parsing and Eq. 6 weight learning across
+// requests — the HoloClean/PClean lesson that repeat workloads must not pay
+// for compilation twice.
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// Model is an interned rule set plus, per learning configuration, the
+// merged Eq. 6 weight vector a completed run produced. Models are keyed by
+// rules.CanonicalHash, so two sessions whose rule texts differ only in
+// order, ids, or spelling share one model; weight vectors are additionally
+// keyed by an options fingerprint (τ, metric, workers, seed, batch size —
+// everything that shapes what the learner sees), because weights learned
+// under one configuration are not valid answers for another.
+type Model struct {
+	Hash  string
+	Rules []*rules.Rule
+
+	mu      sync.Mutex
+	weights map[string][]index.PieceSummary // options fingerprint → vector
+}
+
+// Weights returns a copy of the cached Eq. 6 weight vector for the given
+// options fingerprint, or nil when no completed run has populated it.
+func (m *Model) Weights(fp string) []index.PieceSummary {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return index.CopySummaries(m.weights[fp])
+}
+
+// setWeights stores a learned weight vector (first writer per fingerprint
+// wins; later runs relearn only if the slot was empty when they began).
+func (m *Model) setWeights(fp string, ws []index.PieceSummary) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(ws) == 0 || m.weights[fp] != nil {
+		return
+	}
+	if m.weights == nil {
+		m.weights = make(map[string][]index.PieceSummary)
+	}
+	if len(m.weights) >= maxWeightVariants {
+		return // bound per-model memory; rare configs just relearn
+	}
+	m.weights[fp] = index.CopySummaries(ws)
+}
+
+// maxWeightVariants bounds the cached weight vectors per model; beyond it,
+// new option fingerprints fall back to learning every run.
+const maxWeightVariants = 8
+
+// CacheStats are the model cache's hit/miss counters. RuleHits counts
+// session creations that reused an interned rule set (skipping parsing when
+// the text matched verbatim); WeightHits counts runs that started with a
+// cached weight vector and therefore skipped weight learning entirely.
+type CacheStats struct {
+	RuleHits     int64 `json:"rule_hits"`
+	RuleMisses   int64 `json:"rule_misses"`
+	WeightHits   int64 `json:"weight_hits"`
+	WeightMisses int64 `json:"weight_misses"`
+	Models       int   `json:"models"`
+}
+
+// ModelCache interns parsed rule sets and learned weight vectors. All
+// methods are safe for concurrent use. Both index levels are bounded with
+// FIFO eviction — the daemon is long-running, so adversarial or merely
+// varied rule texts must not grow resident memory monotonically.
+type ModelCache struct {
+	mu        sync.Mutex
+	byHash    map[string]*Model
+	byText    map[string]string // exact rules text → canonical hash (skips parsing)
+	hashOrder []string          // FIFO insertion order for byHash eviction
+	textOrder []string          // FIFO insertion order for byText eviction
+	stats     CacheStats
+}
+
+// maxModels and maxTexts bound the two cache levels (FIFO eviction past
+// them). A text entry is ~the rules text; a model carries parsed rules plus
+// up to maxWeightVariants weight vectors.
+const (
+	maxModels = 256
+	maxTexts  = 4096
+)
+
+// NewModelCache returns an empty cache.
+func NewModelCache() *ModelCache {
+	return &ModelCache{
+		byHash: make(map[string]*Model),
+		byText: make(map[string]string),
+	}
+}
+
+// Intern resolves a rules text (one constraint per line, internal/rules
+// syntax) to its cached model, parsing and inserting on first sight. The
+// boolean reports whether the model was already present.
+func (c *ModelCache) Intern(text string) (*Model, bool, error) {
+	c.mu.Lock()
+	if h, ok := c.byText[text]; ok {
+		// The model may have been FIFO-evicted out from under the text
+		// index; only a live model counts as a hit.
+		if m := c.byHash[h]; m != nil {
+			c.stats.RuleHits++
+			c.mu.Unlock()
+			return m, true, nil
+		}
+	}
+	c.mu.Unlock()
+
+	// Parse outside the lock — rule texts are small but parsing under a
+	// global lock would serialize unrelated session creations.
+	rs, err := rules.ParseList(strings.NewReader(text))
+	if err != nil {
+		return nil, false, err
+	}
+	if len(rs) == 0 {
+		return nil, false, fmt.Errorf("server: empty rule set")
+	}
+	h := rules.CanonicalHash(rs)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, known := c.byText[text]; !known {
+		if len(c.byText) >= maxTexts {
+			delete(c.byText, c.textOrder[0])
+			c.textOrder = c.textOrder[1:]
+		}
+		c.byText[text] = h
+		c.textOrder = append(c.textOrder, text)
+	}
+	if m, ok := c.byHash[h]; ok {
+		// Different spelling of an already-interned rule set.
+		c.stats.RuleHits++
+		return m, true, nil
+	}
+	if len(c.byHash) >= maxModels {
+		evicted := c.hashOrder[0]
+		c.hashOrder = c.hashOrder[1:]
+		delete(c.byHash, evicted)
+	}
+	m := &Model{Hash: h, Rules: rs}
+	c.byHash[h] = m
+	c.hashOrder = append(c.hashOrder, h)
+	c.stats.RuleMisses++
+	return m, false, nil
+}
+
+// TakeWeights returns a copy of the model's cached weight vector for the
+// options fingerprint, counting the lookup as a weight hit or miss.
+func (c *ModelCache) TakeWeights(m *Model, fp string) []index.PieceSummary {
+	ws := m.Weights(fp)
+	c.mu.Lock()
+	if ws != nil {
+		c.stats.WeightHits++
+	} else {
+		c.stats.WeightMisses++
+	}
+	c.mu.Unlock()
+	return ws
+}
+
+// StoreWeights records a completed run's merged weight vector on the model
+// under the options fingerprint it was learned with.
+func (c *ModelCache) StoreWeights(m *Model, fp string, ws []index.PieceSummary) {
+	m.setWeights(fp, ws)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *ModelCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stats
+	st.Models = len(c.byHash)
+	return st
+}

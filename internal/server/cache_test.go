@@ -1,0 +1,126 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"mlnclean/internal/index"
+)
+
+func TestModelCacheInterning(t *testing.T) {
+	c := NewModelCache()
+
+	m1, hit, err := c.Intern("FD: CT -> ST\nFD: PN -> CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first intern reported a hit")
+	}
+	// Exact text: hit without reparsing.
+	m2, hit, err := c.Intern("FD: CT -> ST\nFD: PN -> CT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || m2 != m1 {
+		t.Error("verbatim re-intern should hit the same model")
+	}
+	// Different spelling/order of the same constraints: same canonical hash,
+	// same model.
+	m3, hit, err := c.Intern("FD: PN => CT\nFD:  CT ->  ST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit || m3 != m1 {
+		t.Error("canonically equal rule set should hit the same model")
+	}
+	// A genuinely different rule set is a miss.
+	m4, hit, err := c.Intern("FD: CT -> ST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit || m4 == m1 {
+		t.Error("different rule set should miss")
+	}
+	if _, _, err := c.Intern("not a rule"); err == nil {
+		t.Error("garbage rules text should fail to intern")
+	}
+	if _, _, err := c.Intern(""); err == nil {
+		t.Error("empty rules text should fail to intern")
+	}
+
+	st := c.Stats()
+	if st.RuleHits != 2 || st.RuleMisses != 2 || st.Models != 2 {
+		t.Errorf("stats = %+v, want 2 hits / 2 misses / 2 models", st)
+	}
+}
+
+func TestModelCacheWeights(t *testing.T) {
+	c := NewModelCache()
+	m, _, err := c.Intern("FD: CT -> ST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const fp = "tau=2,metric=levenshtein,workers=1,seed=1,batch=0"
+	if ws := c.TakeWeights(m, fp); ws != nil {
+		t.Error("fresh model should have no weights")
+	}
+	stored := []index.PieceSummary{{RuleID: "r1", Key: "k", Count: 3, Weight: 1.5}}
+	c.StoreWeights(m, fp, stored)
+	ws := c.TakeWeights(m, fp)
+	if len(ws) != 1 || ws[0].Weight != 1.5 {
+		t.Fatalf("TakeWeights = %+v", ws)
+	}
+	// The cached vector must be isolated from caller mutation.
+	ws[0].Weight = 99
+	if again := c.TakeWeights(m, fp); again[0].Weight != 1.5 {
+		t.Error("cached weights not copy-isolated")
+	}
+	// First writer wins; a later store must not clobber.
+	c.StoreWeights(m, fp, []index.PieceSummary{{RuleID: "r1", Key: "k", Count: 1, Weight: -7}})
+	if again := c.TakeWeights(m, fp); again[0].Weight != 1.5 {
+		t.Error("second StoreWeights overwrote the cached vector")
+	}
+	// A different learning configuration must NOT see these weights: they
+	// were learned under another τ/metric/partitioning and replaying them
+	// would silently change that session's repairs.
+	if ws := c.TakeWeights(m, "tau=5,metric=cosine,workers=1,seed=1,batch=0"); ws != nil {
+		t.Error("weights leaked across option fingerprints")
+	}
+
+	st := c.Stats()
+	if st.WeightHits != 3 || st.WeightMisses != 2 {
+		t.Errorf("weight counters = %+v, want 3 hits / 2 misses", st)
+	}
+}
+
+// TestModelCacheBounded: both cache levels evict FIFO past their caps, and
+// a text entry whose model was evicted re-interns instead of returning nil.
+func TestModelCacheBounded(t *testing.T) {
+	c := NewModelCache()
+	first, _, err := c.Intern("FD: A0 -> B0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < maxModels+10; i++ {
+		if _, _, err := c.Intern(fmt.Sprintf("FD: A%d -> B%d", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Models > maxModels {
+		t.Errorf("models = %d, want ≤ %d", st.Models, maxModels)
+	}
+	// The first model was evicted; its verbatim text must re-intern a live
+	// model rather than hit a dangling index entry.
+	again, _, err := c.Intern("FD: A0 -> B0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again == nil {
+		t.Fatal("re-intern after eviction returned nil model")
+	}
+	if again == first {
+		t.Error("evicted model resurrected by pointer; expected a fresh intern")
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"mlnclean/internal/core"
+)
+
+// The session API, all JSON:
+//
+//	POST   /v1/sessions              create a session (rules text + schema)
+//	POST   /v1/sessions/{id}/tuples  stream one batch of rows
+//	POST   /v1/sessions/{id}/clean   start the cleaning run (async, 202)
+//	GET    /v1/sessions/{id}         poll session status
+//	GET    /v1/sessions/{id}/result  fetch the cleaned table + stats
+//	DELETE /v1/sessions/{id}         close the session
+//	GET    /v1/stats                 sessions + model-cache counters
+//	GET    /healthz                  liveness
+//
+// Backpressure: creating a session past the manager's cap returns 429 with
+// Retry-After. Sessions idle past the manager's timeout are evicted and
+// subsequent requests against them return 404.
+
+// Server is the serving subsystem: a session manager plus a model cache
+// behind an http.Handler.
+type Server struct {
+	mgr   *Manager
+	cache *ModelCache
+	mux   *http.ServeMux
+}
+
+// New builds a Server over a fresh manager and model cache.
+func New(cfg ManagerConfig) *Server {
+	cache := NewModelCache()
+	s := &Server{
+		mgr:   NewManager(cfg, cache),
+		cache: cache,
+		mux:   http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/tuples", s.handleTuples)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/clean", s.handleClean)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Manager exposes the session manager (for shutdown and tests).
+func (s *Server) Manager() *Manager { return s.mgr }
+
+// Cache exposes the model cache (for tests and stats).
+func (s *Server) Cache() *ModelCache { return s.cache }
+
+// Shutdown closes every session and stops the eviction sweeper.
+func (s *Server) Shutdown() { s.mgr.Shutdown() }
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// Request-body caps: rules/flags are small; tuple batches may be large but
+// must still be bounded so a single request cannot exhaust memory.
+const (
+	maxCreateBody = 1 << 20  // 1 MiB
+	maxTuplesBody = 64 << 20 // 64 MiB
+)
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxCreateBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad create request: %w", err))
+		return
+	}
+	sess, err := s.mgr.Create(req)
+	if err != nil {
+		if errors.Is(err, ErrBusy) {
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests, err)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+// session resolves the {id} path segment, writing the 404 itself on a miss.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return nil
+	}
+	return sess
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if sess := s.session(w, r); sess != nil {
+		writeJSON(w, http.StatusOK, sess.Info())
+	}
+}
+
+// TuplesRequest is one streamed batch of rows in schema order.
+type TuplesRequest struct {
+	Rows [][]string `json:"rows"`
+}
+
+// TuplesResponse acknowledges a batch.
+type TuplesResponse struct {
+	Received int `json:"received"`
+	Total    int `json:"total"`
+}
+
+func (s *Server) handleTuples(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req TuplesRequest
+	r.Body = http.MaxBytesReader(w, r.Body, maxTuplesBody)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad tuples request: %w", err))
+		return
+	}
+	if err := sess.Submit(req.Rows); err != nil {
+		// Malformed rows are the client's fault (400); everything else is a
+		// session-state conflict (409), worth retrying after a state change.
+		if errors.Is(err, ErrBadInput) {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TuplesResponse{Received: len(req.Rows), Total: sess.Info().Tuples})
+}
+
+func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	if err := sess.Clean(s.cache); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, sess.Info())
+}
+
+// ResultResponse is the cleaned table plus run metadata.
+type ResultResponse struct {
+	Attrs []string   `json:"attrs"`
+	Rows  [][]string `json:"rows"`
+	// IDs are the cleaned tuples' original table ids (gaps mark removed
+	// duplicates).
+	IDs           []int      `json:"ids"`
+	Stats         core.Stats `json:"stats"`
+	Workers       int        `json:"workers"`
+	WeightsCached bool       `json:"weights_cached"`
+	WallMS        int64      `json:"wall_ms"`
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	res, err := sess.Result()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	info := sess.Info()
+	resp := ResultResponse{
+		Attrs:         res.Clean.Schema.Attrs(),
+		Rows:          make([][]string, res.Clean.Len()),
+		IDs:           make([]int, res.Clean.Len()),
+		Stats:         res.Stats,
+		Workers:       res.Workers,
+		WeightsCached: info.WeightsCached,
+		WallMS:        res.WallTime.Milliseconds(),
+	}
+	for i, t := range res.Clean.Tuples {
+		resp.Rows[i] = t.Values
+		resp.IDs[i] = t.ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Close(r.PathValue("id")); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// StatsResponse is the server-wide status snapshot.
+type StatsResponse struct {
+	Sessions    []SessionInfo `json:"sessions"`
+	MaxSessions int           `json:"max_sessions"`
+	Cache       CacheStats    `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Sessions:    s.mgr.List(),
+		MaxSessions: s.mgr.cfg.MaxSessions,
+		Cache:       s.cache.Stats(),
+	})
+}

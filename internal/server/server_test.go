@@ -1,0 +1,260 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/rules"
+)
+
+// hospitalFixture generates the hospital (HAI) workload: ground truth,
+// a dirtied copy, the Table 4 rule set, and its parseable text form.
+func hospitalFixture(t *testing.T) (*dataset.Table, []*rules.Rule, string) {
+	t.Helper()
+	truth, rs, err := datagen.HAI(datagen.HAIConfig{Providers: 40, Measures: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.05, ReplacementRatio: 0.5, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := make([]string, len(rs))
+	for i, r := range rs {
+		lines[i] = r.Canonical()
+	}
+	return inj.Dirty, rs, strings.Join(lines, "\n")
+}
+
+// client is a minimal JSON client for the session API.
+type client struct {
+	t    *testing.T
+	base string
+}
+
+func (c *client) do(method, path string, body, out any) int {
+	c.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			c.t.Fatalf("%s %s: decoding response: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// runSession drives one full session over HTTP: create, stream the table in
+// batches, clean, poll, fetch the result.
+func (c *client) runSession(req CreateRequest, dirty *dataset.Table, batches int) (SessionInfo, ResultResponse) {
+	c.t.Helper()
+	var info SessionInfo
+	if code := c.do("POST", "/v1/sessions", req, &info); code != http.StatusCreated {
+		c.t.Fatalf("create session: status %d", code)
+	}
+	per := (dirty.Len() + batches - 1) / batches
+	sent := 0
+	for lo := 0; lo < dirty.Len(); lo += per {
+		hi := min(lo+per, dirty.Len())
+		rows := make([][]string, 0, hi-lo)
+		for _, tp := range dirty.Tuples[lo:hi] {
+			rows = append(rows, tp.Values)
+		}
+		var ack TuplesResponse
+		if code := c.do("POST", "/v1/sessions/"+info.ID+"/tuples", TuplesRequest{Rows: rows}, &ack); code != http.StatusOK {
+			c.t.Fatalf("stream tuples: status %d", code)
+		}
+		sent += len(rows)
+		if ack.Total != sent {
+			c.t.Fatalf("tuple ack total = %d, want %d", ack.Total, sent)
+		}
+	}
+	if code := c.do("POST", "/v1/sessions/"+info.ID+"/clean", nil, nil); code != http.StatusAccepted {
+		c.t.Fatalf("clean: status %d", code)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st SessionInfo
+		if code := c.do("GET", "/v1/sessions/"+info.ID, nil, &st); code != http.StatusOK {
+			c.t.Fatalf("poll: status %d", code)
+		}
+		if st.State == StateDone {
+			break
+		}
+		if st.State == StateFailed {
+			c.t.Fatalf("session failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatal("session never finished cleaning")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	var res ResultResponse
+	if code := c.do("GET", "/v1/sessions/"+info.ID+"/result", nil, &res); code != http.StatusOK {
+		c.t.Fatalf("result: status %d", code)
+	}
+	if code := c.do("DELETE", "/v1/sessions/"+info.ID, nil, nil); code != http.StatusNoContent {
+		c.t.Fatalf("delete: status %d", code)
+	}
+	return info, res
+}
+
+// TestServeHospitalEndToEnd starts the server on a random port, streams the
+// hospital example through a session in multiple batches, and requires
+// repairs identical to the batch CLI path (core.Clean). A second session
+// over the same rules must hit the model cache — weights preset, learning
+// skipped — and still produce identical repairs.
+func TestServeHospitalEndToEnd(t *testing.T) {
+	dirty, rs, rulesText := hospitalFixture(t)
+
+	// The batch CLI path: mlnclean -workers 1 runs core.Clean and writes
+	// res.Clean.
+	want, err := core.Clean(dirty, rs, core.Options{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv := New(ManagerConfig{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL}
+
+	req := CreateRequest{
+		Rules:   rulesText,
+		Attrs:   dirty.Schema.Attrs(),
+		Workers: 1,
+		Tau:     2,
+		Seed:    1,
+	}
+
+	info, res := c.runSession(req, dirty, 3)
+	if info.WeightsCached {
+		t.Error("first session claims cached weights")
+	}
+	assertResultEquals(t, res, want.Clean)
+
+	// Second run, same rules: the model cache must supply the weights.
+	info2, res2 := c.runSession(req, dirty, 2)
+	if !info2.WeightsCached {
+		t.Error("second session did not hit the weight cache")
+	}
+	if !res2.WeightsCached {
+		t.Error("second result not marked cache-served")
+	}
+	assertResultEquals(t, res2, want.Clean)
+	if res2.Stats.LearnIterations != 0 {
+		t.Errorf("cache-served run still learned (%d iterations)", res2.Stats.LearnIterations)
+	}
+
+	var stats StatsResponse
+	if code := c.do("GET", "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Cache.RuleHits < 1 {
+		t.Errorf("cache rule hits = %d, want ≥ 1", stats.Cache.RuleHits)
+	}
+	if stats.Cache.WeightHits != 1 || stats.Cache.WeightMisses != 1 {
+		t.Errorf("weight counters = %d hits / %d misses, want 1/1", stats.Cache.WeightHits, stats.Cache.WeightMisses)
+	}
+
+	// Same rules but a different learning configuration must NOT be served
+	// from the weight cache — those weights were learned under another τ.
+	reqTau := req
+	reqTau.Tau = 4
+	var info3 SessionInfo
+	if code := c.do("POST", "/v1/sessions", reqTau, &info3); code != http.StatusCreated {
+		t.Fatalf("create tau=4 session: status %d", code)
+	}
+	if info3.WeightsCached {
+		t.Error("weights leaked across differing options (tau=4 session claims cached weights)")
+	}
+	if code := c.do("DELETE", "/v1/sessions/"+info3.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+}
+
+func assertResultEquals(t *testing.T, got ResultResponse, want *dataset.Table) {
+	t.Helper()
+	if len(got.Rows) != want.Len() {
+		t.Fatalf("result has %d rows, want %d", len(got.Rows), want.Len())
+	}
+	for i, tp := range want.Tuples {
+		if got.IDs[i] != tp.ID {
+			t.Fatalf("row %d: id %d, want %d", i, got.IDs[i], tp.ID)
+		}
+		for j, v := range tp.Values {
+			if got.Rows[i][j] != v {
+				t.Fatalf("row %d col %d: %q, want %q", i, j, got.Rows[i][j], v)
+			}
+		}
+	}
+}
+
+// TestServeBackpressureHTTP maps the session cap to 429 + Retry-After.
+func TestServeBackpressureHTTP(t *testing.T) {
+	srv := New(ManagerConfig{MaxSessions: 1})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL}
+
+	req := CreateRequest{Rules: testRules, Attrs: []string{"CT", "ST"}, Workers: 1}
+	var info SessionInfo
+	if code := c.do("POST", "/v1/sessions", req, &info); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code := c.do("POST", "/v1/sessions", req, nil); code != http.StatusTooManyRequests {
+		t.Fatalf("create past cap: status %d, want 429", code)
+	}
+	if code := c.do("DELETE", "/v1/sessions/"+info.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	var refilled SessionInfo
+	if code := c.do("POST", "/v1/sessions", req, &refilled); code != http.StatusCreated {
+		t.Fatalf("create after delete: status %d", code)
+	}
+	if code := c.do("DELETE", "/v1/sessions/"+refilled.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+	// Unknown session id → 404.
+	if code := c.do("GET", "/v1/sessions/s-999999", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("unknown session: status %d, want 404", code)
+	}
+
+	// Malformed rows are the client's fault → 400, not a 409 state conflict.
+	var info2 SessionInfo
+	if code := c.do("POST", "/v1/sessions", req, &info2); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	if code := c.do("POST", "/v1/sessions/"+info2.ID+"/tuples", TuplesRequest{Rows: [][]string{{"only-one-field"}}}, nil); code != http.StatusBadRequest {
+		t.Fatalf("ragged row: status %d, want 400", code)
+	}
+	// Result before cleaning is a state conflict → 409.
+	if code := c.do("GET", "/v1/sessions/"+info2.ID+"/result", nil, nil); code != http.StatusConflict {
+		t.Fatalf("early result: status %d, want 409", code)
+	}
+}

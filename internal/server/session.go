@@ -1,0 +1,503 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/distributed"
+	"mlnclean/internal/index"
+)
+
+// SessionState is a session's lifecycle position.
+type SessionState string
+
+const (
+	// StateOpen accepts tuple batches.
+	StateOpen SessionState = "open"
+	// StateCleaning has a run in flight.
+	StateCleaning SessionState = "cleaning"
+	// StateDone holds a result.
+	StateDone SessionState = "done"
+	// StateFailed holds an error.
+	StateFailed SessionState = "failed"
+)
+
+// ErrBusy is returned by Create when the manager is at MaxSessions; clients
+// should back off and retry (the API maps it to 429).
+var ErrBusy = fmt.Errorf("server: session limit reached, retry later")
+
+// ErrNotFound is returned for unknown or already-closed session ids.
+var ErrNotFound = fmt.Errorf("server: no such session")
+
+// ErrBadInput wraps client-input validation failures (malformed rows), so
+// the API can answer 400 instead of the 409 reserved for state conflicts.
+var ErrBadInput = fmt.Errorf("server: bad input")
+
+// CreateRequest are the parameters of a new cleaning session.
+type CreateRequest struct {
+	// Rules is the constraint set, one per line (internal/rules syntax).
+	Rules string `json:"rules"`
+	// Attrs is the table schema, in column order.
+	Attrs []string `json:"attrs"`
+	// Workers is the executor's worker count (default: manager config).
+	Workers int `json:"workers,omitempty"`
+	// Transport selects the executor transport: chan|gob|http (default chan).
+	Transport string `json:"transport,omitempty"`
+	// BatchSize is the tuples per partition shipment (default 1024).
+	BatchSize int `json:"batch_size,omitempty"`
+	// Seed fixes the partition centroid draw (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Tau is the AGP threshold τ (default 1).
+	Tau int `json:"tau,omitempty"`
+	// Metric names the distance metric: levenshtein|cosine.
+	Metric string `json:"metric,omitempty"`
+	// KeepDuplicates skips duplicate elimination in the result.
+	KeepDuplicates bool `json:"keep_duplicates,omitempty"`
+	// FreshWeights opts out of the weight cache: the session relearns from
+	// its own tuples even when a cached vector exists. Cached weights are
+	// learned from whatever data previous sessions streamed, so clients
+	// cleaning a different dataset under the same rules and options set
+	// this to trade the learning cost for history independence.
+	FreshWeights bool `json:"fresh_weights,omitempty"`
+}
+
+// weightsFingerprint identifies the learning configuration a weight vector
+// was produced under: anything that changes what the learner sees — τ and
+// the metric shape grouping/AGP, worker count and seed shape the partitions,
+// batch size shifts the streaming centroid draw. Weights cached under one
+// fingerprint are never replayed into a session with another. Every field
+// is normalized to its effective default first, so "tau omitted" and
+// "tau:1" share a cache slot.
+func (r CreateRequest) weightsFingerprint(workers int) string {
+	tau := r.Tau
+	if tau <= 0 {
+		tau = 1 // core.Options default (TauSet is not exposed over the API)
+	}
+	seed := r.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	batch := r.BatchSize
+	if batch <= 0 {
+		batch = 1024 // distributed.Options default
+	}
+	return fmt.Sprintf("tau=%d,metric=%s,workers=%d,seed=%d,batch=%d",
+		tau, distance.MetricName(metricFor(r.Metric)), workers, seed, batch)
+}
+
+// Session is one client's cleaning conversation: a schema, an interned
+// model, and a live executor accumulating streamed tuples until Clean.
+type Session struct {
+	ID string
+
+	mu       sync.Mutex
+	state    SessionState
+	model    *Model
+	fp       string // weight-cache fingerprint of this session's options
+	schema   *dataset.Schema
+	workers  int
+	cached   bool // run started with cached weights (learning skipped)
+	ex       *distributed.Executor
+	cancel   context.CancelFunc
+	tuples   int
+	created  time.Time
+	lastUsed time.Time
+	res      *distributed.Result
+	runErr   error
+}
+
+// SessionInfo is a session's externally visible status snapshot.
+type SessionInfo struct {
+	ID            string       `json:"id"`
+	State         SessionState `json:"state"`
+	RulesHash     string       `json:"rules_hash"`
+	Workers       int          `json:"workers"`
+	Tuples        int          `json:"tuples"`
+	WeightsCached bool         `json:"weights_cached"`
+	CreatedAt     time.Time    `json:"created_at"`
+	LastUsedAt    time.Time    `json:"last_used_at"`
+	Error         string       `json:"error,omitempty"`
+}
+
+// Info snapshots the session's status.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SessionInfo{
+		ID:            s.ID,
+		State:         s.state,
+		RulesHash:     s.model.Hash,
+		Workers:       s.workers,
+		Tuples:        s.tuples,
+		WeightsCached: s.cached,
+		CreatedAt:     s.created,
+		LastUsedAt:    s.lastUsed,
+	}
+	if s.runErr != nil {
+		info.Error = s.runErr.Error()
+	}
+	return info
+}
+
+// Submit appends one batch of rows to the session's executor. Only valid
+// while the session is open.
+func (s *Session) Submit(rows [][]string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateOpen {
+		return fmt.Errorf("server: session %s is %s, not accepting tuples", s.ID, s.state)
+	}
+	batch := dataset.NewTable(s.schema)
+	for i, row := range rows {
+		if _, err := batch.Append(row...); err != nil {
+			return fmt.Errorf("%w: batch row %d: %v", ErrBadInput, i, err)
+		}
+	}
+	if err := s.ex.Submit(batch); err != nil {
+		return err
+	}
+	s.tuples += len(rows)
+	s.lastUsed = time.Now()
+	return nil
+}
+
+// Clean starts the cleaning run asynchronously; poll Info until the state
+// leaves StateCleaning, then fetch Result.
+func (s *Session) Clean(cache *ModelCache) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateOpen {
+		return fmt.Errorf("server: session %s is %s, cannot clean", s.ID, s.state)
+	}
+	if s.tuples == 0 {
+		return fmt.Errorf("server: session %s has no tuples", s.ID)
+	}
+	s.state = StateCleaning
+	s.lastUsed = time.Now()
+	go func() {
+		res, err := s.ex.Run()
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.lastUsed = time.Now()
+		if err != nil {
+			s.state = StateFailed
+			s.runErr = err
+			return
+		}
+		s.state = StateDone
+		s.res = res
+		if !s.cached {
+			cache.StoreWeights(s.model, s.fp, res.MergedWeights)
+		}
+	}()
+	return nil
+}
+
+// Result returns the completed run, or an error describing the session's
+// actual state.
+func (s *Session) Result() (*distributed.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.state {
+	case StateDone:
+		s.lastUsed = time.Now()
+		return s.res, nil
+	case StateFailed:
+		return nil, s.runErr
+	default:
+		return nil, fmt.Errorf("server: session %s is %s, result not ready", s.ID, s.state)
+	}
+}
+
+// close cancels the session's executor context; the executor's watcher tears
+// the transport down and the worker goroutines drain out. Idempotent.
+func (s *Session) close() {
+	s.cancel()
+}
+
+// ManagerConfig bounds the session manager.
+type ManagerConfig struct {
+	// MaxSessions is the concurrent-session cap; Create returns ErrBusy at
+	// the cap (backpressure). Default 16.
+	MaxSessions int
+	// IdleTimeout evicts sessions untouched for this long (cleaning
+	// sessions are exempt while the run is in flight). Default 10m.
+	IdleTimeout time.Duration
+	// SweepInterval is how often the eviction sweep runs. Default
+	// IdleTimeout/4, floored at 100ms.
+	SweepInterval time.Duration
+	// DefaultWorkers is the executor worker count when a session does not
+	// choose one. Default 2.
+	DefaultWorkers int
+}
+
+func (c ManagerConfig) withDefaults() ManagerConfig {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 16
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 10 * time.Minute
+	}
+	if c.SweepInterval <= 0 {
+		c.SweepInterval = c.IdleTimeout / 4
+		if c.SweepInterval < 100*time.Millisecond {
+			c.SweepInterval = 100 * time.Millisecond
+		}
+	}
+	if c.DefaultWorkers <= 0 {
+		c.DefaultWorkers = 2
+	}
+	return c
+}
+
+// Manager owns the live sessions: bounded creation, lookup, idle eviction,
+// and shutdown. All methods are safe for concurrent use.
+type Manager struct {
+	cfg   ManagerConfig
+	cache *ModelCache
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	seq      int
+	closed   bool
+
+	stopSweep chan struct{}
+	sweepDone chan struct{}
+}
+
+// NewManager starts a session manager (and its eviction sweeper) over the
+// given model cache.
+func NewManager(cfg ManagerConfig, cache *ModelCache) *Manager {
+	m := &Manager{
+		cfg:       cfg.withDefaults(),
+		cache:     cache,
+		sessions:  make(map[string]*Session),
+		stopSweep: make(chan struct{}),
+		sweepDone: make(chan struct{}),
+	}
+	go m.sweep()
+	return m
+}
+
+// Create opens a new session: interns the rule set, validates it against the
+// schema, and starts an executor seeded with cached weights when the model
+// has them. Returns ErrBusy at the session cap.
+func (m *Manager) Create(req CreateRequest) (*Session, error) {
+	model, _, err := m.cache.Intern(req.Rules)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := dataset.NewSchema(req.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range model.Rules {
+		if err := r.Validate(schema); err != nil {
+			return nil, err
+		}
+	}
+	workers := req.Workers
+	if workers <= 0 {
+		workers = m.cfg.DefaultWorkers
+	}
+	factory, err := distributed.TransportByName(req.Transport)
+	if err != nil {
+		return nil, err
+	}
+	fp := req.weightsFingerprint(workers)
+	var preset []index.PieceSummary
+	if !req.FreshWeights {
+		preset = m.cache.TakeWeights(model, fp)
+	}
+	opts := distributed.Options{
+		Workers:       workers,
+		Seed:          req.Seed,
+		Transport:     factory,
+		BatchSize:     req.BatchSize,
+		PresetWeights: preset,
+		Core: core.Options{
+			Tau:            req.Tau,
+			Metric:         metricFor(req.Metric),
+			KeepDuplicates: req.KeepDuplicates,
+		},
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("server: manager shut down")
+	}
+	if len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		return nil, ErrBusy
+	}
+	m.seq++
+	id := fmt.Sprintf("s-%06d", m.seq)
+	// Reserve the slot before the (potentially slow) executor spin-up.
+	m.sessions[id] = nil
+	m.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ex, err := distributed.NewExecutorContext(ctx, schema, model.Rules, opts)
+	if err != nil {
+		cancel()
+		m.mu.Lock()
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		return nil, err
+	}
+	now := time.Now()
+	s := &Session{
+		ID:       id,
+		state:    StateOpen,
+		model:    model,
+		fp:       fp,
+		schema:   schema,
+		workers:  workers,
+		cached:   len(preset) > 0,
+		ex:       ex,
+		cancel:   cancel,
+		created:  now,
+		lastUsed: now,
+	}
+	m.mu.Lock()
+	if _, reserved := m.sessions[id]; !reserved || m.closed {
+		// The reservation was swept away by Shutdown (or an explicit Close)
+		// while the executor was spinning up.
+		m.mu.Unlock()
+		cancel()
+		return nil, fmt.Errorf("server: manager shut down")
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// Get looks a session up; ErrNotFound for unknown or evicted ids.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.sessions[id]
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	return s, nil
+}
+
+// Close tears a session down and frees its slot. Closing twice (or closing
+// an evicted session) returns ErrNotFound; the teardown itself is
+// idempotent.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s := m.sessions[id]
+	delete(m.sessions, id)
+	m.mu.Unlock()
+	if s == nil {
+		return ErrNotFound
+	}
+	s.close()
+	return nil
+}
+
+// Len is the live session count.
+func (m *Manager) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.sessions)
+}
+
+// List snapshots every live session's status, for the stats endpoint.
+func (m *Manager) List() []SessionInfo {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			ss = append(ss, s)
+		}
+	}
+	m.mu.Unlock()
+	out := make([]SessionInfo, len(ss))
+	for i, s := range ss {
+		out[i] = s.Info()
+	}
+	return out
+}
+
+// EvictIdle closes every session idle past the timeout as of now, returning
+// how many were evicted. Sessions mid-clean are exempt — their lastUsed is
+// refreshed when the run completes.
+func (m *Manager) EvictIdle(now time.Time) int {
+	m.mu.Lock()
+	var victims []*Session
+	for id, s := range m.sessions {
+		if s == nil {
+			continue
+		}
+		info := s.Info()
+		if info.State == StateCleaning {
+			continue
+		}
+		if now.Sub(info.LastUsedAt) > m.cfg.IdleTimeout {
+			victims = append(victims, s)
+			delete(m.sessions, id)
+		}
+	}
+	m.mu.Unlock()
+	for _, s := range victims {
+		s.close()
+	}
+	return len(victims)
+}
+
+func (m *Manager) sweep() {
+	defer close(m.sweepDone)
+	tick := time.NewTicker(m.cfg.SweepInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case now := <-tick.C:
+			m.EvictIdle(now)
+		case <-m.stopSweep:
+			return
+		}
+	}
+}
+
+// Shutdown stops the sweeper and closes every session.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	victims := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		if s != nil {
+			victims = append(victims, s)
+		}
+	}
+	m.sessions = make(map[string]*Session)
+	m.mu.Unlock()
+	close(m.stopSweep)
+	<-m.sweepDone
+	for _, s := range victims {
+		s.close()
+	}
+}
+
+// metricFor resolves a metric name, defaulting like the CLI does.
+func metricFor(name string) distance.Metric {
+	if name == "" {
+		name = "levenshtein"
+	}
+	return distance.ByName(name)
+}

@@ -1,0 +1,226 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+const testRules = "FD: CT -> ST"
+
+func testCreateReq() CreateRequest {
+	return CreateRequest{
+		Rules:   testRules,
+		Attrs:   []string{"CT", "ST"},
+		Workers: 1,
+	}
+}
+
+// newTestManager builds a manager with a tight idle timeout and no default
+// sweeping delays, cleaned up with the test.
+func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
+	t.Helper()
+	m := NewManager(cfg, NewModelCache())
+	t.Cleanup(m.Shutdown)
+	return m
+}
+
+func TestManagerBackpressure(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{MaxSessions: 2})
+	s1, err := m.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(testCreateReq()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(testCreateReq()); !errors.Is(err, ErrBusy) {
+		t.Fatalf("third create = %v, want ErrBusy", err)
+	}
+	// Closing a session frees its slot.
+	if err := m.Close(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Create(testCreateReq()); err != nil {
+		t.Fatalf("create after close = %v", err)
+	}
+}
+
+func TestManagerDoubleClose(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	s, err := m.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(s.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second close = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after close = %v, want ErrNotFound", err)
+	}
+	// Submitting to a closed session's executor must fail, not hang.
+	if err := s.Submit([][]string{{"a", "b"}}); err == nil {
+		t.Error("submit to closed session succeeded")
+	}
+}
+
+func TestManagerIdleEviction(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{IdleTimeout: 50 * time.Millisecond, SweepInterval: time.Hour})
+	s, err := m.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.EvictIdle(time.Now()); n != 0 {
+		t.Fatalf("fresh session evicted (%d)", n)
+	}
+	if n := m.EvictIdle(time.Now().Add(time.Second)); n != 1 {
+		t.Fatalf("EvictIdle = %d, want 1", n)
+	}
+	if _, err := m.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after eviction = %v, want ErrNotFound", err)
+	}
+
+	// The background sweeper does the same on its interval.
+	m2 := newTestManager(t, ManagerConfig{IdleTimeout: 20 * time.Millisecond, SweepInterval: 10 * time.Millisecond})
+	s2, err := m2.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := m2.Get(s2.ID); errors.Is(err, ErrNotFound) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never evicted the idle session")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestSessionLifecycleErrors(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	s, err := m.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := m.cache
+	if err := s.Clean(cache); err == nil {
+		t.Error("clean with zero tuples should fail")
+	}
+	if err := s.Submit([][]string{{"a"}}); err == nil {
+		t.Error("submit with wrong row width should fail")
+	}
+	if err := s.Submit([][]string{{"boaz", "al"}, {"boaz", "al"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Clean(cache); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the async run, then check post-run transitions.
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Info().State == StateCleaning {
+		if time.Now().After(deadline) {
+			t.Fatal("run never completed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := s.Info().State; st != StateDone {
+		t.Fatalf("state after run = %s (err %q)", st, s.Info().Error)
+	}
+	if err := s.Submit([][]string{{"x", "y"}}); err == nil {
+		t.Error("submit after clean should fail")
+	}
+	if err := s.Clean(cache); err == nil {
+		t.Error("second clean should fail")
+	}
+	if _, err := s.Result(); err != nil {
+		t.Fatalf("result = %v", err)
+	}
+}
+
+// TestWeightsFingerprint: omitted fields and their explicit defaults share
+// a cache slot; any effective difference gets its own.
+func TestWeightsFingerprint(t *testing.T) {
+	base := CreateRequest{}
+	if base.weightsFingerprint(2) != (CreateRequest{Tau: 1, Metric: "levenshtein", Seed: 1, BatchSize: 1024}).weightsFingerprint(2) {
+		t.Error("defaults and explicit defaults should share a fingerprint")
+	}
+	distinct := []CreateRequest{
+		{Tau: 4},
+		{Metric: "cosine"},
+		{Seed: 9},
+		{BatchSize: 64},
+	}
+	seen := map[string]bool{base.weightsFingerprint(2): true}
+	for i, r := range distinct {
+		fp := r.weightsFingerprint(2)
+		if seen[fp] {
+			t.Errorf("request %d collides with an earlier fingerprint: %s", i, fp)
+		}
+		seen[fp] = true
+	}
+	if base.weightsFingerprint(2) == base.weightsFingerprint(4) {
+		t.Error("worker count should be part of the fingerprint")
+	}
+}
+
+// TestFreshWeightsOptOut: fresh_weights forces relearning even when the
+// cache holds a vector for the configuration.
+func TestFreshWeightsOptOut(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	run := func(req CreateRequest) *Session {
+		t.Helper()
+		s, err := m.Create(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit([][]string{{"boaz", "al"}, {"boaz", "ai"}, {"boaz", "al"}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Clean(m.cache); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for s.Info().State == StateCleaning {
+			if time.Now().After(deadline) {
+				t.Fatal("run never completed")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		m.Close(s.ID)
+		return s
+	}
+	req := testCreateReq()
+	if s := run(req); s.Info().WeightsCached {
+		t.Error("first run claims cached weights")
+	}
+	if s := run(req); !s.Info().WeightsCached {
+		t.Error("second run should be cache-served")
+	}
+	req.FreshWeights = true
+	if s := run(req); s.Info().WeightsCached {
+		t.Error("fresh_weights run must not be cache-served")
+	}
+}
+
+func TestManagerCreateValidation(t *testing.T) {
+	m := newTestManager(t, ManagerConfig{})
+	bad := []CreateRequest{
+		{Rules: "garbage", Attrs: []string{"A", "B"}},
+		{Rules: testRules, Attrs: nil},
+		{Rules: "FD: Nope -> ST", Attrs: []string{"CT", "ST"}}, // rule attr not in schema
+		{Rules: testRules, Attrs: []string{"CT", "ST"}, Transport: "bogus"},
+	}
+	for i, req := range bad {
+		if _, err := m.Create(req); err == nil {
+			t.Errorf("bad create %d succeeded", i)
+		}
+	}
+	if m.Len() != 0 {
+		t.Errorf("failed creates leaked %d session slots", m.Len())
+	}
+}
