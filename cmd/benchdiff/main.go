@@ -1,0 +1,113 @@
+// Command benchdiff compares two benchrunner -json documents and warns when
+// an experiment's elapsed time regressed beyond a threshold. CI runs it
+// against the committed BENCH_PR4.json baseline on every push:
+//
+//	benchdiff -baseline BENCH_PR4.json -current BENCH_new.json
+//
+// Output is one line per experiment; regressions beyond -threshold print as
+// GitHub Actions ::warning:: annotations. The exit status is 0 unless -fail
+// is set and a regression was found — wall-clock on shared CI runners is
+// noisy, so the default is advisory, matching the committed baseline's role
+// as a trajectory record rather than a gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// doc mirrors cmd/benchrunner's jsonDoc, reading only what the diff needs.
+type doc struct {
+	Scale   string `json:"scale"`
+	Reports []struct {
+		Name      string `json:"Name"`
+		ElapsedMS int64  `json:"elapsed_ms"`
+	} `json:"reports"`
+}
+
+func load(path string) (map[string]int64, string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var d doc
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return nil, "", fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]int64, len(d.Reports))
+	for _, r := range d.Reports {
+		out[r.Name] = r.ElapsedMS
+	}
+	return out, d.Scale, nil
+}
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_PR4.json", "committed baseline document")
+		current   = flag.String("current", "", "freshly generated document")
+		threshold = flag.Float64("threshold", 0.30, "relative slowdown that triggers a warning")
+		minMS     = flag.Int64("min-ms", 50, "ignore experiments faster than this in the baseline (noise)")
+		fail      = flag.Bool("fail", false, "exit 1 when a regression is found")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	base, baseScale, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, curScale, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if baseScale != curScale {
+		fmt.Printf("::warning::benchdiff comparing different scales: baseline %q vs current %q\n", baseScale, curScale)
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			fmt.Printf("::warning::benchdiff: experiment %s missing from current run\n", name)
+			continue
+		}
+		ratio := 0.0
+		if b > 0 {
+			ratio = float64(c-b) / float64(b)
+		}
+		status := "ok"
+		if b >= *minMS && ratio > *threshold {
+			status = "REGRESSED"
+			regressions++
+			fmt.Printf("::warning::bench regression: %s %dms → %dms (%+.0f%%, threshold %.0f%%)\n",
+				name, b, c, ratio*100, *threshold*100)
+		}
+		fmt.Printf("%-24s %6dms → %6dms  %+6.1f%%  %s\n", name, b, c, ratio*100, status)
+	}
+	var missing []string
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Printf("%-24s new experiment (%dms), not in baseline\n", name, cur[name])
+	}
+	fmt.Printf("benchdiff: %d/%d experiments regressed beyond %.0f%%\n", regressions, len(names), *threshold*100)
+	if *fail && regressions > 0 {
+		os.Exit(1)
+	}
+}

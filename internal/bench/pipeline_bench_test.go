@@ -1,0 +1,151 @@
+package bench
+
+// Pipeline micro-benchmarks for the stage-I/II hot path: index construction,
+// AGP, FSCR, and the end-to-end stand-alone clean, plus the distance
+// primitives they lean on. These are the before/after benchmarks of the
+// dictionary-encoding refactor — run with
+//
+//	go test -run '^$' -bench Pipeline -benchmem ./internal/bench
+//
+// and compare against the numbers recorded in README.md §Performance.
+
+import (
+	"context"
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// pipelineInput generates a default-scale dirty dataset for benchmarks.
+func pipelineInput(b *testing.B, name string) (*dataset.Table, []*rules.Rule, int) {
+	b.Helper()
+	ds, err := Default.Generate(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj, err := injectFor(ds, Default, 0.15, 0.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inj.Dirty, ds.Rules, ds.Tau
+}
+
+func benchOpts(tau int) core.Options {
+	return core.Options{Tau: tau, TauSet: true}
+}
+
+func BenchmarkPipelineIndexBuild(b *testing.B) {
+	for _, name := range []string{"hai", "car"} {
+		b.Run(name, func(b *testing.B) {
+			dirty, rs, _ := pipelineInput(b, name)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := index.Build(dirty, rs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(dirty.Len())*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+func BenchmarkPipelineStageAGP(b *testing.B) {
+	for _, name := range []string{"hai", "car"} {
+		b.Run(name, func(b *testing.B) {
+			dirty, rs, tau := pipelineInput(b, name)
+			opts := benchOpts(tau)
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				ix, err := index.Build(dirty, rs) // AGP mutates the index
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				var st core.Stats
+				if err := core.StageAGP(ctx, ix, opts, &st); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPipelineRunFSCR(b *testing.B) {
+	for _, name := range []string{"hai", "car"} {
+		b.Run(name, func(b *testing.B) {
+			dirty, rs, tau := pipelineInput(b, name)
+			opts := benchOpts(tau)
+			ctx := context.Background()
+			ix, err := index.Build(dirty, rs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var st core.Stats
+			if err := core.StageAGP(ctx, ix, opts, &st); err != nil {
+				b.Fatal(err)
+			}
+			if err := core.StageLearn(ctx, ix, opts, &st); err != nil {
+				b.Fatal(err)
+			}
+			if err := core.StageRSC(ctx, ix, opts, &st); err != nil {
+				b.Fatal(err)
+			}
+			blocks := core.FusionBlocksFromIndex(ix)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.RunFSCR(dirty, blocks, opts, nil)
+			}
+			b.ReportMetric(float64(dirty.Len())*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+func BenchmarkPipelineCleanE2E(b *testing.B) {
+	for _, name := range []string{"hai", "car"} {
+		b.Run(name, func(b *testing.B) {
+			dirty, rs, tau := pipelineInput(b, name)
+			opts := benchOpts(tau)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Clean(dirty, rs, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(dirty.Len())*float64(b.N)/b.Elapsed().Seconds(), "tuples/s")
+		})
+	}
+}
+
+// BenchmarkPipelineDistance exercises the γ-to-γ distance primitive exactly
+// the way AGP's nearest-normal-group scan calls it: bounded, attribute-wise,
+// over short mixed-case values.
+func BenchmarkPipelineDistance(b *testing.B) {
+	pairs := [][2][]string{
+		{{"MEDICAL CENTER", "BIRMINGHAM", "AL"}, {"MEDICAL CENTRE", "BIRMINGHAM", "AL"}},
+		{{"st vincents east", "b'ham", "AL"}, {"callahan eye foundation", "birmingham", "AL"}},
+		{{"2567688400", "BOAZ"}, {"2567638410", "DOTHAN"}},
+		{{"härnösand", "köln", "münchen"}, {"harnosand", "koln", "munchen"}},
+	}
+	for _, tc := range []struct {
+		name   string
+		metric distance.Metric
+	}{{"levenshtein", distance.Levenshtein{}}, {"cosine", distance.Cosine{}}} {
+		b.Run(tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pairs[i%len(pairs)]
+				distance.ValuesBounded(tc.metric, p[0], p[1], 6)
+			}
+		})
+	}
+}

@@ -15,9 +15,14 @@ import (
 // tuples). If the block has no normal group, the largest group is promoted
 // so merging remains well-defined.
 //
+// The O(abnormal×normal) scan runs entirely over interned value IDs through
+// the block's distance evaluator: per-pair results are memoized
+// symmetrically (γ⋆ values repeat across sources) and the per-pair DP is
+// bounded by the running best, so hopeless targets abandon early.
+//
 // Returns the number of abnormal groups detected and the total γ count
 // inside them (#dag).
-func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces int) {
+func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces int) {
 	if len(b.Groups) <= 1 {
 		return 0, 0
 	}
@@ -52,11 +57,11 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 	// Deterministic processing order.
 	sort.Slice(abnormalGroups, func(i, j int) bool { return abnormalGroups[i].Key < abnormalGroups[j].Key })
 
-	// Precompute γ⋆ values (and, for the support-biased strategy, the
-	// support discount) of normal groups once.
+	// Precompute γ⋆ IDs (and, for the support-biased strategy, the support
+	// discount) of normal groups once.
 	type target struct {
 		g        *index.Group
-		vals     []string
+		ids      []uint32
 		discount float64 // ln(e + tuple count); 1 under AGPNearest
 	}
 	targets := make([]target, len(normalGroups))
@@ -65,7 +70,7 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 		if strategy == AGPSupportBiased {
 			discount = math.Log(math.E + float64(g.TupleCount()))
 		}
-		targets[i] = target{g: g, vals: g.Star().Values(), discount: discount}
+		targets[i] = target{g: g, ids: g.Star().ValueIDs(), discount: discount}
 	}
 
 	for _, src := range abnormalGroups {
@@ -73,7 +78,7 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 		if star == nil {
 			continue
 		}
-		svals := star.Values()
+		sids := star.ValueIDs()
 		best := -1
 		bestD := math.Inf(1)     // raw distance of the best target
 		bestScore := math.Inf(1) // discounted score of the best target
@@ -84,7 +89,7 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 			if math.IsInf(bound, 1) {
 				bound = math.Inf(1)
 			}
-			d := distance.ValuesBounded(metric, svals, targets[i].vals, bound)
+			d := ev.ValuesBounded(sids, targets[i].ids, bound)
 			score := d / targets[i].discount
 			if score < bestScore || (score == bestScore && best >= 0 && targets[i].g.Key < targets[best].g.Key) {
 				bestScore = score
@@ -104,7 +109,7 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 			merge.SourceTuples = append(merge.SourceTuples, p.TupleIDs...)
 		}
 		sort.Ints(merge.SourceTuples)
-		if best >= 0 && bestD <= mergeCap*float64(maxRuneLen(svals, targets[best].vals)) {
+		if best >= 0 && bestD <= mergeCap*float64(maxRuneLen(ev, sids, targets[best].ids)) {
 			merge.TargetKey = targets[best].g.Key
 			b.MergeGroups(src, targets[best].g)
 		}
@@ -113,15 +118,16 @@ func agp(blockIdx int, b *index.Block, tau int, metric distance.Metric, mergeCap
 	return abnormal, abnormalPieces
 }
 
-// maxRuneLen returns the larger total rune length of the two value slices —
-// the denominator for the relative merge cap.
-func maxRuneLen(a, b []string) int {
+// maxRuneLen returns the larger total rune length of the two value-ID
+// slices — the denominator for the relative merge cap. Rune lengths come
+// from the evaluator's per-ID cache.
+func maxRuneLen(ev *distance.Evaluator, a, b []uint32) int {
 	la, lb := 0, 0
-	for _, v := range a {
-		la += len([]rune(v))
+	for _, id := range a {
+		la += ev.RuneLen(id)
 	}
-	for _, v := range b {
-		lb += len([]rune(v))
+	for _, id := range b {
+		lb += ev.RuneLen(id)
 	}
 	if lb > la {
 		return lb

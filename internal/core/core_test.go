@@ -9,6 +9,7 @@ import (
 	"mlnclean/internal/datagen"
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/distance"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
@@ -285,26 +286,37 @@ func TestFusionBlockExports(t *testing.T) {
 }
 
 func TestMaxRuneLen(t *testing.T) {
-	if got := maxRuneLen([]string{"ab", "c"}, []string{"defg"}); got != 4 {
+	dict := intern.NewDict()
+	ev := distance.NewEvaluator(distance.Levenshtein{}, dict)
+	enc := func(vals ...string) []uint32 {
+		out := make([]uint32, len(vals))
+		for i, v := range vals {
+			out[i] = dict.Intern(v)
+		}
+		return out
+	}
+	if got := maxRuneLen(ev, enc("ab", "c"), enc("dëfg")); got != 4 {
 		t.Errorf("maxRuneLen = %d", got)
 	}
-	if got := maxRuneLen(nil, nil); got != 0 {
+	if got := maxRuneLen(ev, nil, nil); got != 0 {
 		t.Errorf("maxRuneLen empty = %d", got)
 	}
 }
 
 func TestStateKey(t *testing.T) {
-	f := newFuser([]version{{attrs: []string{"A", "B"}, values: []string{"", ""}}}, nil, 10)
-	a1 := assignment{"A": "x"}
-	a2 := assignment{"A": "x", "B": "y"}
-	if f.stateKey(1, a1) == f.stateKey(1, a2) {
+	x := newFx("A", "B")
+	f := x.fuser([]version{{pos: x.pos(rules.MustParseStrings("FD: A -> B")[0]), ids: []uint32{0, 0}}}, nil, 10)
+	key := func(mask int, a assignment) string { return string(f.stateKey(mask, a)) }
+	a1 := x.assign(map[string]string{"A": "x"})
+	a2 := x.assign(map[string]string{"A": "x", "B": "y"})
+	if key(1, a1) == key(1, a2) {
 		t.Error("different assignments share a state key")
 	}
-	if f.stateKey(1, a1) == f.stateKey(2, a1) {
+	if key(1, a1) == key(2, a1) {
 		t.Error("different masks share a state key")
 	}
 	// Absent attribute vs empty value must be distinguishable.
-	if f.stateKey(1, assignment{"A": ""}) == f.stateKey(1, assignment{}) {
+	if key(1, x.assign(map[string]string{"A": ""})) == key(1, x.assign(nil)) {
 		t.Error("empty value collides with absent attribute")
 	}
 }

@@ -2,22 +2,36 @@ package core
 
 import (
 	"mlnclean/internal/dataset"
+	"mlnclean/internal/intern"
 )
 
 // dedup removes exact-duplicate tuples (identical on every attribute) from
 // the repaired table, keeping the lowest-ID representative of each
 // duplicate set (§5.2: after FSCR, MLNClean automatically detects and
-// removes duplicate tuples). Returns the deduplicated table and the
-// duplicate sets (each with ≥ 2 members, representative first).
+// removes duplicate tuples). Row identity is an interned ID-sequence key,
+// not a joined string, so values containing the key separator cannot alias
+// two distinct rows. Returns the deduplicated table and the duplicate sets
+// (each with ≥ 2 members, representative first).
 func dedup(tb *dataset.Table) (*dataset.Table, [][]int) {
+	return Dedup(tb)
+}
+
+// Dedup is the exported form of the pipeline's duplicate elimination; the
+// distributed gather step removes duplicates with exactly the same
+// semantics.
+func Dedup(tb *dataset.Table) (*dataset.Table, [][]int) {
 	out := dataset.NewTable(tb.Schema)
-	rep := make(map[string]int)       // row key → representative tuple ID
-	members := make(map[string][]int) // row key → all tuple IDs
-	var order []string
+	dict := intern.NewDict()
+	members := make(map[uint32][]int) // row key → all tuple IDs
+	var order []uint32
+	var ids []uint32
 	for _, t := range tb.Tuples {
-		k := dataset.JoinKey(t.Values)
-		if _, ok := rep[k]; !ok {
-			rep[k] = t.ID
+		ids = ids[:0]
+		for _, v := range t.Values {
+			ids = append(ids, dict.Intern(v))
+		}
+		k := dict.Seq(ids)
+		if _, ok := members[k]; !ok {
 			order = append(order, k)
 			out.Tuples = append(out.Tuples, t.Clone())
 		}

@@ -4,41 +4,60 @@ import (
 	"encoding/binary"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
+
+// FSCR runs on the dictionary-encoded view of the data: assignments are
+// schema-indexed []uint32 slices (one value ID per attribute position, with
+// a sentinel for "not pinned"), versions carry their pieces' interned IDs,
+// and candidate compatibility checks compare fixed-width integers. Strings
+// reappear only when a winning fusion is written back into the repaired
+// table and when trace entries are recorded.
+
+// unsetID marks an attribute position the fusion has not pinned yet. Value
+// IDs are dense from 0, so the all-ones sentinel can never collide.
+const unsetID = ^uint32(0)
 
 // version is one tuple's cleaned piece from one block (a data version).
 type version struct {
 	blockIdx int
 	rule     *rules.Rule
-	attrs    []string
-	values   []string
+	pos      []int // schema positions of the rule's attrs (reason+result)
+	ids      []uint32
+	kid      uint32 // the piece's fixed-width identity (replacement exclusion)
 	weight   float64
 }
 
-// assignment is a partial tuple: attribute → value.
-type assignment map[string]string
+// assignment is a partial tuple: one value ID per schema position, unsetID
+// where nothing is pinned.
+type assignment []uint32
+
+func newAssignment(width int) assignment {
+	a := make(assignment, width)
+	for i := range a {
+		a[i] = unsetID
+	}
+	return a
+}
 
 func (a assignment) clone() assignment {
 	out := make(assignment, len(a))
-	for k, v := range a {
-		out[k] = v
-	}
+	copy(out, a)
 	return out
 }
 
-// conflictsWith returns the attributes on which the assignment disagrees
-// with the (attrs, values) piece.
-func (a assignment) conflictsWith(attrs, values []string) []string {
-	var out []string
-	for i, attr := range attrs {
-		if v, ok := a[attr]; ok && v != values[i] {
-			out = append(out, attr)
+// conflictsWith returns the schema positions on which the assignment
+// disagrees with the (pos, ids) piece.
+func (a assignment) conflictsWith(pos []int, ids []uint32) []int {
+	var out []int
+	for i, p := range pos {
+		if v := a[p]; v != unsetID && v != ids[i] {
+			out = append(out, p)
 		}
 	}
 	return out
@@ -46,16 +65,17 @@ func (a assignment) conflictsWith(attrs, values []string) []string {
 
 // absorb merges the piece into the assignment (caller must have resolved
 // conflicts first).
-func (a assignment) absorb(attrs, values []string) {
-	for i, attr := range attrs {
-		a[attr] = values[i]
+func (a assignment) absorb(pos []int, ids []uint32) {
+	for i, p := range pos {
+		a[p] = ids[i]
 	}
 }
 
 // FusionBlock is one block's stage-I output as consumed by FSCR: the winner
 // piece covering each tuple, plus the block's candidate pieces used for
 // conflict replacement. The distributed gather step builds these from the
-// union of all workers' blocks to run a global conflict resolution.
+// union of all workers' blocks to run a global conflict resolution. All
+// pieces of all blocks must share one dictionary.
 type FusionBlock struct {
 	Rule       *rules.Rule
 	Attrs      []string
@@ -81,12 +101,31 @@ func fusionBlocksFromIndex(ix *index.Index) []*FusionBlock {
 	return blocks
 }
 
-// candEntry caches one replacement candidate: its values, weight, and
-// identity key, precomputed so conflict checks allocate nothing.
+// FusionBlocksFromIndex exposes a cleaned index's stage-I output as FSCR
+// inputs. Clean composes it internally; the distributed gather and the
+// pipeline benchmarks build on it directly.
+func FusionBlocksFromIndex(ix *index.Index) []*FusionBlock {
+	return fusionBlocksFromIndex(ix)
+}
+
+// fusionDict returns the shared dictionary of the blocks' pieces, or nil
+// when no block holds any piece.
+func fusionDict(blocks []*FusionBlock) *intern.Dict {
+	for _, fb := range blocks {
+		if len(fb.Candidates) > 0 {
+			return fb.Candidates[0].Dict()
+		}
+	}
+	return nil
+}
+
+// candEntry caches one replacement candidate: its value IDs, weight, and
+// identities, precomputed so conflict checks compare integers only.
 type candEntry struct {
-	values []string
+	ids    []uint32
 	weight float64
-	key    string
+	kid    uint32
+	key    string // display key; orders equal-weight candidates
 }
 
 // blockCands pre-indexes a block's candidates for the replacement search:
@@ -94,19 +133,18 @@ type candEntry struct {
 // conflicted merge scans only the candidates matching one pinned value
 // instead of the whole block.
 type blockCands struct {
-	attrs []string
-	all   []candEntry
-	// byVal[pos][value] lists indices into all (ascending = best first) of
-	// candidates whose pos-th attribute equals value.
-	byVal []map[string][]int32
+	pos []int // schema positions of the block's attrs
+	all []candEntry
+	// byVal[i][id] lists indices into all (ascending = best first) of
+	// candidates whose i-th attribute carries value ID id.
+	byVal []map[uint32][]int32
 }
 
-func buildBlockCands(fb *FusionBlock) *blockCands {
-	bc := &blockCands{attrs: fb.Attrs}
+func buildBlockCands(fb *FusionBlock, pos []int) *blockCands {
+	bc := &blockCands{pos: pos}
 	bc.all = make([]candEntry, 0, len(fb.Candidates))
 	for _, p := range fb.Candidates {
-		vals := p.Values()
-		bc.all = append(bc.all, candEntry{values: vals, weight: p.Weight, key: dataset.JoinKey(vals)})
+		bc.all = append(bc.all, candEntry{ids: p.ValueIDs(), weight: p.Weight, kid: p.KeyID(), key: p.Key()})
 	}
 	sort.Slice(bc.all, func(i, j int) bool {
 		if bc.all[i].weight != bc.all[j].weight {
@@ -114,43 +152,43 @@ func buildBlockCands(fb *FusionBlock) *blockCands {
 		}
 		return bc.all[i].key < bc.all[j].key
 	})
-	bc.byVal = make([]map[string][]int32, len(bc.attrs))
-	for pos := range bc.attrs {
-		m := make(map[string][]int32)
-		for i, c := range bc.all {
-			if pos < len(c.values) {
-				m[c.values[pos]] = append(m[c.values[pos]], int32(i))
+	bc.byVal = make([]map[uint32][]int32, len(bc.pos))
+	for i := range bc.pos {
+		m := make(map[uint32][]int32)
+		for ci, c := range bc.all {
+			if i < len(c.ids) {
+				m[c.ids[i]] = append(m[c.ids[i]], int32(ci))
 			}
 		}
-		bc.byVal[pos] = m
+		bc.byVal[i] = m
 	}
 	return bc
 }
 
 // find returns the best candidate compatible with merged, excluding the
-// candidate identified by excludeKey. Compatibility: the candidate agrees
-// with merged on every attribute merged pins.
-func (bc *blockCands) find(merged assignment, excludeKey string) (candEntry, bool) {
+// candidate identified by excludeKid. Compatibility: the candidate agrees
+// with merged on every attribute of this block merged pins.
+func (bc *blockCands) find(merged assignment, excludeKid uint32) (candEntry, bool) {
 	// Choose the shortest posting list among pinned attributes.
 	bestList := -1
 	var list []int32
-	for pos, attr := range bc.attrs {
-		v, ok := merged[attr]
-		if !ok {
+	for i, p := range bc.pos {
+		v := merged[p]
+		if v == unsetID {
 			continue
 		}
-		l := bc.byVal[pos][v]
+		l := bc.byVal[i][v]
 		if bestList == -1 || len(l) < len(list) {
-			bestList = pos
+			bestList = i
 			list = l
 		}
 	}
 	check := func(c candEntry) bool {
-		if c.key == excludeKey {
+		if c.kid == excludeKid {
 			return false
 		}
-		for pos, attr := range bc.attrs {
-			if v, ok := merged[attr]; ok && c.values[pos] != v {
+		for i, p := range bc.pos {
+			if v := merged[p]; v != unsetID && c.ids[i] != v {
 				return false
 			}
 		}
@@ -172,9 +210,10 @@ func (bc *blockCands) find(merged assignment, excludeKey string) (candEntry, boo
 	return candEntry{}, false
 }
 
-// fscr runs fusion-score conflict resolution (Alg. 2) over the whole table.
+// fscr runs fusion-score conflict resolution (Alg. 2) over the whole table,
+// reusing the index's already-encoded rows.
 func fscr(dirty *dataset.Table, ix *index.Index, opts Options, st *Stats) *dataset.Table {
-	return RunFSCR(dirty, fusionBlocksFromIndex(ix), opts, st)
+	return RunFSCREncoded(dirty, ix.Encoded(), fusionBlocksFromIndex(ix), opts, st)
 }
 
 // RunFSCR fuses each tuple's per-block cleaned versions into the single
@@ -186,30 +225,69 @@ func fscr(dirty *dataset.Table, ix *index.Index, opts Options, st *Stats) *datas
 // counts, and opts.Trace records per-tuple fusion outcomes. Tuples fuse
 // independently and run in parallel.
 func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stats) *dataset.Table {
+	return RunFSCREncoded(dirty, nil, blocks, opts, st)
+}
+
+// RunFSCREncoded is RunFSCR for callers that already hold the dirty table's
+// encoded rows in the pieces' dictionary (the stand-alone pipeline reuses
+// the index's encoding; the distributed gather reuses the rows interned at
+// Submit). A nil or foreign-dictionary enc is re-encoded.
+func RunFSCREncoded(dirty *dataset.Table, enc *dataset.Encoded, blocks []*FusionBlock, opts Options, st *Stats) *dataset.Table {
 	opts = opts.withDefaults()
 	if st == nil {
 		st = &Stats{}
 	}
 	repaired := dirty.Clone()
+	dict := fusionDict(blocks)
+	if dict == nil {
+		return repaired // no pieces anywhere: nothing to fuse
+	}
+	if enc == nil || enc.Dict != dict || len(enc.Rows) != len(dirty.Tuples) {
+		// Encode the observed (dirty) rows into the pieces' dictionary before
+		// the parallel loop — the only phase that may grow the dictionary.
+		// (The distributed batch path hands the gather an executor whose
+		// Submit never ran, so an empty/misaligned encoding re-encodes here.)
+		enc = dataset.Encode(dirty, dict)
+	}
+	schema := repaired.Schema
+	width := schema.Len()
 
 	// Distinct-value counts per rule attribute, for the observation model:
 	// a replacement error lands on one specific value out of |domain|−1
 	// alternatives, so changing a large-domain cell (e.g. Model) explains
 	// the observed tuple less well than changing a small-domain cell (e.g.
 	// Make) — exactly the asymmetry that disambiguates which side of a
-	// version conflict was corrupted.
-	domainSize := make(map[string]int)
-	for _, fb := range blocks {
-		for _, a := range fb.Attrs {
-			if _, ok := domainSize[a]; !ok && dirty.Schema.Has(a) {
-				domainSize[a] = len(dirty.Domain(a))
-			}
+	// version conflict was corrupted. Distinct IDs ≡ distinct values.
+	domainSize := make([]int, width)
+	posPerBlock := make([][]int, len(blocks))
+	needed := make([]bool, width)
+	for bi, fb := range blocks {
+		pos := make([]int, len(fb.Attrs))
+		for i, a := range fb.Attrs {
+			pos[i] = schema.MustIndex(a)
+			needed[pos[i]] = true
 		}
+		posPerBlock[bi] = pos
+	}
+	var seen map[uint32]struct{}
+	for p := 0; p < width; p++ {
+		if !needed[p] {
+			continue
+		}
+		if seen == nil {
+			seen = make(map[uint32]struct{}, len(enc.Rows))
+		} else {
+			clear(seen)
+		}
+		for _, row := range enc.Rows {
+			seen[row[p]] = struct{}{}
+		}
+		domainSize[p] = len(seen)
 	}
 
 	candidates := make([]*blockCands, len(blocks))
 	for bi, fb := range blocks {
-		candidates[bi] = buildBlockCands(fb)
+		candidates[bi] = buildBlockCands(fb, posPerBlock[bi])
 	}
 
 	par := opts.Parallelism
@@ -235,11 +313,12 @@ func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stat
 			hi = len(repaired.Tuples)
 		}
 		wg.Add(1)
-		go func(tuples []*dataset.Tuple) {
+		go func(lo, hi int) {
 			defer wg.Done()
 			localChanges, localFailures := 0, 0
-			for _, t := range tuples {
-				c, f := fuseTuple(t, repaired.Schema, blocks, candidates, domainSize, opts)
+			for i := lo; i < hi; i++ {
+				c, f := fuseTuple(repaired.Tuples[i], enc.Rows[i], dict, schema,
+					blocks, posPerBlock, candidates, domainSize, opts)
 				localChanges += c
 				if f {
 					localFailures++
@@ -249,7 +328,7 @@ func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stat
 			cellChanges += localChanges
 			failures += localFailures
 			statsMu.Unlock()
-		}(repaired.Tuples[lo:hi])
+		}(lo, hi)
 	}
 	wg.Wait()
 	st.FSCRCellChanges += cellChanges
@@ -258,9 +337,12 @@ func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stat
 }
 
 // fuseTuple runs the fusion for one tuple, applying the winning assignment
-// in place. Returns the number of changed cells and whether fusion failed.
-func fuseTuple(t *dataset.Tuple, schema *dataset.Schema, blocks []*FusionBlock,
-	candidates []*blockCands, domainSize map[string]int, opts Options) (int, bool) {
+// in place. dirtyRow is the tuple's observed values as IDs in the blocks'
+// dictionary. Returns the number of changed cells and whether fusion
+// failed.
+func fuseTuple(t *dataset.Tuple, dirtyRow []uint32, dict *intern.Dict, schema *dataset.Schema,
+	blocks []*FusionBlock, posPerBlock [][]int, candidates []*blockCands,
+	domainSize []int, opts Options) (int, bool) {
 	var versions []version
 	for bi, fb := range blocks {
 		p, ok := fb.Versions[t.ID]
@@ -270,36 +352,42 @@ func fuseTuple(t *dataset.Tuple, schema *dataset.Schema, blocks []*FusionBlock,
 		versions = append(versions, version{
 			blockIdx: bi,
 			rule:     fb.Rule,
-			attrs:    fb.Attrs,
-			values:   p.Values(),
+			pos:      posPerBlock[bi],
+			ids:      p.ValueIDs(),
+			kid:      p.KeyID(),
 			weight:   p.Weight,
 		})
 	}
 	if len(versions) == 0 {
 		return 0, false
 	}
-	f := newFuser(versions, candidates, opts.MaxFusionStates)
+	f := newFuser(versions, candidates, opts.MaxFusionStates, schema.Len())
 	f.penalty = opts.changePenalty()
 	f.domainSize = domainSize
-	f.dirty = func(attr string) string {
-		return t.Values[schema.MustIndex(attr)]
-	}
-	best, fscore, conflictAttrs := f.run()
+	f.dirtyRow = dirtyRow
+	f.dict = dict
+	f.schema = schema
+	best, fscore, conflictPos := f.run()
 
-	outcome := FusionOutcome{TupleID: t.ID, ConflictAttrs: conflictAttrs, FScore: fscore}
+	outcome := FusionOutcome{TupleID: t.ID, FScore: fscore}
+	for _, p := range conflictPos {
+		outcome.ConflictAttrs = append(outcome.ConflictAttrs, schema.Attr(p))
+	}
+	sort.Strings(outcome.ConflictAttrs)
 	if best == nil {
 		outcome.Failed = true
 		opts.Trace.addFusion(outcome)
 		return 0, true
 	}
 	changes := 0
-	for attr, val := range best {
-		idx := schema.MustIndex(attr)
-		if t.Values[idx] != val {
-			outcome.Changed = append(outcome.Changed, CellChange{Attr: attr, Old: t.Values[idx], New: val})
-			t.Values[idx] = val
-			changes++
+	for pos, id := range best {
+		if id == unsetID || dirtyRow[pos] == id {
+			continue
 		}
+		val := dict.Value(id)
+		outcome.Changed = append(outcome.Changed, CellChange{Attr: schema.Attr(pos), Old: t.Values[pos], New: val})
+		t.Values[pos] = val
+		changes++
 	}
 	sort.Slice(outcome.Changed, func(i, j int) bool { return outcome.Changed[i].Attr < outcome.Changed[j].Attr })
 	opts.Trace.addFusion(outcome)
@@ -312,44 +400,48 @@ type fuser struct {
 	candidates []*blockCands
 	maxStates  int
 	// penalty is the per-changed-cell factor ε/(1−ε) of the minimality
-	// prior; dirty resolves the tuple's observed value per attribute;
+	// prior; dirtyRow holds the tuple's observed value IDs per position;
 	// domainSize holds distinct-value counts for the observation model.
 	penalty    float64
-	dirty      func(attr string) string
-	domainSize map[string]int
+	dirtyRow   []uint32
+	domainSize []int
+	dict       *intern.Dict
+	schema     *dataset.Schema
 
 	states    int
 	visited   map[string]float64 // state key → best f reaching it
 	bestF     float64            // penalized score of the best fusion
 	bestRaw   float64            // raw Eq. 5 f-score of the best fusion
 	best      assignment
-	conflicts map[string]struct{}
-	// attrOrder is the sorted union of the versions' attributes, fixed at
-	// construction so state keys never re-sort per memo probe.
-	attrOrder []string
+	conflicts map[int]struct{}
+	// attrOrder is the sorted union of the versions' schema positions, fixed
+	// at construction so state keys never re-sort per memo probe.
+	attrOrder []int
+	width     int
+	keyBuf    []byte
 }
 
-func newFuser(versions []version, candidates []*blockCands, maxStates int) *fuser {
-	attrSet := make(map[string]struct{})
+func newFuser(versions []version, candidates []*blockCands, maxStates, width int) *fuser {
+	posSet := make(map[int]struct{})
 	for _, v := range versions {
-		for _, a := range v.attrs {
-			attrSet[a] = struct{}{}
+		for _, p := range v.pos {
+			posSet[p] = struct{}{}
 		}
 	}
-	attrOrder := make([]string, 0, len(attrSet))
-	for a := range attrSet {
-		attrOrder = append(attrOrder, a)
+	attrOrder := make([]int, 0, len(posSet))
+	for p := range posSet {
+		attrOrder = append(attrOrder, p)
 	}
-	sort.Strings(attrOrder)
+	sort.Ints(attrOrder)
 	return &fuser{
 		versions:   versions,
 		candidates: candidates,
 		maxStates:  maxStates,
 		penalty:    1,
-		dirty:      func(string) string { return "" },
 		visited:    make(map[string]float64),
-		conflicts:  make(map[string]struct{}),
+		conflicts:  make(map[int]struct{}),
 		attrOrder:  attrOrder,
+		width:      width,
 	}
 }
 
@@ -364,28 +456,30 @@ func (f *fuser) penalized(merged assignment, raw float64) float64 {
 		return raw
 	}
 	out := raw
-	for attr, val := range merged {
-		if f.dirty(attr) != val {
-			out *= f.penalty
-			if n := f.domainSize[attr]; n > 2 {
-				out /= float64(n - 1)
-			}
+	for _, pos := range f.attrOrder {
+		id := merged[pos]
+		if id == unsetID || id == f.dirtyRow[pos] {
+			continue
+		}
+		out *= f.penalty
+		if n := f.domainSize[pos]; n > 2 {
+			out /= float64(n - 1)
 		}
 	}
 	return out
 }
 
 // run explores fusion orders and returns the best assignment, its f-score,
-// and the sorted set of attributes on which conflicts were detected. A nil
+// and the set of schema positions on which conflicts were detected. A nil
 // assignment means every order failed (fusion score 0).
-func (f *fuser) run() (assignment, float64, []string) {
+func (f *fuser) run() (assignment, float64, []int) {
 	// Fast path: if no pair of versions conflicts, every order yields the
 	// same union with f = Π weights.
 	if !f.anyPairConflicts() {
-		merged := make(assignment)
+		merged := newAssignment(f.width)
 		score := 1.0
 		for _, v := range f.versions {
-			merged.absorb(v.attrs, v.values)
+			merged.absorb(v.pos, v.ids)
 			score *= v.weight
 		}
 		return merged, score, nil
@@ -393,28 +487,28 @@ func (f *fuser) run() (assignment, float64, []string) {
 
 	for i := range f.versions {
 		v := f.versions[i]
-		merged := make(assignment, len(v.attrs))
-		merged.absorb(v.attrs, v.values)
+		merged := newAssignment(f.width)
+		merged.absorb(v.pos, v.ids)
 		f.extend(merged, v.weight, 1<<uint(i))
 	}
-	var attrs []string
-	for a := range f.conflicts {
-		attrs = append(attrs, a)
+	var pos []int
+	for p := range f.conflicts {
+		pos = append(pos, p)
 	}
-	sort.Strings(attrs)
+	sort.Ints(pos)
 	if f.best == nil {
-		return nil, 0, attrs
+		return nil, 0, pos
 	}
-	return f.best, f.bestRaw, attrs
+	return f.best, f.bestRaw, pos
 }
 
 func (f *fuser) anyPairConflicts() bool {
 	for i := 0; i < len(f.versions); i++ {
 		for j := i + 1; j < len(f.versions); j++ {
 			vi, vj := f.versions[i], f.versions[j]
-			for ai, attr := range vi.attrs {
-				for aj, battr := range vj.attrs {
-					if attr == battr && vi.values[ai] != vj.values[aj] {
+			for ai, pa := range vi.pos {
+				for aj, pb := range vj.pos {
+					if pa == pb && vi.ids[ai] != vj.ids[aj] {
 						return true
 					}
 				}
@@ -438,11 +532,11 @@ func (f *fuser) extend(merged assignment, fscore float64, mask int) {
 	if f.states >= f.maxStates {
 		return
 	}
-	key := f.stateKey(mask, merged)
-	if prev, ok := f.visited[key]; ok && fscore <= prev {
-		return
+	buf := f.stateKey(mask, merged)
+	if prev, ok := f.visited[string(buf)]; ok && fscore <= prev {
+		return // alloc-free probe: the conversion stays inside the index expression
 	}
-	f.visited[key] = fscore
+	f.visited[string(buf)] = fscore
 	f.states++
 
 	for j := range f.versions {
@@ -450,14 +544,14 @@ func (f *fuser) extend(merged assignment, fscore float64, mask int) {
 			continue
 		}
 		vj := f.versions[j]
-		values, weight := vj.values, vj.weight
-		if conf := merged.conflictsWith(vj.attrs, values); len(conf) > 0 {
-			for _, a := range conf {
-				f.conflicts[a] = struct{}{}
+		ids, weight := vj.ids, vj.weight
+		if conf := merged.conflictsWith(vj.pos, ids); len(conf) > 0 {
+			for _, p := range conf {
+				f.conflicts[p] = struct{}{}
 			}
 			// Replacement: highest-weight piece from block Bj that does not
 			// conflict with the fusion so far.
-			repl, ok := f.candidates[vj.blockIdx].find(merged, dataset.JoinKey(values))
+			repl, ok := f.candidates[vj.blockIdx].find(merged, vj.kid)
 			if !ok {
 				// A CFD version is conditional: when the fusion so far
 				// contradicts the pattern constants, the rule simply no
@@ -471,11 +565,11 @@ func (f *fuser) extend(merged assignment, fscore float64, mask int) {
 				}
 				continue // this order fails (f-score 0)
 			}
-			values = repl.values
+			ids = repl.ids
 			weight = repl.weight
 		}
 		next := merged.clone()
-		next.absorb(vj.attrs, values)
+		next.absorb(vj.pos, ids)
 		f.extend(next, fscore*weight, mask|1<<uint(j))
 	}
 }
@@ -494,11 +588,12 @@ func (f *fuser) cfdVacuous(v version, merged assignment) bool {
 			continue
 		}
 		anyConst = true
-		if got, ok := merged[pat.Attr]; ok && got == pat.Const {
-			return false // still matches a constant → still applicable
-		}
-		if _, ok := merged[pat.Attr]; !ok {
+		got := merged[f.schema.MustIndex(pat.Attr)]
+		if got == unsetID {
 			return false // undetermined → cannot declare vacuous
+		}
+		if cid, ok := f.dict.Lookup(pat.Const); ok && got == cid {
+			return false // still matches a constant → still applicable
 		}
 	}
 	return anyConst
@@ -506,25 +601,27 @@ func (f *fuser) cfdVacuous(v version, merged assignment) bool {
 
 // stateKey identifies a search state: the consumed-version mask plus the
 // merged assignment rendered over the fuser's fixed attribute order (a
-// presence byte per attribute disambiguates absent from empty values).
-func (f *fuser) stateKey(mask int, merged assignment) string {
-	var b strings.Builder
-	n := 9 + len(f.attrOrder)*2
-	for _, v := range merged {
-		n += len(v)
+// presence byte per attribute disambiguates absent from any value ID). The
+// key is built into a reusable buffer; only map insertion materializes it.
+func (f *fuser) stateKey(mask int, merged assignment) []byte {
+	need := 8 + len(f.attrOrder)*5
+	if cap(f.keyBuf) < need {
+		f.keyBuf = make([]byte, 0, need)
 	}
-	b.Grow(n)
+	b := f.keyBuf[:0]
 	var mb [8]byte
 	binary.LittleEndian.PutUint64(mb[:], uint64(mask))
-	b.Write(mb[:])
-	for _, a := range f.attrOrder {
-		if v, ok := merged[a]; ok {
-			b.WriteByte(1)
-			b.WriteString(v)
+	b = append(b, mb[:]...)
+	for _, pos := range f.attrOrder {
+		if id := merged[pos]; id != unsetID {
+			var ib [4]byte
+			binary.LittleEndian.PutUint32(ib[:], id)
+			b = append(b, 1)
+			b = append(b, ib[:]...)
 		} else {
-			b.WriteByte(0)
+			b = append(b, 0)
 		}
-		b.WriteByte('\x1e')
 	}
-	return b.String()
+	f.keyBuf = b
+	return b
 }

@@ -5,23 +5,88 @@ import (
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
-func mkPiece(r *rules.Rule, reason, result []string, ids []int, w float64) *index.Piece {
-	return &index.Piece{Rule: r, Reason: reason, Result: result, TupleIDs: ids, Weight: w}
+// fx is a fuser test fixture: a schema and dictionary to build positional
+// versions and assignments against.
+type fx struct {
+	dict   *intern.Dict
+	schema *dataset.Schema
+}
+
+func newFx(attrs ...string) *fx {
+	return &fx{dict: intern.NewDict(), schema: dataset.MustSchema(attrs...)}
+}
+
+func (x *fx) piece(r *rules.Rule, reason, result []string, ids []int, w float64) *index.Piece {
+	p := index.NewPiece(r, x.dict, reason, result)
+	p.TupleIDs = ids
+	p.Weight = w
+	return p
+}
+
+func (x *fx) pos(r *rules.Rule) []int {
+	attrs := r.Attrs()
+	pos := make([]int, len(attrs))
+	for i, a := range attrs {
+		pos[i] = x.schema.MustIndex(a)
+	}
+	return pos
+}
+
+func (x *fx) version(bi int, r *rules.Rule, p *index.Piece) version {
+	return version{blockIdx: bi, rule: r, pos: x.pos(r), ids: p.ValueIDs(), kid: p.KeyID(), weight: p.Weight}
+}
+
+// assign builds a positional assignment from attr → value.
+func (x *fx) assign(m map[string]string) assignment {
+	a := newAssignment(x.schema.Len())
+	for attr, v := range m {
+		a[x.schema.MustIndex(attr)] = x.dict.Intern(v)
+	}
+	return a
+}
+
+// get decodes one assignment slot.
+func (x *fx) get(a assignment, attr string) string {
+	id := a[x.schema.MustIndex(attr)]
+	if id == unsetID {
+		return ""
+	}
+	return x.dict.Value(id)
+}
+
+func (x *fx) fuser(versions []version, cands []*blockCands, maxStates int) *fuser {
+	f := newFuser(versions, cands, maxStates, x.schema.Len())
+	f.dict = x.dict
+	f.schema = x.schema
+	f.domainSize = make([]int, x.schema.Len())
+	f.dirtyRow = make([]uint32, x.schema.Len())
+	for i := range f.dirtyRow {
+		f.dirtyRow[i] = unsetID
+	}
+	return f
+}
+
+// setDirty records the observed tuple for the minimality prior.
+func (x *fx) setDirty(f *fuser, m map[string]string) {
+	for attr, v := range m {
+		f.dirtyRow[x.schema.MustIndex(attr)] = x.dict.Intern(v)
+	}
 }
 
 // TestFuserFastPath: non-conflicting versions fuse to their union with the
 // product of weights, regardless of order.
 func TestFuserFastPath(t *testing.T) {
+	x := newFx("A", "B", "C", "D")
 	r1 := rules.MustParseStrings("FD: A -> B")[0]
 	r2 := rules.MustParseStrings("FD: C -> D")[0]
-	versions := []version{
-		{blockIdx: 0, rule: r1, attrs: []string{"A", "B"}, values: []string{"a", "b"}, weight: 0.5},
-		{blockIdx: 1, rule: r2, attrs: []string{"C", "D"}, values: []string{"c", "d"}, weight: 0.25},
-	}
-	f := newFuser(versions, []*blockCands{{}, {}}, 100)
+	p1 := x.piece(r1, []string{"a"}, []string{"b"}, []int{0}, 0.5)
+	p2 := x.piece(r2, []string{"c"}, []string{"d"}, []int{0}, 0.25)
+	versions := []version{x.version(0, r1, p1), x.version(1, r2, p2)}
+	f := x.fuser(versions, []*blockCands{{}, {}}, 100)
 	merged, score, conflicts := f.run()
 	if len(conflicts) != 0 {
 		t.Errorf("conflicts = %v", conflicts)
@@ -29,10 +94,9 @@ func TestFuserFastPath(t *testing.T) {
 	if score != 0.125 {
 		t.Errorf("score = %v, want 0.5×0.25", score)
 	}
-	want := assignment{"A": "a", "B": "b", "C": "c", "D": "d"}
-	for k, v := range want {
-		if merged[k] != v {
-			t.Errorf("merged[%s] = %q, want %q", k, merged[k], v)
+	for attr, want := range map[string]string{"A": "a", "B": "b", "C": "c", "D": "d"} {
+		if got := x.get(merged, attr); got != want {
+			t.Errorf("merged[%s] = %q, want %q", attr, got, want)
 		}
 	}
 }
@@ -41,48 +105,41 @@ func TestFuserFastPath(t *testing.T) {
 // versions conflict on a shared attribute; the winning fusion substitutes
 // the non-conflicting candidate from the conflicting block.
 func TestFuserConflictResolution(t *testing.T) {
+	x := newFx("CT", "ST", "HN", "PN")
 	rA := rules.MustParseStrings("FD: CT -> ST")[0]
 	rB := rules.MustParseStrings("CFD: HN=ELIZA, CT=BOAZ -> PN=999")[0]
 
 	// Block 0 candidates: the DOTHAN piece (the tuple's own) and a BOAZ
 	// piece available as replacement.
+	pDothan := x.piece(rA, []string{"DOTHAN"}, []string{"AL"}, []int{0, 1}, 0.9)
+	pBoaz := x.piece(rA, []string{"BOAZ"}, []string{"AL"}, []int{2, 3}, 0.8)
 	b0 := buildBlockCands(&FusionBlock{
-		Rule:  rA,
-		Attrs: rA.Attrs(),
-		Candidates: []*index.Piece{
-			mkPiece(rA, []string{"DOTHAN"}, []string{"AL"}, []int{0, 1}, 0.9),
-			mkPiece(rA, []string{"BOAZ"}, []string{"AL"}, []int{2, 3}, 0.8),
-		},
-	})
+		Rule: rA, Attrs: rA.Attrs(),
+		Candidates: []*index.Piece{pDothan, pBoaz},
+	}, x.pos(rA))
+	pEliza := x.piece(rB, []string{"ELIZA", "BOAZ"}, []string{"999"}, []int{2, 3}, 0.95)
 	b1 := buildBlockCands(&FusionBlock{
-		Rule:  rB,
-		Attrs: rB.Attrs(),
-		Candidates: []*index.Piece{
-			mkPiece(rB, []string{"ELIZA", "BOAZ"}, []string{"999"}, []int{2, 3}, 0.95),
-		},
-	})
-	versions := []version{
-		{blockIdx: 0, rule: rA, attrs: rA.Attrs(), values: []string{"DOTHAN", "AL"}, weight: 0.9},
-		{blockIdx: 1, rule: rB, attrs: rB.Attrs(), values: []string{"ELIZA", "BOAZ", "999"}, weight: 0.95},
-	}
-	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+		Rule: rB, Attrs: rB.Attrs(),
+		Candidates: []*index.Piece{pEliza},
+	}, x.pos(rB))
+	versions := []version{x.version(0, rA, pDothan), x.version(1, rB, pEliza)}
+	f := x.fuser(versions, []*blockCands{b0, b1}, 100)
 	// Dirty tuple: {CT: DOTHAN, ST: AL, HN: ELIZA, PN: 42}.
-	dirty := map[string]string{"CT": "DOTHAN", "ST": "AL", "HN": "ELIZA", "PN": "42"}
-	f.dirty = func(a string) string { return dirty[a] }
+	x.setDirty(f, map[string]string{"CT": "DOTHAN", "ST": "AL", "HN": "ELIZA", "PN": "42"})
 	f.penalty = 0.05 / 0.95
 	merged, _, conflicts := f.run()
 	if merged == nil {
 		t.Fatal("fusion failed")
 	}
-	if merged["CT"] != "BOAZ" {
-		t.Errorf("CT = %q, want BOAZ (replacement path)", merged["CT"])
+	if got := x.get(merged, "CT"); got != "BOAZ" {
+		t.Errorf("CT = %q, want BOAZ (replacement path)", got)
 	}
-	if merged["PN"] != "999" || merged["ST"] != "AL" {
+	if x.get(merged, "PN") != "999" || x.get(merged, "ST") != "AL" {
 		t.Errorf("merged = %v", merged)
 	}
 	found := false
-	for _, a := range conflicts {
-		if a == "CT" {
+	for _, p := range conflicts {
+		if x.schema.Attr(p) == "CT" {
 			found = true
 		}
 	}
@@ -94,19 +151,15 @@ func TestFuserConflictResolution(t *testing.T) {
 // TestFuserFailsWithoutReplacement: when a conflict has no compatible
 // candidate (and the rule is not a CFD), every order dies and fusion fails.
 func TestFuserFailsWithoutReplacement(t *testing.T) {
+	x := newFx("A", "B", "C")
 	rA := rules.MustParseStrings("FD: A -> B")[0]
 	rB := rules.MustParseStrings("FD: C -> B")[0]
-	b0 := buildBlockCands(&FusionBlock{Rule: rA, Attrs: rA.Attrs(), Candidates: []*index.Piece{
-		mkPiece(rA, []string{"a"}, []string{"b1"}, []int{0}, 0.9),
-	}})
-	b1 := buildBlockCands(&FusionBlock{Rule: rB, Attrs: rB.Attrs(), Candidates: []*index.Piece{
-		mkPiece(rB, []string{"c"}, []string{"b2"}, []int{0}, 0.9),
-	}})
-	versions := []version{
-		{blockIdx: 0, rule: rA, attrs: rA.Attrs(), values: []string{"a", "b1"}, weight: 0.9},
-		{blockIdx: 1, rule: rB, attrs: rB.Attrs(), values: []string{"c", "b2"}, weight: 0.9},
-	}
-	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+	pA := x.piece(rA, []string{"a"}, []string{"b1"}, []int{0}, 0.9)
+	pB := x.piece(rB, []string{"c"}, []string{"b2"}, []int{0}, 0.9)
+	b0 := buildBlockCands(&FusionBlock{Rule: rA, Attrs: rA.Attrs(), Candidates: []*index.Piece{pA}}, x.pos(rA))
+	b1 := buildBlockCands(&FusionBlock{Rule: rB, Attrs: rB.Attrs(), Candidates: []*index.Piece{pB}}, x.pos(rB))
+	versions := []version{x.version(0, rA, pA), x.version(1, rB, pB)}
+	f := x.fuser(versions, []*blockCands{b0, b1}, 100)
 	merged, score, _ := f.run()
 	if merged != nil || score != 0 {
 		t.Errorf("expected failed fusion, got %v (score %v)", merged, score)
@@ -116,55 +169,52 @@ func TestFuserFailsWithoutReplacement(t *testing.T) {
 // TestFuserCFDVacuousSkip: a CFD version whose pattern the fusion
 // contradicts is skipped instead of failing the order.
 func TestFuserCFDVacuousSkip(t *testing.T) {
+	x := newFx("Model", "Type", "Make", "Doors")
 	rFD := rules.MustParseStrings("FD: Model, Type -> Make")[0]
 	rCFD := rules.MustParseStrings("CFD: Make=acura, Type -> Doors")[0]
-	b0 := buildBlockCands(&FusionBlock{Rule: rFD, Attrs: rFD.Attrs(), Candidates: []*index.Piece{
-		mkPiece(rFD, []string{"MDX", "SUV"}, []string{"honda"}, []int{0}, 0.9),
-	}})
+	pFD := x.piece(rFD, []string{"MDX", "SUV"}, []string{"honda"}, []int{0}, 0.9)
+	pCFD := x.piece(rCFD, []string{"acura", "SUV"}, []string{"4"}, []int{0}, 0.95)
+	b0 := buildBlockCands(&FusionBlock{Rule: rFD, Attrs: rFD.Attrs(), Candidates: []*index.Piece{pFD}}, x.pos(rFD))
 	// The CFD block holds only acura pieces.
-	b1 := buildBlockCands(&FusionBlock{Rule: rCFD, Attrs: rCFD.Attrs(), Candidates: []*index.Piece{
-		mkPiece(rCFD, []string{"acura", "SUV"}, []string{"4"}, []int{0}, 0.95),
-	}})
-	versions := []version{
-		{blockIdx: 0, rule: rFD, attrs: rFD.Attrs(), values: []string{"MDX", "SUV", "honda"}, weight: 0.9},
-		{blockIdx: 1, rule: rCFD, attrs: rCFD.Attrs(), values: []string{"acura", "SUV", "4"}, weight: 0.95},
-	}
-	f := newFuser(versions, []*blockCands{b0, b1}, 100)
+	b1 := buildBlockCands(&FusionBlock{Rule: rCFD, Attrs: rCFD.Attrs(), Candidates: []*index.Piece{pCFD}}, x.pos(rCFD))
+	versions := []version{x.version(0, rFD, pFD), x.version(1, rCFD, pCFD)}
+	f := x.fuser(versions, []*blockCands{b0, b1}, 100)
 	merged, _, _ := f.run()
 	if merged == nil {
 		t.Fatal("fusion failed; CFD version should be vacuous-skippable")
 	}
-	if merged["Make"] != "honda" {
-		t.Errorf("Make = %q, want honda", merged["Make"])
+	if got := x.get(merged, "Make"); got != "honda" {
+		t.Errorf("Make = %q, want honda", got)
 	}
 }
 
-// TestBlockCandsFindUsesPostingLists: find must honour every pinned
-// attribute and skip the excluded candidate.
+// TestBlockCandsFind: find must honour every pinned attribute and skip the
+// excluded candidate.
 func TestBlockCandsFind(t *testing.T) {
+	x := newFx("A", "B")
 	r := rules.MustParseStrings("FD: A -> B")[0]
-	bc := buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{
-		mkPiece(r, []string{"x"}, []string{"1"}, []int{0}, 0.9),
-		mkPiece(r, []string{"x"}, []string{"2"}, []int{1}, 0.8),
-		mkPiece(r, []string{"y"}, []string{"3"}, []int{2}, 0.99),
-	}})
+	p1 := x.piece(r, []string{"x"}, []string{"1"}, []int{0}, 0.9)
+	p2 := x.piece(r, []string{"x"}, []string{"2"}, []int{1}, 0.8)
+	p3 := x.piece(r, []string{"y"}, []string{"3"}, []int{2}, 0.99)
+	bc := buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{p1, p2, p3}}, x.pos(r))
+	dec := func(c candEntry, i int) string { return x.dict.Value(c.ids[i]) }
 	// Pin A=x: the best x-candidate is {x,1}.
-	got, ok := bc.find(assignment{"A": "x"}, "")
-	if !ok || got.values[1] != "1" {
+	got, ok := bc.find(x.assign(map[string]string{"A": "x"}), unsetID)
+	if !ok || dec(got, 1) != "1" {
 		t.Fatalf("find = %v, %v", got, ok)
 	}
 	// Excluding {x,1} yields {x,2}.
-	got, ok = bc.find(assignment{"A": "x"}, dataset.JoinKey([]string{"x", "1"}))
-	if !ok || got.values[1] != "2" {
+	got, ok = bc.find(x.assign(map[string]string{"A": "x"}), p1.KeyID())
+	if !ok || dec(got, 1) != "2" {
 		t.Fatalf("find with exclusion = %v, %v", got, ok)
 	}
 	// Pinning both attrs to an absent combination fails.
-	if _, ok := bc.find(assignment{"A": "x", "B": "3"}, ""); ok {
+	if _, ok := bc.find(x.assign(map[string]string{"A": "x", "B": "3"}), unsetID); ok {
 		t.Error("impossible pin should fail")
 	}
 	// No pinned attrs: global best.
-	got, ok = bc.find(assignment{"Z": "?"}, "")
-	if !ok || got.values[0] != "y" {
+	got, ok = bc.find(x.assign(nil), unsetID)
+	if !ok || dec(got, 0) != "y" {
 		t.Fatalf("unpinned find = %v, %v", got, ok)
 	}
 }
@@ -172,16 +222,16 @@ func TestBlockCandsFind(t *testing.T) {
 // TestFuserStateCap: the permutation search respects MaxFusionStates and
 // still returns a (possibly suboptimal) fusion.
 func TestFuserStateCap(t *testing.T) {
+	x := newFx("A1", "A2", "A3", "A4", "Z")
 	var versions []version
 	var cands []*blockCands
 	rs := rules.MustParseStrings("FD: A1 -> Z", "FD: A2 -> Z", "FD: A3 -> Z", "FD: A4 -> Z")
 	for i, r := range rs {
-		vals := []string{"k", string(rune('a' + i))} // all conflict on Z
-		p := mkPiece(r, vals[:1], vals[1:], []int{0}, 0.9)
-		cands = append(cands, buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{p}}))
-		versions = append(versions, version{blockIdx: i, rule: r, attrs: r.Attrs(), values: vals, weight: 0.9})
+		p := x.piece(r, []string{"k"}, []string{string(rune('a' + i))}, []int{0}, 0.9) // all conflict on Z
+		cands = append(cands, buildBlockCands(&FusionBlock{Rule: r, Attrs: r.Attrs(), Candidates: []*index.Piece{p}}, x.pos(r)))
+		versions = append(versions, x.version(i, r, p))
 	}
-	f := newFuser(versions, cands, 2) // absurdly small cap
+	f := x.fuser(versions, cands, 2) // absurdly small cap
 	f.run()
 	if f.states > 2 {
 		t.Errorf("states = %d exceeded cap", f.states)

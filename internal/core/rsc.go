@@ -17,14 +17,16 @@ import (
 //
 // is declared clean and every other piece is rewritten to it, so each group
 // ends with exactly one piece. Ties break by higher weight, then higher
-// count, then ascending key. Returns the number of pieces rewritten.
-func rsc(blockIdx int, b *index.Block, metric distance.Metric, tr *Trace) int {
+// count, then ascending key. Pairwise distances run over interned value IDs
+// through the block's evaluator (memoized, symmetric). Returns the number
+// of pieces rewritten.
+func rsc(blockIdx int, b *index.Block, ev *distance.Evaluator, tr *Trace) int {
 	repairs := 0
 	for _, g := range b.Groups {
 		if len(g.Pieces) <= 1 {
 			continue // ideal state: one and only one γ (§5.1.2)
 		}
-		winner := rscWinner(g, metric)
+		winner := rscWinner(g, ev)
 		// Rewrite all losing pieces to the winner.
 		for _, p := range g.Pieces {
 			if p == winner {
@@ -49,20 +51,20 @@ func rsc(blockIdx int, b *index.Block, metric distance.Metric, tr *Trace) int {
 }
 
 // rscWinner computes reliability scores and returns the winning piece.
-func rscWinner(g *index.Group, metric distance.Metric) *index.Piece {
+func rscWinner(g *index.Group, ev *distance.Evaluator) *index.Piece {
 	n := len(g.Pieces)
-	// Pairwise raw distances.
+	// Pairwise raw distances over value IDs.
 	d := make([][]float64, n)
-	vals := make([][]string, n)
+	vals := make([][]uint32, n)
 	for i, p := range g.Pieces {
-		vals[i] = p.Values()
+		vals[i] = p.ValueIDs()
 	}
 	for i := range d {
 		d[i] = make([]float64, n)
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			dist := distance.Values(metric, vals[i], vals[j])
+			dist := ev.Values(vals[i], vals[j])
 			d[i][j] = dist
 			d[j][i] = dist
 		}

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
 )
 
@@ -18,13 +19,17 @@ import (
 // it is cancelled, returning the context's error.
 
 // StageAGP runs abnormal-group processing on every block of the index,
-// in parallel, accumulating abnormal-group counts into st.
+// in parallel, accumulating abnormal-group counts into st. Each block gets
+// its own interned-distance evaluator over the index's shared dictionary
+// (evaluators memoize and are not goroutine-safe; the dictionary is only
+// read during the stages).
 func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	type agpOut struct{ groups, pieces int }
 	outs := make([]agpOut, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
-		ab, abp := agp(bi, b, opts.Tau, opts.Metric, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
+		ab, abp := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
 		outs[bi] = agpOut{ab, abp}
 		return nil
 	})
@@ -66,7 +71,8 @@ func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 	opts = opts.withDefaults()
 	repairs := make([]int, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
-		repairs[bi] = rsc(bi, b, opts.Metric, opts.Trace)
+		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
+		repairs[bi] = rsc(bi, b, ev, opts.Trace)
 		return nil
 	})
 	if err != nil {

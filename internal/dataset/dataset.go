@@ -213,17 +213,24 @@ func (tb *Table) ValueCounts(attr string) map[string]int {
 	return counts
 }
 
-// Key joins the projection of t onto attrs with an unprintable separator,
-// usable as a map key. The separator (0x1f, ASCII unit separator) must not
-// occur inside values.
+// Key joins the projection of t onto attrs with an unprintable separator
+// (0x1f, ASCII unit separator).
+//
+// Display/eval only: a value containing the separator byte makes the join
+// ambiguous ({"a\x1fb"} and {"a","b"} collide), so joined keys must never
+// decide pipeline identity. The cleaning hot path keys pieces, groups, and
+// duplicates on interned ID sequences (internal/intern), which are immune;
+// joined keys survive only in traces, evaluation, and wire summaries, where
+// they are compared against other joins of the same shape.
 const keySep = "\x1f"
 
-// Key returns a composite map key for tuple t over attrs.
+// Key returns a composite display key for tuple t over attrs.
 func (tb *Table) Key(t *Tuple, attrs []string) string {
 	return strings.Join(tb.Project(t, attrs), keySep)
 }
 
-// JoinKey joins already-projected values into a composite key.
+// JoinKey joins already-projected values into a composite display key. See
+// Key for why this must not be used as a pipeline identity.
 func JoinKey(values []string) string { return strings.Join(values, keySep) }
 
 // SplitKey splits a composite key back into its values.

@@ -1,13 +1,20 @@
 package distance
 
-import "math"
+import (
+	"math"
+	"sync"
+	"unicode/utf8"
+)
+
+// maxEditBound is the "effectively unbounded" cap: large enough that no pair
+// of real strings reaches it, small enough that cap+1 never overflows.
+const maxEditBound = math.MaxInt32
 
 // intBound converts a float bound into an edit-distance cap, saturating at
 // a large finite value (float→int conversion of +Inf is undefined in Go).
 func intBound(f float64) int {
-	const maxBound = math.MaxInt32
-	if math.IsInf(f, 1) || f >= maxBound {
-		return maxBound
+	if math.IsInf(f, 1) || f >= maxEditBound {
+		return maxEditBound
 	}
 	if f < 0 {
 		return 0
@@ -15,11 +22,44 @@ func intBound(f float64) int {
 	return int(f)
 }
 
+// editScratch holds the reusable state of one edit-distance computation: the
+// two DP rows and the rune buffers non-ASCII inputs decode into.
+type editScratch struct {
+	rows   []int
+	ra, rb []rune
+}
+
+var editPool = sync.Pool{New: func() interface{} { return &editScratch{} }}
+
+func getScratch() *editScratch  { return editPool.Get().(*editScratch) }
+func putScratch(s *editScratch) { editPool.Put(s) }
+
+// grow returns a row buffer of length 2·(n+1) backed by the scratch.
+func (s *editScratch) grow(n int) []int {
+	need := 2 * (n + 1)
+	if cap(s.rows) < need {
+		s.rows = make([]int, need)
+	}
+	return s.rows[:need]
+}
+
+// isASCII reports whether s contains only single-byte runes.
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= utf8.RuneSelf {
+			return false
+		}
+	}
+	return true
+}
+
 // EditDistanceBounded computes the Levenshtein distance between a and b if
 // it is ≤ maxDist, and returns maxDist+1 otherwise. It prunes with the
 // length-difference lower bound and abandons a row once every entry exceeds
 // the bound, making nearest-neighbour scans (AGP's nearest-normal-group
-// search) cheap when the running best is small.
+// search) cheap when the running best is small. Like EditDistance it is
+// allocation-free in steady state: scratch rows are pooled and all-ASCII
+// inputs are compared byte-wise without rune decoding.
 func EditDistanceBounded(a, b string, maxDist int) int {
 	if maxDist < 0 {
 		return 0
@@ -27,21 +67,49 @@ func EditDistanceBounded(a, b string, maxDist int) int {
 	if a == b {
 		return 0
 	}
-	ra, rb := []rune(a), []rune(b)
+	if maxDist > maxEditBound {
+		maxDist = maxEditBound
+	}
+	s := getScratch()
+	d := editCore(a, b, maxDist, s)
+	putScratch(s)
+	return d
+}
+
+// editCore runs the bounded two-row DP using the scratch's buffers. maxDist
+// must be ≥ 0; the result is exact when ≤ maxDist and maxDist+1 otherwise.
+// Callers have already excluded a == b.
+func editCore(a, b string, maxDist int, s *editScratch) int {
+	if isASCII(a) && isASCII(b) {
+		return editBytes(a, b, maxDist, s)
+	}
+	s.ra = appendRunes(s.ra[:0], a)
+	s.rb = appendRunes(s.rb[:0], b)
+	d, rows := runesDP(s.ra, s.rb, maxDist, s.rows)
+	s.rows = rows
+	return d
+}
+
+// runesDP is the bounded two-row Levenshtein DP over rune slices, shared by
+// the string entry points and the interned Evaluator. rows is scratch space
+// (grown as needed and returned); the result is exact when ≤ maxDist and
+// maxDist+1 otherwise.
+func runesDP(ra, rb []rune, maxDist int, rows []int) (int, []int) {
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}
 	if len(ra)-len(rb) > maxDist {
-		return maxDist + 1
+		return maxDist + 1, rows
 	}
 	if len(rb) == 0 {
-		if len(ra) > maxDist {
-			return maxDist + 1
-		}
-		return len(ra)
+		return lenOrBound(len(ra), maxDist), rows
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	need := 2 * (len(rb) + 1)
+	if cap(rows) < need {
+		rows = make([]int, need)
+	}
+	rows = rows[:need]
+	prev, cur := rows[:len(rb)+1], rows[len(rb)+1:]
 	for j := range prev {
 		prev[j] = j
 	}
@@ -59,14 +127,65 @@ func EditDistanceBounded(a, b string, maxDist int) int {
 			}
 		}
 		if rowMin > maxDist {
+			return maxDist + 1, rows
+		}
+		prev, cur = cur, prev
+	}
+	return lenOrBound(prev[len(rb)], maxDist), rows
+}
+
+// editBytes is editCore's fast path for all-ASCII inputs: bytes are runes,
+// so the DP indexes the strings directly with no decode step.
+func editBytes(a, b string, maxDist int, s *editScratch) int {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(a)-len(b) > maxDist {
+		return maxDist + 1
+	}
+	if len(b) == 0 {
+		return lenOrBound(len(a), maxDist)
+	}
+	rows := s.grow(len(b))
+	prev, cur := rows[:len(b)+1], rows[len(b)+1:]
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		rowMin := cur[0]
+		ca := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ca == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if cur[j] < rowMin {
+				rowMin = cur[j]
+			}
+		}
+		if rowMin > maxDist {
 			return maxDist + 1
 		}
 		prev, cur = cur, prev
 	}
-	if prev[len(rb)] > maxDist {
+	return lenOrBound(prev[len(b)], maxDist)
+}
+
+func lenOrBound(d, maxDist int) int {
+	if d > maxDist {
 		return maxDist + 1
 	}
-	return prev[len(rb)]
+	return d
+}
+
+// appendRunes decodes s into dst without allocating when dst has capacity.
+func appendRunes(dst []rune, s string) []rune {
+	for _, r := range s {
+		dst = append(dst, r)
+	}
+	return dst
 }
 
 // ValuesBounded returns the attribute-wise summed distance between value

@@ -6,6 +6,7 @@ package distance
 
 import (
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -51,39 +52,17 @@ func (Levenshtein) Normalized(a, b string) float64 {
 }
 
 // EditDistance computes the Levenshtein edit distance between a and b over
-// runes, using the standard two-row dynamic program.
+// runes, using the standard two-row dynamic program. The DP rows and rune
+// buffers come from a scratch pool and all-ASCII inputs skip rune decoding
+// entirely, so steady-state calls allocate nothing.
 func EditDistance(a, b string) int {
 	if a == b {
 		return 0
 	}
-	ra, rb := []rune(a), []rune(b)
-	if len(ra) == 0 {
-		return len(rb)
-	}
-	if len(rb) == 0 {
-		return len(ra)
-	}
-	// Keep the shorter string in rb to minimize the row allocation.
-	if len(ra) < len(rb) {
-		ra, rb = rb, ra
-	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
-	for j := range prev {
-		prev[j] = j
-	}
-	for i := 1; i <= len(ra); i++ {
-		cur[0] = i
-		for j := 1; j <= len(rb); j++ {
-			cost := 1
-			if ra[i-1] == rb[j-1] {
-				cost = 0
-			}
-			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
-		}
-		prev, cur = cur, prev
-	}
-	return prev[len(rb)]
+	s := getScratch()
+	d := editCore(a, b, maxEditBound, s)
+	putScratch(s)
+	return d
 }
 
 func min3(a, b, c int) int {
@@ -147,10 +126,18 @@ func cosineDistance(a, b string) float64 {
 	for _, y := range vb {
 		nb += y * y
 	}
-	if na == 0 || nb == 0 {
+	return cosineFromParts(dot, na, nb)
+}
+
+// cosineFromParts finishes a cosine distance from the dot product and the
+// squared norms. Bigram counts are small integers, so all three inputs are
+// exactly representable and the result does not depend on summation order —
+// the map-based and sorted-vector paths agree bit for bit.
+func cosineFromParts(dot, na2, nb2 float64) float64 {
+	if na2 == 0 || nb2 == 0 {
 		return 1
 	}
-	sim := dot / (math.Sqrt(na) * math.Sqrt(nb))
+	sim := dot / (math.Sqrt(na2) * math.Sqrt(nb2))
 	if sim > 1 {
 		sim = 1 // guard FP drift
 	}
@@ -159,6 +146,41 @@ func cosineDistance(a, b string) float64 {
 		return 0
 	}
 	return d
+}
+
+// bigramVector builds the sorted character-bigram frequency vector of s and
+// its squared norm: the Evaluator's precomputed per-ID form of bigrams().
+// Each bigram packs its two runes into a uint64; single-rune strings get the
+// same NUL-sentinel gram the map form uses.
+func bigramVector(s string) ([]gram, float64) {
+	r := []rune(s)
+	if len(r) == 0 {
+		return nil, 0
+	}
+	var gs []gram
+	if len(r) == 1 {
+		gs = []gram{{g: uint64(r[0]), n: 1}}
+	} else {
+		gs = make([]gram, 0, len(r)-1)
+		for i := 0; i+1 < len(r); i++ {
+			gs = append(gs, gram{g: uint64(r[i])<<32 | uint64(r[i+1]), n: 1})
+		}
+		sort.Slice(gs, func(i, j int) bool { return gs[i].g < gs[j].g })
+		out := gs[:1]
+		for _, x := range gs[1:] {
+			if out[len(out)-1].g == x.g {
+				out[len(out)-1].n += x.n
+			} else {
+				out = append(out, x)
+			}
+		}
+		gs = out
+	}
+	var n2 float64
+	for _, x := range gs {
+		n2 += x.n * x.n
+	}
+	return gs, n2
 }
 
 // ByName returns the metric with the given name, defaulting to Levenshtein

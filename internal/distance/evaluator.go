@@ -1,0 +1,261 @@
+package distance
+
+import (
+	"mlnclean/internal/intern"
+)
+
+// Evaluator computes metric distances over interned value IDs: the
+// γ-to-γ distance of Def. 2 without ever re-materializing strings on the
+// hot path. It memoizes exact pair distances under a symmetric key (AGP's
+// O(abnormal×normal) scan and RSC's pairwise matrices revisit the same γ⋆
+// value pairs constantly) and precomputes per-ID derived data lazily: rune
+// buffers for Levenshtein (with an ASCII marker so pure-byte values never
+// decode at all) and sorted bigram frequency vectors for cosine.
+//
+// An Evaluator is NOT safe for concurrent use; the block-parallel stages
+// create one per block. The dictionary is only read.
+type Evaluator struct {
+	m    Metric
+	dict *intern.Dict
+	kind int
+	memo map[uint64]float64
+	info []idInfo
+	rows []int // DP scratch for Levenshtein
+}
+
+const (
+	kindLev = iota
+	kindCos
+	kindOther
+)
+
+// idInfo caches what a metric needs about one interned value.
+type idInfo struct {
+	prepared bool
+	ascii    bool
+	runeLen  int32
+	runes    []rune  // decoded form; for ASCII values only filled on demand
+	grams    []gram  // cosine: sorted bigram vector
+	norm2    float64 // cosine: squared vector norm (an exact integer)
+}
+
+// gram is one character bigram (two runes packed) with its count.
+type gram struct {
+	g uint64
+	n float64
+}
+
+// NewEvaluator creates an evaluator for the metric over the dictionary.
+func NewEvaluator(m Metric, dict *intern.Dict) *Evaluator {
+	e := &Evaluator{m: m, dict: dict, kind: kindOther, memo: make(map[uint64]float64)}
+	switch m.(type) {
+	case Levenshtein:
+		e.kind = kindLev
+	case Cosine:
+		e.kind = kindCos
+	}
+	return e
+}
+
+// Dict returns the dictionary the evaluator reads.
+func (e *Evaluator) Dict() *intern.Dict { return e.dict }
+
+func (e *Evaluator) prep(id uint32) *idInfo {
+	if int(id) >= len(e.info) {
+		// Grow geometrically to the touched ID, not to the dictionary size:
+		// a block evaluator only ever prepares the values its block holds.
+		n := 2 * len(e.info)
+		if n <= int(id) {
+			n = int(id) + 1
+		}
+		grown := make([]idInfo, n)
+		copy(grown, e.info)
+		e.info = grown
+	}
+	in := &e.info[id]
+	if in.prepared {
+		return in
+	}
+	in.prepared = true
+	s := e.dict.Value(id)
+	if isASCII(s) {
+		in.ascii = true
+		in.runeLen = int32(len(s))
+	} else {
+		in.runes = appendRunes(nil, s)
+		in.runeLen = int32(len(in.runes))
+	}
+	if e.kind == kindCos {
+		in.grams, in.norm2 = bigramVector(s)
+	}
+	return in
+}
+
+// RuneLen returns the rune count of the interned value.
+func (e *Evaluator) RuneLen(id uint32) int { return int(e.prep(id).runeLen) }
+
+func pairKey(a, b uint32) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// Pair returns the exact metric distance between two interned values,
+// memoized symmetrically.
+func (e *Evaluator) Pair(a, b uint32) float64 {
+	if a == b {
+		return 0
+	}
+	k := pairKey(a, b)
+	if d, ok := e.memo[k]; ok {
+		return d
+	}
+	d := e.compute(a, b, maxEditBound)
+	e.memo[k] = d
+	return d
+}
+
+// PairBounded returns the exact distance when it is ≤ bound, and some value
+// > bound otherwise (Levenshtein abandons the DP early; other metrics always
+// compute exactly). Only exact results are memoized.
+func (e *Evaluator) PairBounded(a, b uint32, bound float64) float64 {
+	if a == b {
+		return 0
+	}
+	k := pairKey(a, b)
+	if d, ok := e.memo[k]; ok {
+		return d
+	}
+	if e.kind != kindLev {
+		d := e.compute(a, b, 0)
+		e.memo[k] = d
+		return d
+	}
+	cap := intBound(bound)
+	d := e.compute(a, b, cap)
+	if d <= float64(cap) {
+		e.memo[k] = d
+	}
+	return d
+}
+
+// compute dispatches on the metric kind. For Levenshtein maxDist caps the
+// DP; other kinds ignore it.
+func (e *Evaluator) compute(a, b uint32, maxDist int) float64 {
+	switch e.kind {
+	case kindLev:
+		return float64(e.editDistance(a, b, maxDist))
+	case kindCos:
+		return e.cosine(a, b)
+	default:
+		return e.m.Distance(e.dict.Value(a), e.dict.Value(b))
+	}
+}
+
+// editDistance is the bounded Levenshtein DP over prepared per-ID forms,
+// reusing the evaluator's row scratch.
+func (e *Evaluator) editDistance(a, b uint32, maxDist int) int {
+	ia, ib := e.prep(a), e.prep(b)
+	if ia.ascii && ib.ascii {
+		s := editScratch{rows: e.rows}
+		d := editBytes(e.dict.Value(a), e.dict.Value(b), maxDist, &s)
+		e.rows = s.rows
+		return d
+	}
+	d, rows := runesDP(e.runesOf(a, ia), e.runesOf(b, ib), maxDist, e.rows)
+	e.rows = rows
+	return d
+}
+
+// runesOf returns the rune view of a prepared value. An ASCII value decodes
+// (and caches) its runes only when paired with a non-ASCII counterpart; the
+// ascii marker stays set, so later all-ASCII pairs keep the byte fast path.
+func (e *Evaluator) runesOf(id uint32, in *idInfo) []rune {
+	if in.runes == nil {
+		in.runes = appendRunes(nil, e.dict.Value(id))
+	}
+	return in.runes
+}
+
+// cosine computes 1 − cos over the prepared sorted bigram vectors. Counts
+// are small integers, so dot products and norms are exact and the result is
+// bit-identical to the map-based cosineDistance.
+func (e *Evaluator) cosine(a, b uint32) float64 {
+	ia, ib := e.prep(a), e.prep(b)
+	if len(ia.grams) == 0 || len(ib.grams) == 0 {
+		return 1
+	}
+	var dot float64
+	ga, gb := ia.grams, ib.grams
+	i, j := 0, 0
+	for i < len(ga) && j < len(gb) {
+		switch {
+		case ga[i].g == gb[j].g:
+			dot += ga[i].n * gb[j].n
+			i++
+			j++
+		case ga[i].g < gb[j].g:
+			i++
+		default:
+			j++
+		}
+	}
+	return cosineFromParts(dot, ia.norm2, ib.norm2)
+}
+
+// ValuesBounded is the γ-to-γ distance over ID slices: the attribute-wise
+// sum with early exit past bound, per-pair memoization, and (for
+// Levenshtein) per-pair bounded DP. Semantically identical to
+// ValuesBounded over the decoded strings.
+func (e *Evaluator) ValuesBounded(a, b []uint32, bound float64) float64 {
+	var sum float64
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		sum += e.PairBounded(a[i], b[i], bound-sum)
+		if sum > bound {
+			return sum
+		}
+	}
+	for i := n; i < len(a); i++ {
+		sum += e.distanceToEmpty(a[i])
+		if sum > bound {
+			return sum
+		}
+	}
+	for i := n; i < len(b); i++ {
+		sum += e.distanceToEmpty(b[i])
+		if sum > bound {
+			return sum
+		}
+	}
+	return sum
+}
+
+// Values is ValuesBounded without a bound: the exact γ-to-γ distance.
+func (e *Evaluator) Values(a, b []uint32) float64 {
+	return e.ValuesBounded(a, b, maxEditBound)
+}
+
+// distanceToEmpty mirrors m.Distance(v, "") for the built-in metrics
+// without materializing the empty-string pair.
+func (e *Evaluator) distanceToEmpty(id uint32) float64 {
+	s := e.dict.Value(id)
+	switch e.kind {
+	case kindLev:
+		if s == "" {
+			return 0
+		}
+		return float64(e.RuneLen(id))
+	case kindCos:
+		if s == "" {
+			return 0
+		}
+		return 1
+	default:
+		return e.m.Distance(s, "")
+	}
+}

@@ -1,0 +1,201 @@
+package distance
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlnclean/internal/intern"
+)
+
+// randomValues generates a mixed ASCII/UTF-8 value pool.
+func randomValues(rng *rand.Rand, n int) []string {
+	pool := []string{
+		"", "a", "birmingham", "BIRMINGHAM", "b'ham", "münchen", "東京都",
+		"нижний новгород", "saint-étienne", "x\x1fy", "2567688400",
+	}
+	out := make([]string, 0, n)
+	out = append(out, pool...)
+	letters := []rune("abcdefgßüé東λ москва0123456789")
+	for len(out) < n {
+		l := rng.Intn(12)
+		r := make([]rune, l)
+		for i := range r {
+			r[i] = letters[rng.Intn(len(letters))]
+		}
+		out = append(out, string(r))
+	}
+	return out
+}
+
+// TestEvaluatorMatchesMetric asserts the interned evaluator agrees exactly
+// with the string Metric implementations — bit for bit, including bounded
+// early exits staying on the correct side of the bound.
+func TestEvaluatorMatchesMetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := randomValues(rng, 60)
+	for _, m := range []Metric{Levenshtein{}, Cosine{}} {
+		t.Run(m.Name(), func(t *testing.T) {
+			dict := intern.NewDict()
+			ids := make([]uint32, len(vals))
+			for i, v := range vals {
+				ids[i] = dict.Intern(v)
+			}
+			e := NewEvaluator(m, dict)
+			for i := range vals {
+				for j := range vals {
+					want := m.Distance(vals[i], vals[j])
+					if got := e.Pair(ids[i], ids[j]); got != want {
+						t.Fatalf("Pair(%q,%q) = %v, want %v", vals[i], vals[j], got, want)
+					}
+					// Memoized second call.
+					if got := e.Pair(ids[j], ids[i]); got != want {
+						t.Fatalf("memoized Pair(%q,%q) asymmetric", vals[j], vals[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorValuesBounded cross-checks the slice distance (with bounds)
+// against the string implementation on random γ pairs of varying width.
+func TestEvaluatorValuesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := randomValues(rng, 40)
+	for _, m := range []Metric{Levenshtein{}, Cosine{}} {
+		t.Run(m.Name(), func(t *testing.T) {
+			dict := intern.NewDict()
+			ids := make([]uint32, len(vals))
+			for i, v := range vals {
+				ids[i] = dict.Intern(v)
+			}
+			e := NewEvaluator(m, dict)
+			for trial := 0; trial < 400; trial++ {
+				na, nb := rng.Intn(4)+1, rng.Intn(4)+1
+				a := make([]string, na)
+				ai := make([]uint32, na)
+				for i := range a {
+					k := rng.Intn(len(vals))
+					a[i], ai[i] = vals[k], ids[k]
+				}
+				b := make([]string, nb)
+				bi := make([]uint32, nb)
+				for i := range b {
+					k := rng.Intn(len(vals))
+					b[i], bi[i] = vals[k], ids[k]
+				}
+				exact := Values(m, a, b)
+				if got := e.Values(ai, bi); got != exact {
+					t.Fatalf("Values(%v,%v) = %v, want %v", a, b, got, exact)
+				}
+				bound := float64(rng.Intn(10))
+				got := e.ValuesBounded(ai, bi, bound)
+				if exact <= bound {
+					if got != exact {
+						t.Fatalf("ValuesBounded(%v,%v,%v) = %v, want exact %v", a, b, bound, got, exact)
+					}
+				} else if got <= bound {
+					t.Fatalf("ValuesBounded(%v,%v,%v) = %v ≤ bound but exact is %v", a, b, bound, got, exact)
+				}
+			}
+		})
+	}
+}
+
+func TestEvaluatorRuneLen(t *testing.T) {
+	dict := intern.NewDict()
+	e := NewEvaluator(Levenshtein{}, dict)
+	for _, tc := range []struct {
+		s string
+		n int
+	}{{"", 0}, {"abc", 3}, {"東京都", 3}, {"münchen", 7}} {
+		if got := e.RuneLen(dict.Intern(tc.s)); got != tc.n {
+			t.Errorf("RuneLen(%q) = %d, want %d", tc.s, got, tc.n)
+		}
+	}
+}
+
+// TestEvaluatorLateInterning: IDs interned after the evaluator was created
+// (the distributed gather interns wire pieces lazily) must still resolve.
+func TestEvaluatorLateInterning(t *testing.T) {
+	dict := intern.NewDict()
+	e := NewEvaluator(Levenshtein{}, dict)
+	a := dict.Intern("alpha")
+	if d := e.Pair(a, a); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+	b := dict.Intern("alphq")
+	if d := e.Pair(a, b); d != 1 {
+		t.Fatalf("late-interned pair distance = %v, want 1", d)
+	}
+}
+
+// TestBoundedAllocFree asserts the pooled scratch keeps the public
+// edit-distance entry points allocation-free in steady state.
+func TestBoundedAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	a, b := "saint-étienne hospital", "saint-etienne hospitals"
+	// Warm the pool.
+	EditDistance(a, b)
+	EditDistanceBounded(a, b, 3)
+	allocs := testing.AllocsPerRun(200, func() {
+		EditDistance(a, b)
+		EditDistanceBounded(a, b, 3)
+		EditDistanceBounded("BIRMINGHAM", "BIRMINGHAN", 2)
+	})
+	if allocs > 0 {
+		t.Errorf("edit distance allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkEvaluatorValuesBounded(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	vals := randomValues(rng, 64)
+	dict := intern.NewDict()
+	ids := make([]uint32, len(vals))
+	for i, v := range vals {
+		ids[i] = dict.Intern(v)
+	}
+	for _, m := range []Metric{Levenshtein{}, Cosine{}} {
+		b.Run(m.Name(), func(b *testing.B) {
+			e := NewEvaluator(m, dict)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := i % (len(ids) - 3)
+				e.ValuesBounded(ids[k:k+3], ids[k+1:k+4], 6)
+			}
+		})
+	}
+}
+
+func FuzzEditDistanceBoundedConsistent(f *testing.F) {
+	f.Add("abc", "abd", 5)
+	f.Add("", "xyz", 1)
+	f.Add("münchen", "munchen", 2)
+	f.Fuzz(func(t *testing.T, a, b string, bound int) {
+		if bound < 0 || bound > 64 || len(a) > 64 || len(b) > 64 {
+			t.Skip()
+		}
+		exact := EditDistance(a, b)
+		got := EditDistanceBounded(a, b, bound)
+		if exact <= bound {
+			if got != exact {
+				t.Fatalf("EditDistanceBounded(%q,%q,%d) = %d, want %d", a, b, bound, got, exact)
+			}
+		} else if got != bound+1 {
+			t.Fatalf("EditDistanceBounded(%q,%q,%d) = %d, want %d", a, b, bound, got, bound+1)
+		}
+	})
+}
+
+func ExampleEvaluator() {
+	dict := intern.NewDict()
+	x := dict.Intern("BOAZ")
+	y := dict.Intern("BOAS")
+	e := NewEvaluator(Levenshtein{}, dict)
+	fmt.Println(e.Pair(x, y))
+	// Output: 1
+}

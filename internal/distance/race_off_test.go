@@ -1,0 +1,7 @@
+//go:build !race
+
+package distance
+
+// raceEnabled reports whether the race detector is active; alloc-count
+// assertions are skipped under it (instrumentation allocates).
+const raceEnabled = false

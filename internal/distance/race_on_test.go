@@ -1,0 +1,5 @@
+//go:build race
+
+package distance
+
+const raceEnabled = true

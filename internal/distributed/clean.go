@@ -10,6 +10,7 @@ import (
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
@@ -37,6 +38,15 @@ type Options struct {
 	// serving model cache's fast path. Pieces absent from the vector keep
 	// their Eq. 4 prior weights.
 	PresetWeights []index.PieceSummary
+	// Dict is the coordinator-side value dictionary: streamed tuples are
+	// interned into it at Submit, the streaming partitioner computes
+	// centroid distances over it, and the gather FSCR interns the workers'
+	// wire pieces into it. Nil means a fresh per-run dictionary; the serving
+	// layer passes a per-session dictionary derived from the model cache's
+	// frozen vocabulary so repeat workloads skip re-interning. Workers keep
+	// their own dictionaries (built locally from their partitions) — the
+	// wire stays strings either way.
+	Dict *intern.Dict
 }
 
 // Result is the distributed cleaning output.
@@ -221,28 +231,11 @@ func fusionBlocks(ix *index.Index) []*core.FusionBlock {
 }
 
 // Dedup removes exact-duplicate tuples, keeping the lowest-ID
-// representative; exported for the gather step and tests.
+// representative; exported for the gather step and tests. It is the
+// stand-alone pipeline's duplicate elimination (interned, collision-free
+// row identity).
 func Dedup(tb *dataset.Table) (*dataset.Table, [][]int) {
-	out := dataset.NewTable(tb.Schema)
-	firstSeen := make(map[string]bool)
-	members := make(map[string][]int)
-	var order []string
-	for _, t := range tb.Tuples {
-		k := dataset.JoinKey(t.Values)
-		if !firstSeen[k] {
-			firstSeen[k] = true
-			order = append(order, k)
-			out.Tuples = append(out.Tuples, t.Clone())
-		}
-		members[k] = append(members[k], t.ID)
-	}
-	var dups [][]int
-	for _, k := range order {
-		if ids := members[k]; len(ids) > 1 {
-			dups = append(dups, ids)
-		}
-	}
-	return out, dups
+	return core.Dedup(tb)
 }
 
 // defaultMetric returns the metric used when none is configured

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -13,6 +14,7 @@ import (
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
@@ -44,8 +46,15 @@ type Executor struct {
 	// gather accumulates every submitted tuple (re-IDed sequentially); the
 	// global FSCR fuses from these original dirty values. Partitions are
 	// never materialized coordinator-side — batches ship as they arrive.
+	// gatherIDs is the dictionary-encoded companion (one ID row per gather
+	// tuple): the streaming partitioner computes centroid distances over
+	// interned IDs with memoization, and the gather FSCR reuses the same
+	// dictionary for the wire pieces.
 	gather    *dataset.Table
-	centroids [][]string
+	gatherIDs [][]uint32
+	dict      *intern.Dict
+	ev        *distance.Evaluator
+	centroids [][]uint32
 	loads     []int
 	shipped   int // gather tuples already assigned and shipped
 
@@ -96,6 +105,10 @@ func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, 
 	if factory == nil {
 		factory = NewChanTransport
 	}
+	dict := opts.Dict
+	if dict == nil {
+		dict = intern.NewDict()
+	}
 	ex := &Executor{
 		ctx:       ctx,
 		schema:    schema,
@@ -106,6 +119,8 @@ func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, 
 		metric:    metric,
 		rng:       rand.New(rand.NewSource(opts.Seed)),
 		gather:    dataset.NewTable(schema),
+		dict:      dict,
+		ev:        distance.NewEvaluator(metric, dict),
 		loads:     make([]int, k),
 		stop:      make(chan struct{}),
 		createdAt: time.Now(),
@@ -199,8 +214,13 @@ func (ex *Executor) Submit(batch *dataset.Table) error {
 	}
 	for _, t := range batch.Tuples {
 		vals := make([]string, len(t.Values))
-		copy(vals, t.Values)
+		ids := make([]uint32, len(t.Values))
+		for i, v := range t.Values {
+			vals[i] = v
+			ids[i] = ex.dict.Intern(v)
+		}
 		ex.gather.Tuples = append(ex.gather.Tuples, &dataset.Tuple{ID: len(ex.gather.Tuples), Values: vals})
+		ex.gatherIDs = append(ex.gatherIDs, ids)
 	}
 	if ex.centroids == nil && ex.gather.Len() < ex.k {
 		return nil // keep buffering until k centroid candidates exist
@@ -223,9 +243,9 @@ func (ex *Executor) assignAndShip() error {
 			kk = n
 		}
 		perm := ex.rng.Perm(n)
-		ex.centroids = make([][]string, ex.k)
+		ex.centroids = make([][]uint32, ex.k)
 		for i := 0; i < kk; i++ {
-			ex.centroids[i] = ex.gather.Tuples[perm[i]].Values
+			ex.centroids[i] = ex.gatherIDs[perm[i]]
 		}
 		for i := kk; i < ex.k; i++ {
 			ex.centroids[i] = ex.centroids[0] // degenerate: fewer tuples than workers
@@ -235,12 +255,13 @@ func (ex *Executor) assignAndShip() error {
 	for w := range batches {
 		batches[w].Worker = w
 	}
+	dists := make([]float64, ex.k)
 	for ; ex.shipped < ex.gather.Len(); ex.shipped++ {
 		t := ex.gather.Tuples[ex.shipped]
+		row := ex.gatherIDs[ex.shipped]
 		t0 := time.Now()
-		dists := make([]float64, ex.k)
 		for w := 0; w < ex.k; w++ {
-			dists[w] = distance.Values(ex.metric, t.Values, ex.centroids[w])
+			dists[w] = ex.ev.Values(row, ex.centroids[w])
 		}
 		ex.distTime += time.Since(t0)
 		t0 = time.Now()
@@ -442,9 +463,12 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	// compounding double-fusions through. The per-part FSCR outputs remain
 	// what each worker would ship alone (and what WorkerTimes measures).
 	t0 = time.Now()
-	blocks := unionWireBlocks(frs, ex.rs)
+	blocks := unionWireBlocks(frs, ex.rs, ex.dict)
 	var gatherStats core.Stats
-	repaired := core.RunFSCR(dirty, blocks, ex.opts.Core, &gatherStats)
+	// The gather rows were interned at Submit; hand them to FSCR instead of
+	// re-encoding the whole accumulated dataset on the finish path.
+	enc := &dataset.Encoded{Dict: ex.dict, Rows: ex.gatherIDs}
+	repaired := core.RunFSCREncoded(dirty, enc, blocks, ex.opts.Core, &gatherStats)
 	res.Repaired = repaired
 	res.Stats.FSCRCellChanges += gatherStats.FSCRCellChanges
 	if ex.opts.Core.KeepDuplicates {
@@ -565,7 +589,7 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			// The local FSCR output is what this worker would ship alone; the
 			// coordinator re-derives the final table globally, so the local
 			// pass contributes its (timed) cost, as on the real cluster.
-			core.RunFSCR(tb, fusionBlocks(ix), opts, &stats)
+			core.RunFSCREncoded(tb, ix.Encoded(), fusionBlocks(ix), opts, &stats)
 			tr.ToCoordinator(FusionResult{
 				Worker:    w,
 				PartSize:  tb.Len(),
@@ -580,7 +604,7 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 
 // reducePieceWeights is the coordinator half of Eq. 6: fold every worker's
 // piece summaries (in worker order, for deterministic float accumulation)
-// into support-weighted mean weights, emitted sorted by (rule, key).
+// into support-weighted mean weights, emitted sorted by (rule, identity).
 func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
 	// A single worker's summaries are already the merged vector; returning
 	// them verbatim keeps k=1 bit-identical to the stand-alone pipeline
@@ -590,16 +614,17 @@ func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
 	}
 	type agg struct {
 		ruleID, key string
+		values      []string
 		sumNW, sumN float64
 	}
 	byKey := make(map[string]*agg)
 	var order []string
 	for _, sums := range perWorker {
 		for _, s := range sums {
-			k := s.RuleID + "\x1e" + s.Key
+			k := summaryAggKey(&s)
 			a := byKey[k]
 			if a == nil {
-				a = &agg{ruleID: s.RuleID, key: s.Key}
+				a = &agg{ruleID: s.RuleID, key: s.Key, values: s.IdentityValues()}
 				byKey[k] = a
 				order = append(order, k)
 			}
@@ -618,6 +643,7 @@ func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
 		out = append(out, index.PieceSummary{
 			RuleID: a.ruleID,
 			Key:    a.key,
+			Values: a.values,
 			Count:  int(a.sumN),
 			Weight: a.sumNW / a.sumN,
 		})
@@ -625,17 +651,41 @@ func reducePieceWeights(perWorker [][]index.PieceSummary) []index.PieceSummary {
 	return out
 }
 
+// summaryAggKey renders a summary's (rule, values) identity as a
+// collision-free string key: the rule ID and each value are
+// length-prefixed, so no component containing separator or digit bytes can
+// alias a differently-split identity the way a plain join would.
+func summaryAggKey(s *index.PieceSummary) string {
+	var b strings.Builder
+	vals := s.IdentityValues()
+	n := len(s.RuleID) + 8
+	for _, v := range vals {
+		n += len(v) + 8
+	}
+	b.Grow(n)
+	fmt.Fprintf(&b, "%d:", len(s.RuleID))
+	b.WriteString(s.RuleID)
+	for _, v := range vals {
+		fmt.Fprintf(&b, "\x00%d:", len(v))
+		b.WriteString(v)
+	}
+	return b.String()
+}
+
 // unionWireBlocks builds global FSCR inputs from every worker's shipped
 // blocks: per rule, the tuple→piece assignments of all workers plus the
-// union of their candidate pieces (deduplicated by value, keeping the
-// merged weight). Workers are folded in index order so candidate order is
+// union of their candidate pieces (deduplicated by interned identity,
+// keeping the merged weight). Wire pieces arrive as strings (the transports
+// are untouched by the dictionary encoding); the coordinator interns them
+// locally into dict, the same dictionary the gather FSCR encodes the dirty
+// rows into. Workers are folded in index order so candidate order is
 // deterministic regardless of message arrival order.
-func unionWireBlocks(frs []FusionResult, rs []*rules.Rule) []*core.FusionBlock {
+func unionWireBlocks(frs []FusionResult, rs []*rules.Rule, dict *intern.Dict) []*core.FusionBlock {
 	blocks := make([]*core.FusionBlock, len(rs))
-	seen := make([]map[string]bool, len(rs))
+	seen := make([]map[uint32]struct{}, len(rs))
 	for ri, r := range rs {
 		blocks[ri] = &core.FusionBlock{Rule: r, Attrs: r.Attrs(), Versions: make(map[int]*index.Piece)}
-		seen[ri] = make(map[string]bool)
+		seen[ri] = make(map[uint32]struct{})
 	}
 	for _, fr := range frs {
 		for bi := range fr.Blocks {
@@ -644,15 +694,11 @@ func unionWireBlocks(frs []FusionResult, rs []*rules.Rule) []*core.FusionBlock {
 			}
 			fb := blocks[bi]
 			for _, wp := range fr.Blocks[bi].Pieces {
-				p := &index.Piece{
-					Rule:     rs[bi],
-					Reason:   wp.Reason,
-					Result:   wp.Result,
-					TupleIDs: wp.TupleIDs,
-					Weight:   wp.Weight,
-				}
-				if k := p.Key(); !seen[bi][k] {
-					seen[bi][k] = true
+				p := index.NewPiece(rs[bi], dict, wp.Reason, wp.Result)
+				p.TupleIDs = wp.TupleIDs
+				p.Weight = wp.Weight
+				if _, dup := seen[bi][p.KeyID()]; !dup {
+					seen[bi][p.KeyID()] = struct{}{}
 					fb.Candidates = append(fb.Candidates, p)
 				}
 				for _, id := range wp.TupleIDs {

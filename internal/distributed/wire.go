@@ -254,8 +254,8 @@ func blocksToWire(ix *index.Index) []WireFusionBlock {
 		for _, g := range b.Groups {
 			for _, p := range g.Pieces {
 				out[bi].Pieces = append(out[bi].Pieces, WirePiece{
-					Reason:   append([]string(nil), p.Reason...),
-					Result:   append([]string(nil), p.Result...),
+					Reason:   p.Reason(),
+					Result:   p.Result(),
 					TupleIDs: append([]int(nil), p.TupleIDs...),
 					Weight:   p.Weight,
 				})

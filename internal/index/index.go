@@ -3,6 +3,12 @@
 // group per distinct reason-part value combination in the second layer. The
 // atoms stored in groups are pieces of data (γ): the projection of a tuple
 // onto the rule's attributes, deduplicated with support counts.
+//
+// Identity is dictionary-encoded end to end: every cell value is interned to
+// a dense uint32 ID (internal/intern) when the index is built, and pieces
+// and groups are keyed on hash-consed ID-sequence keys — fixed-width map
+// probes instead of joined strings, immune to separator collisions. String
+// forms survive as accessors for display, traces, evaluation, and the wire.
 package index
 
 import (
@@ -10,37 +16,101 @@ import (
 	"sort"
 
 	"mlnclean/internal/dataset"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
 // Piece is a γ: one distinct combination of a rule's reason+result values,
-// together with the IDs of the tuples exhibiting it within its block.
+// together with the IDs of the tuples exhibiting it within its block. Its
+// values are stored as interned IDs; Reason/Result/Values decode on demand.
 type Piece struct {
-	Rule   *rules.Rule
-	Reason []string
-	Result []string
+	Rule *rules.Rule
 	// TupleIDs lists the supporting tuples, ascending.
 	TupleIDs []int
 	// Weight is the learned MLN weight (set during stage-I cleaning).
 	Weight float64
+
+	dict    *intern.Dict
+	ids     []uint32 // reason then result value IDs
+	nReason int
+	kid     uint32 // sequence key of ids (minted at construction)
+	gkid    uint32 // sequence key of the reason prefix
 }
 
-// Values returns reason followed by result values.
-func (p *Piece) Values() []string {
-	out := make([]string, 0, len(p.Reason)+len(p.Result))
-	out = append(out, p.Reason...)
-	return append(out, p.Result...)
+// NewPiece interns the given reason/result values into dict and returns the
+// piece. The wire gather path and tests construct pieces this way; Build
+// mints them directly from encoded rows.
+func NewPiece(r *rules.Rule, dict *intern.Dict, reason, result []string) *Piece {
+	ids := make([]uint32, 0, len(reason)+len(result))
+	for _, v := range reason {
+		ids = append(ids, dict.Intern(v))
+	}
+	for _, v := range result {
+		ids = append(ids, dict.Intern(v))
+	}
+	return newPieceIDs(r, dict, ids, len(reason))
+}
+
+// newPieceIDs claims ownership of ids (reason prefix of length nReason) and
+// mints the piece's sequence keys. Key minting mutates the dictionary, so
+// pieces are only created in serial phases (Build, the wire gather).
+func newPieceIDs(r *rules.Rule, dict *intern.Dict, ids []uint32, nReason int) *Piece {
+	gkid := dict.Seq(ids[:nReason])
+	return &Piece{
+		Rule:    r,
+		dict:    dict,
+		ids:     ids,
+		nReason: nReason,
+		gkid:    gkid,
+		kid:     dict.Extend(gkid, ids[nReason:]),
+	}
+}
+
+// Dict returns the dictionary the piece's IDs live in.
+func (p *Piece) Dict() *intern.Dict { return p.dict }
+
+// ValueIDs returns the piece's interned value IDs, reason first. Callers
+// must not mutate the slice.
+func (p *Piece) ValueIDs() []uint32 { return p.ids }
+
+// ReasonIDs returns the interned IDs of the reason part.
+func (p *Piece) ReasonIDs() []uint32 { return p.ids[:p.nReason] }
+
+// Reason returns the decoded reason values.
+func (p *Piece) Reason() []string { return p.decode(p.ids[:p.nReason]) }
+
+// Result returns the decoded result values.
+func (p *Piece) Result() []string { return p.decode(p.ids[p.nReason:]) }
+
+// Values returns reason followed by result values, decoded.
+func (p *Piece) Values() []string { return p.decode(p.ids) }
+
+func (p *Piece) decode(ids []uint32) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = p.dict.Value(id)
+	}
+	return out
 }
 
 // Count returns the number of supporting tuples, i.e. c(γ) of Eq. 4.
 func (p *Piece) Count() int { return len(p.TupleIDs) }
 
-// Key identifies the piece by its full value combination.
+// KeyID is the piece's fixed-width identity: the hash-consed key of its
+// full value-ID sequence. Two pieces of the same dictionary are
+// value-identical iff their KeyIDs are equal.
+func (p *Piece) KeyID() uint32 { return p.kid }
+
+// GroupKeyID is the fixed-width identity of the piece's native group (its
+// reason-ID sequence).
+func (p *Piece) GroupKeyID() uint32 { return p.gkid }
+
+// Key renders the piece's identity as a joined display string (traces, wire
+// summaries, tie-breaking). Not collision-free — see dataset.JoinKey.
 func (p *Piece) Key() string { return dataset.JoinKey(p.Values()) }
 
-// GroupKey identifies the group the piece natively belongs to (its reason
-// values).
-func (p *Piece) GroupKey() string { return dataset.JoinKey(p.Reason) }
+// GroupKey renders the native group key as a display string.
+func (p *Piece) GroupKey() string { return dataset.JoinKey(p.Reason()) }
 
 // String renders the piece in the paper's {Attr: value, …} style.
 func (p *Piece) String() string {
@@ -59,9 +129,16 @@ func (p *Piece) String() string {
 // Group is the second index layer: the pieces sharing one reason-part key.
 // After AGP merging a group may also hold pieces whose native key differs.
 type Group struct {
+	// Key is the display form of the reason key (traces, eval, tests);
+	// group identity on the hot path is the fixed-width id.
 	Key    string
 	Pieces []*Piece
+
+	id uint32
 }
+
+// KeyID is the group's fixed-width reason-sequence identity.
+func (g *Group) KeyID() uint32 { return g.id }
 
 // TupleCount sums the supporting tuples of all pieces.
 func (g *Group) TupleCount() int {
@@ -86,24 +163,35 @@ func (g *Group) Star() *Piece {
 }
 
 // Block is the first index layer: all pieces of one rule, partitioned into
-// groups by reason key.
+// groups by reason key. Group membership maps are Build-local; post-build
+// group operations (AGP merging) touch few groups and resolve by identity.
 type Block struct {
 	Rule   *rules.Rule
 	Groups []*Group
-	byKey  map[string]*Group
 }
 
-// Group returns the group with the given key, or nil.
-func (b *Block) Group(key string) *Group { return b.byKey[key] }
-
-// RemoveGroup deletes the group with the given key (used by AGP merging).
-func (b *Block) RemoveGroup(key string) {
-	if _, ok := b.byKey[key]; !ok {
-		return
-	}
-	delete(b.byKey, key)
-	for i, g := range b.Groups {
+// Group returns the group with the given display key, or nil. Display
+// convenience (tests, examples); the hot path resolves groups by KeyID.
+func (b *Block) Group(key string) *Group {
+	for _, g := range b.Groups {
 		if g.Key == key {
+			return g
+		}
+	}
+	return nil
+}
+
+// RemoveGroup deletes the group with the given display key (first match).
+func (b *Block) RemoveGroup(key string) {
+	if g := b.Group(key); g != nil {
+		b.removeGroup(g)
+	}
+}
+
+// removeGroup deletes the group by identity.
+func (b *Block) removeGroup(g *Group) {
+	for i, h := range b.Groups {
+		if h == g {
 			b.Groups = append(b.Groups[:i], b.Groups[i+1:]...)
 			return
 		}
@@ -111,13 +199,13 @@ func (b *Block) RemoveGroup(key string) {
 }
 
 // MergeGroups folds group src into group dst, concatenating piece lists
-// (piece identities never collide across distinct reason keys) and removing
+// (piece identities are compared by their fixed-width keys) and removing
 // src from the block.
 func (b *Block) MergeGroups(src, dst *Group) {
 	for _, p := range src.Pieces {
 		merged := false
 		for _, q := range dst.Pieces {
-			if q.Key() == p.Key() {
+			if q.kid == p.kid {
 				q.TupleIDs = append(q.TupleIDs, p.TupleIDs...)
 				sort.Ints(q.TupleIDs)
 				merged = true
@@ -128,7 +216,7 @@ func (b *Block) MergeGroups(src, dst *Group) {
 			dst.Pieces = append(dst.Pieces, p)
 		}
 	}
-	b.RemoveGroup(src.Key)
+	b.removeGroup(src)
 }
 
 // Pieces returns all pieces of the block in deterministic order (group
@@ -160,41 +248,128 @@ func (b *Block) TupleGroup(id int) *Group {
 type Index struct {
 	Blocks []*Block
 	table  *dataset.Table
+	enc    *dataset.Encoded
 }
 
 // Table returns the dirty table the index was built over.
 func (ix *Index) Table() *dataset.Table { return ix.table }
 
+// Dict returns the value dictionary the index is encoded against.
+func (ix *Index) Dict() *intern.Dict { return ix.enc.Dict }
+
+// Encoded returns the dictionary-encoded rows of the indexed table,
+// row-aligned with Table().Tuples.
+func (ix *Index) Encoded() *dataset.Encoded { return ix.enc }
+
+// rulePlan precompiles one rule against the schema and dictionary: attribute
+// positions and (for CFDs) the interned constants of its reason patterns.
+type rulePlan struct {
+	reasonPos []int
+	resultPos []int
+	cfd       bool
+	hasConst  bool
+	constPos  []int
+	constIDs  []uint32
+}
+
+func planRule(r *rules.Rule, schema *dataset.Schema, dict *intern.Dict) rulePlan {
+	pl := rulePlan{cfd: r.Kind == rules.CFD}
+	for _, p := range r.Reason {
+		pos := schema.MustIndex(p.Attr)
+		pl.reasonPos = append(pl.reasonPos, pos)
+		if pl.cfd && p.Const != "" {
+			pl.hasConst = true
+			// A constant absent from the dictionary matches no tuple of this
+			// table; the pattern is simply omitted from the match list.
+			if id, ok := dict.Lookup(p.Const); ok {
+				pl.constPos = append(pl.constPos, pos)
+				pl.constIDs = append(pl.constIDs, id)
+			}
+		}
+	}
+	for _, p := range r.Result {
+		pl.resultPos = append(pl.resultPos, schema.MustIndex(p.Attr))
+	}
+	return pl
+}
+
+// appliesTo mirrors rules.Rule.AppliesTo over an encoded row.
+func (pl *rulePlan) appliesTo(row []uint32) bool {
+	if !pl.cfd || !pl.hasConst {
+		return true
+	}
+	for i, pos := range pl.constPos {
+		if row[pos] == pl.constIDs[i] {
+			return true
+		}
+	}
+	return false
+}
+
 // Build constructs the MLN index over the table for the rule set: one block
 // per rule (O(|B|·|T|), §4), one group per distinct reason key, one piece
-// per distinct reason+result combination.
+// per distinct reason+result combination. The table is dictionary-encoded
+// into a fresh dictionary first; use BuildWithDict to share one.
 func Build(tb *dataset.Table, rs []*rules.Rule) (*Index, error) {
+	return BuildWithDict(tb, rs, nil)
+}
+
+// BuildWithDict is Build over a caller-supplied dictionary (nil for a fresh
+// one): long-lived holders (a serving session, the distributed gather) pass
+// their own so values interned at ingest are shared across phases. The
+// per-tuple scan hashes fixed-width sequence keys only — no joined strings,
+// no per-tuple allocations beyond the deduplicated pieces themselves.
+func BuildWithDict(tb *dataset.Table, rs []*rules.Rule, dict *intern.Dict) (*Index, error) {
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("index: no rules")
 	}
-	ix := &Index{table: tb}
 	for _, r := range rs {
 		if err := r.Validate(tb.Schema); err != nil {
 			return nil, err
 		}
-		b := &Block{Rule: r, byKey: make(map[string]*Group)}
-		pieceByKey := make(map[string]*Piece)
-		for _, t := range tb.Tuples {
-			if !r.AppliesTo(tb, t) {
+	}
+	enc := dataset.Encode(tb, dict)
+	d := enc.Dict
+	ix := &Index{table: tb, enc: enc}
+	for _, r := range rs {
+		pl := planRule(r, tb.Schema, d)
+		b := &Block{Rule: r}
+		groupByID := make(map[uint32]*Group)
+		// Pieces are probed on (reason fold, result fold): for the common
+		// single-reason/single-result rule shape that is one map access per
+		// tuple with zero sequence-node minting; the dictionary-global
+		// sequence keys are minted only when a piece is first seen.
+		pieceByKey := make(map[[2]uint32]*Piece, len(tb.Tuples)/4+8)
+		nReason := len(pl.reasonPos)
+		width := nReason + len(pl.resultPos)
+		for ti, t := range tb.Tuples {
+			row := enc.Rows[ti]
+			if !pl.appliesTo(row) {
 				continue
 			}
-			reason := tb.Project(t, r.ReasonAttrs())
-			result := tb.Project(t, r.ResultAttrs())
-			pk := dataset.JoinKey(append(append([]string{}, reason...), result...))
-			p, ok := pieceByKey[pk]
+			gk := row[pl.reasonPos[0]]
+			for _, pos := range pl.reasonPos[1:] {
+				gk = d.Fold(gk, row[pos])
+			}
+			rk := row[pl.resultPos[0]]
+			for _, pos := range pl.resultPos[1:] {
+				rk = d.Fold(rk, row[pos])
+			}
+			p, ok := pieceByKey[[2]uint32{gk, rk}]
 			if !ok {
-				p = &Piece{Rule: r, Reason: reason, Result: result}
-				pieceByKey[pk] = p
-				gk := dataset.JoinKey(reason)
-				g, ok := b.byKey[gk]
+				ids := make([]uint32, 0, width)
+				for _, pos := range pl.reasonPos {
+					ids = append(ids, row[pos])
+				}
+				for _, pos := range pl.resultPos {
+					ids = append(ids, row[pos])
+				}
+				p = &Piece{Rule: r, dict: d, ids: ids, nReason: nReason, gkid: gk, kid: d.Extend(gk, ids[nReason:])}
+				pieceByKey[[2]uint32{gk, rk}] = p
+				g, ok := groupByID[gk]
 				if !ok {
-					g = &Group{Key: gk}
-					b.byKey[gk] = g
+					g = &Group{Key: dataset.JoinKey(p.Reason()), id: gk}
+					groupByID[gk] = g
 					b.Groups = append(b.Groups, g)
 				}
 				g.Pieces = append(g.Pieces, p)
@@ -224,13 +399,16 @@ func (ix *Index) Assignments() []map[int]*Group {
 }
 
 // PieceSummary is the serializable weight-exchange record of one piece: its
-// identity (rule + full value key), local support count, and locally learned
-// weight. The distributed Eq. 6 weight merge reduces over these summaries
-// instead of touching worker index state directly, so the exchange can cross
-// a process boundary.
+// identity (rule + exact values, plus the joined display key), local support
+// count, and locally learned weight. The distributed Eq. 6 weight merge
+// reduces over these summaries instead of touching worker index state
+// directly, so the exchange can cross a process boundary.
 type PieceSummary struct {
 	RuleID string
+	// Key is the joined display form of Values (kept for logs and older
+	// cached vectors); Values is the authoritative identity.
 	Key    string
+	Values []string
 	Count  int
 	Weight float64
 }
@@ -242,9 +420,11 @@ func (ix *Index) PieceSummaries() []PieceSummary {
 	for _, b := range ix.Blocks {
 		for _, g := range b.Groups {
 			for _, p := range g.Pieces {
+				vals := p.Values()
 				out = append(out, PieceSummary{
 					RuleID: b.Rule.ID,
-					Key:    p.Key(),
+					Key:    dataset.JoinKey(vals),
+					Values: vals,
 					Count:  p.Count(),
 					Weight: p.Weight,
 				})
@@ -254,35 +434,79 @@ func (ix *Index) PieceSummaries() []PieceSummary {
 	return out
 }
 
-// CopySummaries returns an independent copy of a summary vector. Holders of
-// long-lived weight vectors (the serving model cache, Result.MergedWeights)
-// copy on hand-off so later mutation by one party cannot corrupt another's
-// view.
+// CopySummaries returns an independent copy of a summary vector, including
+// each summary's Values slice. Holders of long-lived weight vectors (the
+// serving model cache, Result.MergedWeights) copy on hand-off so later
+// mutation by one party cannot corrupt another's view.
 func CopySummaries(ws []PieceSummary) []PieceSummary {
 	if ws == nil {
 		return nil
 	}
 	out := make([]PieceSummary, len(ws))
 	copy(out, ws)
+	for i := range out {
+		if out[i].Values != nil {
+			out[i].Values = append([]string(nil), out[i].Values...)
+		}
+	}
 	return out
 }
 
+// IdentityValues returns the summary's identity values, reconstructing them
+// from the joined key for vectors produced before Values existed.
+func (s *PieceSummary) IdentityValues() []string {
+	if s.Values != nil {
+		return s.Values
+	}
+	return dataset.SplitKey(s.Key)
+}
+
 // ApplyPieceWeights overwrites the weight of every piece matching a summary's
-// (rule, key) identity; pieces without a matching summary keep their local
+// (rule, values) identity; pieces without a matching summary keep their local
 // weight. Counts are ignored — this is the write-back half of the Eq. 6
-// exchange.
+// exchange. Matching resolves summary values through the index's dictionary
+// (lookup only): a summary naming values this index never saw cannot match
+// any piece and is skipped without growing the dictionary.
 func (ix *Index) ApplyPieceWeights(ws []PieceSummary) {
 	if len(ws) == 0 {
 		return
 	}
-	merged := make(map[string]float64, len(ws))
-	for _, s := range ws {
-		merged[s.RuleID+"\x1e"+s.Key] = s.Weight
+	type identity struct {
+		rule string
+		kid  uint32
+	}
+	d := ix.Dict()
+	merged := make(map[identity]float64, len(ws))
+	var ids []uint32
+	for i := range ws {
+		s := &ws[i]
+		vals := s.IdentityValues()
+		ids = ids[:0]
+		ok := true
+		for _, v := range vals {
+			id, found := d.Lookup(v)
+			if !found {
+				ok = false
+				break
+			}
+			ids = append(ids, id)
+		}
+		if !ok {
+			continue
+		}
+		kid, found := d.LookupSeq(ids)
+		if !found {
+			continue
+		}
+		merged[identity{s.RuleID, kid}] = s.Weight
+	}
+	if len(merged) == 0 {
+		return
 	}
 	for _, b := range ix.Blocks {
 		for _, g := range b.Groups {
 			for _, p := range g.Pieces {
-				if w, ok := merged[b.Rule.ID+"\x1e"+p.Key()]; ok {
+				if w, ok := merged[identity{b.Rule.ID, p.kid}]; ok {
 					p.Weight = w
 				}
 			}

@@ -67,7 +67,7 @@ func TestPieceAccessors(t *testing.T) {
 		t.Fatalf("BOAZ pieces = %d, want 2 (AL and AK)", len(g.Pieces))
 	}
 	star := g.Star()
-	if star.Result[0] != "AL" {
+	if star.Result()[0] != "AL" {
 		t.Errorf("γ⋆ should be the 2-tuple AL piece, got %v", star.Values())
 	}
 	if star.Count() != 2 {
@@ -128,7 +128,7 @@ func TestIndexPartitionProperty(t *testing.T) {
 		total := 0
 		for _, g := range ix.Blocks[0].Groups {
 			for _, p := range g.Pieces {
-				if dataset.JoinKey(p.Reason) != g.Key {
+				if p.GroupKey() != g.Key {
 					return false
 				}
 				total += len(p.TupleIDs)
@@ -181,9 +181,9 @@ func TestMergeGroupsCombinesIdenticalPieces(t *testing.T) {
 	ix2, _ := Build(tb2, rs)
 	b2 := ix2.Blocks[0]
 	g := b2.Groups[0]
-	clone := &Group{Key: "other", Pieces: []*Piece{{
-		Rule: rs[0], Reason: []string{"x"}, Result: []string{"1"}, TupleIDs: []int{9},
-	}}}
+	dup := NewPiece(rs[0], ix2.Dict(), []string{"x"}, []string{"1"})
+	dup.TupleIDs = []int{9}
+	clone := &Group{Key: "other", Pieces: []*Piece{dup}}
 	b2.Groups = append(b2.Groups, clone)
 	b2.MergeGroups(clone, g)
 	if len(g.Pieces) != 1 || g.Pieces[0].Count() != 2 {

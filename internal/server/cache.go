@@ -9,10 +9,12 @@ package server
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 	"mlnclean/internal/rules"
 )
 
@@ -29,6 +31,7 @@ type Model struct {
 
 	mu      sync.Mutex
 	weights map[string][]index.PieceSummary // options fingerprint → vector
+	vocab   *intern.Frozen                  // frozen value vocabulary (lazy)
 }
 
 // Weights returns a copy of the cached Eq. 6 weight vector for the given
@@ -40,7 +43,9 @@ func (m *Model) Weights(fp string) []index.PieceSummary {
 }
 
 // setWeights stores a learned weight vector (first writer per fingerprint
-// wins; later runs relearn only if the slot was empty when they began).
+// wins; later runs relearn only if the slot was empty when they began). A
+// stored vector extends the model's value vocabulary, so the cached frozen
+// snapshot is invalidated for lazy rebuild.
 func (m *Model) setWeights(fp string, ws []index.PieceSummary) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -54,6 +59,49 @@ func (m *Model) setWeights(fp string, ws []index.PieceSummary) {
 		return // bound per-model memory; rare configs just relearn
 	}
 	m.weights[fp] = index.CopySummaries(ws)
+	m.vocab = nil
+}
+
+// Vocabulary returns the model's frozen value dictionary base: the rule
+// constants plus every value named by a cached weight vector — the recurring
+// vocabulary of the workloads this model serves. Each session derives its
+// own dictionary from the base (intern.NewDictWithBase), so repeat workloads
+// intern their dataset's common values once per model instead of once per
+// session. Built lazily and re-frozen after new weight vectors land; safe
+// for concurrent use.
+func (m *Model) Vocabulary() *intern.Frozen {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vocab == nil {
+		d := intern.NewDict()
+		for _, r := range m.Rules {
+			for _, p := range r.Reason {
+				if p.Const != "" {
+					d.Intern(p.Const)
+				}
+			}
+			for _, p := range r.Result {
+				if p.Const != "" {
+					d.Intern(p.Const)
+				}
+			}
+		}
+		fps := make([]string, 0, len(m.weights))
+		for fp := range m.weights {
+			fps = append(fps, fp)
+		}
+		sort.Strings(fps) // deterministic ID assignment
+		for _, fp := range fps {
+			ws := m.weights[fp]
+			for i := range ws {
+				for _, v := range ws[i].IdentityValues() {
+					d.Intern(v)
+				}
+			}
+		}
+		m.vocab = d.Freeze()
+	}
+	return m.vocab
 }
 
 // maxWeightVariants bounds the cached weight vectors per model; beyond it,

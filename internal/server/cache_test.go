@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 )
 
 func TestModelCacheInterning(t *testing.T) {
@@ -122,5 +123,44 @@ func TestModelCacheBounded(t *testing.T) {
 	}
 	if again == first {
 		t.Error("evicted model resurrected by pointer; expected a fresh intern")
+	}
+}
+
+// TestModelVocabulary: the frozen vocabulary carries the rule constants and
+// grows (with stable base IDs) once a weight vector is cached; sessions
+// derive dictionaries that resolve those values without local interning.
+func TestModelVocabulary(t *testing.T) {
+	c := NewModelCache()
+	m, _, err := c.Intern("CFD: HN=ELIZA, CT -> PN")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := m.Vocabulary()
+	d1 := intern.NewDictWithBase(v1)
+	id, ok := d1.Lookup("ELIZA")
+	if !ok {
+		t.Fatal("rule constant missing from vocabulary")
+	}
+	if v1 != m.Vocabulary() {
+		t.Error("vocabulary not cached between calls")
+	}
+
+	c.StoreWeights(m, "fp", []index.PieceSummary{
+		{RuleID: "r1", Key: "ELIZA\x1fBOAZ\x1f123", Values: []string{"ELIZA", "BOAZ", "123"}, Count: 2, Weight: 0.9},
+	})
+	v2 := m.Vocabulary()
+	if v2 == v1 {
+		t.Error("vocabulary not rebuilt after StoreWeights")
+	}
+	d2 := intern.NewDictWithBase(v2)
+	id2, ok := d2.Lookup("ELIZA")
+	if !ok || id2 != id {
+		t.Errorf("base IDs unstable across rebuild: %d vs %d", id2, id)
+	}
+	if _, ok := d2.Lookup("BOAZ"); !ok {
+		t.Error("weight-vector value missing from rebuilt vocabulary")
+	}
+	if _, ok := d2.Lookup("unrelated"); ok {
+		t.Error("vocabulary contains values never named")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"mlnclean/internal/distance"
 	"mlnclean/internal/distributed"
 	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
 )
 
 // SessionState is a session's lifecycle position.
@@ -320,6 +321,11 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 		Transport:     factory,
 		BatchSize:     req.BatchSize,
 		PresetWeights: preset,
+		// Per-session dictionary over the model's frozen vocabulary: the
+		// coordinator interns streamed tuples into it (partitioning + gather
+		// FSCR); values already named by the model's rules or cached weight
+		// vectors resolve to base IDs without per-session re-interning.
+		Dict: intern.NewDictWithBase(model.Vocabulary()),
 		Core: core.Options{
 			Tau:            req.Tau,
 			Metric:         metricFor(req.Metric),
