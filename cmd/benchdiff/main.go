@@ -1,14 +1,22 @@
-// Command benchdiff compares two benchrunner -json documents and warns when
-// an experiment's elapsed time regressed beyond a threshold. CI runs it
-// against the committed BENCH_PR4.json baseline on every push:
+// Command benchdiff compares two benchrunner -json documents and flags
+// experiments whose elapsed time regressed beyond a threshold. CI runs it
+// against the committed BENCH_PR4.json baseline:
 //
-//	benchdiff -baseline BENCH_PR4.json -current BENCH_new.json
+//	benchdiff -baseline BENCH_PR4.json -current BENCH_new.json [-fail-over 0.30]
 //
-// Output is one line per experiment; regressions beyond -threshold print as
-// GitHub Actions ::warning:: annotations. The exit status is 0 unless -fail
-// is set and a regression was found — wall-clock on shared CI runners is
-// noisy, so the default is advisory, matching the committed baseline's role
-// as a trajectory record rather than a gate.
+// Output is one line per experiment; regressions beyond the threshold print
+// as GitHub Actions ::warning:: annotations. Two modes:
+//
+//   - advisory (default, and what CI uses on pushes): always exit 0 —
+//     wall-clock on shared runners is noisy, and the committed baseline is a
+//     trajectory record, not a contract.
+//   - gating (-fail-over R, what CI uses on pull requests): set the
+//     threshold to R and exit non-zero when any experiment regressed beyond
+//     it, failing the PR's bench-smoke job. -fail-over 0 disables the gate
+//     (the CI override knob — see the README's CI section).
+//
+// The legacy -fail/-threshold pair still works; -fail-over is the
+// one-flag spelling CI wires up.
 package main
 
 import (
@@ -51,8 +59,13 @@ func main() {
 		threshold = flag.Float64("threshold", 0.30, "relative slowdown that triggers a warning")
 		minMS     = flag.Int64("min-ms", 50, "ignore experiments faster than this in the baseline (noise)")
 		fail      = flag.Bool("fail", false, "exit 1 when a regression is found")
+		failOver  = flag.Float64("fail-over", 0, "gate mode: exit 1 when any experiment regressed beyond this ratio (0 disables the gate)")
 	)
 	flag.Parse()
+	if *failOver > 0 {
+		*threshold = *failOver
+		*fail = true
+	}
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
@@ -108,6 +121,7 @@ func main() {
 	}
 	fmt.Printf("benchdiff: %d/%d experiments regressed beyond %.0f%%\n", regressions, len(names), *threshold*100)
 	if *fail && regressions > 0 {
+		fmt.Printf("::error::benchdiff gate: %d experiment(s) regressed beyond %.0f%%\n", regressions, *threshold*100)
 		os.Exit(1)
 	}
 }

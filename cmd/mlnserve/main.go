@@ -7,6 +7,15 @@
 // Usage:
 //
 //	mlnserve [-addr :7700] [-max-sessions 16] [-idle-timeout 10m] [-workers 2]
+//	         [-heartbeat 1s] [-worker-timeout 10s]
+//
+// -addr :0 binds an OS-chosen free port; the daemon always prints the
+// resolved listen address on startup, so scripted runs (CI smokes, local
+// walkthroughs) never collide with an already-taken port. -heartbeat and
+// -worker-timeout tune session executors' failure detection: a session
+// survives a worker death — the lost partition is re-dispatched and the
+// run completes with the same output, surfacing a workers_lost counter in
+// its poll status.
 //
 // Walkthrough (see the README's Serving section for the full curl script):
 //
@@ -24,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,26 +45,30 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":7700", "listen address")
-		maxSessions = flag.Int("max-sessions", 16, "concurrent session cap (backpressure past it)")
-		idleTimeout = flag.Duration("idle-timeout", 10*time.Minute, "evict sessions idle this long")
-		workers     = flag.Int("workers", 2, "default executor workers per session")
+		addr          = flag.String("addr", ":7700", "listen address (:0 picks a free port; the resolved address is printed)")
+		maxSessions   = flag.Int("max-sessions", 16, "concurrent session cap (backpressure past it)")
+		idleTimeout   = flag.Duration("idle-timeout", 10*time.Minute, "evict sessions idle this long")
+		workers       = flag.Int("workers", 2, "default executor workers per session")
+		heartbeat     = flag.Duration("heartbeat", 0, "executor worker heartbeat interval (0 = default 1s, negative disables)")
+		workerTimeout = flag.Duration("worker-timeout", 0, "declare an executor worker dead after this much silence (0 = default 10s, negative disables recovery)")
 	)
 	flag.Parse()
-	if err := run(*addr, *maxSessions, *idleTimeout, *workers); err != nil {
+	cfg := server.ManagerConfig{
+		MaxSessions:       *maxSessions,
+		IdleTimeout:       *idleTimeout,
+		DefaultWorkers:    *workers,
+		HeartbeatInterval: *heartbeat,
+		WorkerTimeout:     *workerTimeout,
+	}
+	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlnserve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, maxSessions int, idleTimeout time.Duration, workers int) error {
-	srv := server.New(server.ManagerConfig{
-		MaxSessions:    maxSessions,
-		IdleTimeout:    idleTimeout,
-		DefaultWorkers: workers,
-	})
+func run(addr string, cfg server.ManagerConfig) error {
+	srv := server.New(cfg)
 	httpSrv := &http.Server{
-		Addr:    addr,
 		Handler: srv,
 		// Slow-client protection; no overall ReadTimeout because tuple
 		// batches may legitimately stream for a while.
@@ -62,14 +76,22 @@ func run(addr string, maxSessions int, idleTimeout time.Duration, workers int) e
 		IdleTimeout:       60 * time.Second,
 	}
 
+	// Bind before serving so -addr :0 works and the printed address is the
+	// real one, not the flag text.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		srv.Shutdown()
+		return err
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(os.Stderr, "mlnserve: listening on %s (max %d sessions, %v idle timeout)\n",
-			addr, maxSessions, idleTimeout)
-		errc <- httpSrv.ListenAndServe()
+		fmt.Printf("mlnserve: listening on %s (max %d sessions, %v idle timeout)\n",
+			ln.Addr(), cfg.MaxSessions, cfg.IdleTimeout)
+		errc <- httpSrv.Serve(ln)
 	}()
 
 	select {
@@ -82,7 +104,7 @@ func run(addr string, maxSessions int, idleTimeout time.Duration, workers int) e
 	fmt.Fprintln(os.Stderr, "mlnserve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	err := httpSrv.Shutdown(shutdownCtx)
+	err = httpSrv.Shutdown(shutdownCtx)
 	srv.Shutdown()
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -8,9 +8,13 @@
 //
 //	mlnworker -coordinator http://10.0.0.5:7701 [-n 2] [-loop]
 //
-// With -loop the process reattaches after each run, serving a coordinator
-// that is recreated per cleaning request (e.g. a serving session configured
-// for remote workers).
+// With -loop the process reattaches after each run with exponential backoff
+// (reset after a successful run), serving a coordinator that is recreated
+// per cleaning request — or one that opens recovery slots mid-run after a
+// peer worker died. A looping mlnworker is therefore also the spare in the
+// fault-tolerance story: it keeps retrying /claim through conflicts until a
+// slot (fresh run or recovery re-dispatch) appears, and the coordinator
+// replays the partition's full Init/TupleBatch/StartStageI history onto it.
 package main
 
 import (
@@ -20,17 +24,27 @@ import (
 	"os"
 	"os/signal"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"mlnclean/internal/distributed"
 )
 
+const (
+	backoffMin = 250 * time.Millisecond
+	backoffMax = 5 * time.Second
+	// maxOneShotFails bounds attach retries without -loop (~30s of backoff):
+	// enough to ride out a coordinator that is still starting or a recovery
+	// slot that has not opened yet, finite so misconfiguration surfaces.
+	maxOneShotFails = 8
+)
+
 func main() {
 	var (
 		coordinator = flag.String("coordinator", "", "coordinator base URL, e.g. http://host:7701 (required)")
 		n           = flag.Int("n", 1, "worker slots to claim and serve")
-		loop        = flag.Bool("loop", false, "reattach after each completed run")
+		loop        = flag.Bool("loop", false, "reattach after each completed run (with backoff)")
 	)
 	flag.Parse()
 	if *coordinator == "" {
@@ -42,30 +56,56 @@ func main() {
 	defer stop()
 
 	var wg sync.WaitGroup
+	var failed atomic.Bool
 	for i := 0; i < *n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			backoff := backoffMin
+			fails := 0
 			for {
 				err := distributed.ServeHTTPWorker(ctx, *coordinator)
 				if ctx.Err() != nil {
 					return
 				}
-				if err != nil {
-					fmt.Fprintf(os.Stderr, "mlnworker[%d]: %v\n", i, err)
+				if err == nil {
+					// A served run completed; the coordinator is healthy.
+					if !*loop {
+						return
+					}
+					backoff, fails = backoffMin, 0
+				} else {
+					// A failed attach (missing coordinator, slots all
+					// claimed) retries with exponential backoff even
+					// without -loop: the run we were asked to serve may not
+					// have started yet, or our slot may appear later as a
+					// recovery re-dispatch. A one-shot worker still gives
+					// up eventually so a typoed URL fails the invocation
+					// instead of spinning forever.
+					fails++
+					if !*loop && fails > maxOneShotFails {
+						fmt.Fprintf(os.Stderr, "mlnworker[%d]: giving up after %d failed attaches: %v\n", i, fails, err)
+						failed.Store(true)
+						return
+					}
+					fmt.Fprintf(os.Stderr, "mlnworker[%d]: %v (retrying in %v)\n", i, err, backoff)
 				}
-				if !*loop {
-					return
-				}
-				// Back off briefly between attach attempts so a missing
-				// coordinator doesn't spin the CPU.
 				select {
-				case <-time.After(500 * time.Millisecond):
+				case <-time.After(backoff):
 				case <-ctx.Done():
 					return
+				}
+				if err != nil {
+					backoff *= 2
+					if backoff > backoffMax {
+						backoff = backoffMax
+					}
 				}
 			}
 		}(i)
 	}
 	wg.Wait()
+	if failed.Load() {
+		os.Exit(1)
+	}
 }

@@ -4,10 +4,14 @@
 // session over the same rules demonstrates the model cache: the learned
 // Eq. 6 weights are preset and weight learning is skipped.
 //
-// Against a real daemon the same requests work verbatim:
+// Against a real daemon the same requests work verbatim — set BASE:
 //
-//	go run ./cmd/mlnserve -addr :7700
-//	BASE=http://localhost:7700 (this program prints each call it makes)
+//	go run ./cmd/mlnserve -addr :0     # prints the resolved address
+//	BASE=http://localhost:7700 go run ./examples/serve
+//
+// Without BASE the walkthrough starts its own handler on an OS-chosen
+// loopback port and prints the address, so reruns (and the CI smoke) never
+// fail on an already-taken port.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"time"
 
 	"mlnclean/internal/datagen"
@@ -25,13 +30,19 @@ import (
 )
 
 func main() {
-	// A real deployment runs `mlnserve`; here the handler serves loopback.
-	srv := server.New(server.ManagerConfig{DefaultWorkers: 2})
-	defer srv.Shutdown()
-	ts := httptest.NewServer(srv)
-	defer ts.Close()
-	base := ts.URL
-	fmt.Printf("mlnserve handler listening at %s\n\n", base)
+	base := os.Getenv("BASE")
+	if base == "" {
+		// A real deployment runs `mlnserve`; here the handler serves
+		// loopback on port 0.
+		srv := server.New(server.ManagerConfig{DefaultWorkers: 2})
+		defer srv.Shutdown()
+		ts := httptest.NewServer(srv)
+		defer ts.Close()
+		base = ts.URL
+		fmt.Printf("mlnserve handler listening at %s\n\n", base)
+	} else {
+		fmt.Printf("using external mlnserve at %s\n\n", base)
+	}
 
 	// The hospital workload: generate, corrupt, and describe the rules in
 	// the wire syntax.

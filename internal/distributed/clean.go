@@ -47,6 +47,31 @@ type Options struct {
 	// their own dictionaries (built locally from their partitions) — the
 	// wire stays strings either way.
 	Dict *intern.Dict
+	// HeartbeatInterval is how often each worker beacons liveness to the
+	// coordinator (default 1s). Negative disables heartbeats — and with it
+	// failure detection, unless WorkerTimeout is explicitly set positive
+	// (a busy worker sends nothing upward mid-stage, so a silence-only
+	// detector is only sound when the timeout exceeds the longest stage).
+	HeartbeatInterval time.Duration
+	// WorkerTimeout is how long the coordinator tolerates silence from a
+	// pending partition's worker while gathering before declaring it dead
+	// and re-dispatching the partition onto a fresh worker slot (default
+	// 10s; negative disables failure detection and recovery). With
+	// remotely attaching workers the clock for a partition starts at its
+	// worker's first sign of life, so a run still blocks — as before —
+	// for a fleet that has not attached yet. Note sends stay bounded by
+	// SendTimeout independently: to restore the old block-forever
+	// behavior completely, set both negative.
+	WorkerTimeout time.Duration
+	// SendTimeout bounds every coordinator→worker send; it only trips when
+	// a peer stops draining its inbox entirely (default 1m; negative
+	// disables the bound). With detection enabled a tripped send is
+	// treated as the worker's death and recovered like any other.
+	SendTimeout time.Duration
+	// MaxRecoveries caps re-dispatches per run so a systematically failing
+	// cluster converges on an error instead of recovering forever (default
+	// 4 + 2·Workers).
+	MaxRecoveries int
 }
 
 // Result is the distributed cleaning output.
@@ -75,6 +100,11 @@ type Result struct {
 	WallTime time.Duration
 	// Workers is the worker count the run used.
 	Workers int
+	// WorkersLost counts workers the run declared dead and recovered from:
+	// each one's partition was re-leased to a fresh worker slot and its
+	// stage-I/II work re-run, without changing the output (learning stats
+	// and timings may differ — a stage-II recovery skips re-learning).
+	WorkersLost int
 	// MergedWeights is the Eq. 6 weight vector the run broadcast: the reduce
 	// result, or Options.PresetWeights when those were supplied. Cache it
 	// (keyed by rules.CanonicalHash) to skip weight learning on repeat

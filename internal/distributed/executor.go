@@ -2,12 +2,14 @@ package distributed
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mlnclean/internal/core"
@@ -18,12 +20,24 @@ import (
 	"mlnclean/internal/rules"
 )
 
-// Executor is the concurrent distributed runtime: k workers, each running
-// the stand-alone stage-I/II pipeline over its partition on its own
-// goroutine, coordinated exclusively through a Transport. The coordinator
-// streams partition batches down, reduces the workers' Eq. 6 piece
-// summaries, broadcasts the merged weights, and gathers the workers' fusion
-// blocks for the global conflict-resolution pass.
+// Executor is the concurrent distributed runtime: k logical partitions, each
+// leased to a physical worker running the stand-alone stage-I/II pipeline,
+// coordinated exclusively through a Transport. The coordinator streams
+// partition batches down, reduces the workers' Eq. 6 piece summaries,
+// broadcasts the merged weights, and gathers the workers' fusion blocks for
+// the global conflict-resolution pass.
+//
+// Fault tolerance: the coordinator records every shipped batch, so a
+// partition is never lost with its worker. While gathering it watches
+// per-worker heartbeats (and reply-count gaps, which expose replies lost in
+// flight); a partition whose worker goes silent past Options.WorkerTimeout
+// is re-leased under a bumped epoch to a fresh worker slot — a respawned
+// goroutine for in-process transports, a newly claimable slot for remote
+// HTTP workers — and its Init/TupleBatch/StartStageI (and, mid-stage-II,
+// MergedWeights) sequence is replayed. Because the per-partition pipeline is
+// deterministic and the Eq. 6 merge is a pure reduce over per-partition
+// summaries, a recovered run's output is byte-identical to the no-failure
+// run; stale-epoch replies from falsely-declared-dead workers are discarded.
 //
 // Two ingestion paths share the runtime:
 //
@@ -58,6 +72,21 @@ type Executor struct {
 	loads     []int
 	shipped   int // gather tuples already assigned and shipped
 
+	// Fault-tolerance state: one lease per logical partition, the worker
+	// bootstrap needed to replay an Init, and the detection budget.
+	parts         []*partitionLease
+	wtr           Transport // transport locally spawned workers talk through
+	spawnLocal    bool
+	wopts         core.Options
+	attrs         []string
+	wireRules     []WireRule
+	wireOpts      WireCoreOptions
+	hbInterval    time.Duration
+	workerTimeout time.Duration
+	sendTimeout   time.Duration
+	maxRecoveries int
+	lost          atomic.Int64 // recoveries so far; also the budget counter
+
 	distTime   time.Duration
 	assignTime time.Duration
 	createdAt  time.Time
@@ -67,6 +96,23 @@ type Executor struct {
 	stopOnce sync.Once
 	finished bool
 	err      error
+}
+
+// partitionLease tracks which physical worker slot currently owns a logical
+// partition, under which epoch, and everything needed to re-dispatch it:
+// the recorded batches, the last sign of life, and how many protocol
+// replies the current epoch has delivered. seen records whether the current
+// epoch's worker ever showed a sign of life — for remote transports the
+// silence clock must not start before a worker has attached at all, or a
+// late-starting mlnworker fleet would be declared dead while the original
+// slots still hold the only dispatched epochs.
+type partitionLease struct {
+	slot     int
+	epoch    int
+	batches  []TupleBatch // recorded shipments, replayed on recovery
+	lastSeen time.Time
+	seen     bool
+	replies  int
 }
 
 // NewExecutor starts opts.Workers workers (default 4) for streaming ingest
@@ -125,6 +171,39 @@ func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, 
 		stop:      make(chan struct{}),
 		createdAt: time.Now(),
 	}
+	ex.hbInterval = opts.HeartbeatInterval
+	if ex.hbInterval == 0 {
+		ex.hbInterval = defaultHeartbeatInterval
+	}
+	if ex.hbInterval < 0 {
+		ex.hbInterval = 0
+	}
+	ex.workerTimeout = opts.WorkerTimeout
+	if ex.workerTimeout == 0 {
+		ex.workerTimeout = defaultWorkerTimeout
+		// Without heartbeats a busy worker sends nothing upward mid-stage,
+		// so the default silence timeout would declare every long stage a
+		// death. Disabling heartbeats therefore disables detection too,
+		// unless the caller explicitly chose a timeout (owning the
+		// requirement that it exceed the longest stage).
+		if ex.hbInterval == 0 {
+			ex.workerTimeout = 0
+		}
+	}
+	if ex.workerTimeout < 0 {
+		ex.workerTimeout = 0
+	}
+	ex.sendTimeout = opts.SendTimeout
+	if ex.sendTimeout == 0 {
+		ex.sendTimeout = defaultSendTimeout
+	}
+	if ex.sendTimeout < 0 {
+		ex.sendTimeout = 0
+	}
+	ex.maxRecoveries = opts.MaxRecoveries
+	if ex.maxRecoveries <= 0 {
+		ex.maxRecoveries = 4 + 2*k
+	}
 	// The watcher propagates cancellation by closing the transport (the only
 	// executor operation that is safe from another goroutine); every blocked
 	// transport call then fails and the workers drain out.
@@ -135,44 +214,97 @@ func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, 
 		case <-ex.stop:
 		}
 	}()
-	wopts := workerCoreOpts(opts.Core, k)
+	ex.wopts = workerCoreOpts(opts.Core, k)
 	// A transport may override where its workers run: chan/gob workers talk
 	// to the coordinator value directly, the loopback HTTP transport hands
 	// out a client bound to its URL, and a remote coordinator returns nil —
 	// its workers attach from other processes.
-	wtr := Transport(ex.tr)
-	spawn := true
+	ex.wtr = Transport(ex.tr)
+	ex.spawnLocal = true
 	if d, ok := ex.tr.(workerHoster); ok {
 		if wt := d.LocalWorkerTransport(); wt != nil {
-			wtr = wt
+			ex.wtr = wt
 		} else {
-			spawn = false
+			ex.spawnLocal = false
 		}
 	}
-	if spawn {
+	if ex.spawnLocal {
 		for w := 0; w < k; w++ {
-			ex.workerWG.Add(1)
-			go func(w int) {
-				defer ex.workerWG.Done()
-				workerMain(ctx, wtr, w, wopts, false)
-			}(w)
+			ex.spawnWorker(w)
 		}
 	}
-	wire := rulesToWire(rs)
-	attrs := schema.Attrs()
+	ex.attrs = schema.Attrs()
+	ex.wireRules = rulesToWire(rs)
 	// Out-of-process workers get τ scaled for partition-local group sizes
 	// like local ones, but NOT the local CPU-split Parallelism — that was
 	// derived from this host's core count, while a remote worker should
 	// default to its own.
-	wireOpts := coreOptsToWire(workerTauOpts(opts.Core, k))
-	for w := 0; w < k; w++ {
-		msg := Init{Worker: w, SchemaAttrs: attrs, Rules: wire, Opts: wireOpts, HasOpts: true}
-		if err := ex.tr.ToWorker(w, msg); err != nil {
+	ex.wireOpts = coreOptsToWire(workerTauOpts(opts.Core, k))
+	ex.parts = make([]*partitionLease, k)
+	for p := range ex.parts {
+		ex.parts[p] = &partitionLease{slot: p}
+		if err := ex.sendLease(p, ex.initFor(p)); err != nil {
 			ex.fail(err)
 			return nil, ex.err
 		}
 	}
 	return ex, nil
+}
+
+// Fault-tolerance defaults: heartbeats are cheap, so the interval is short
+// relative to the timeout (a worker must miss many beacons in a row before
+// being declared dead); sends get a generous bound that only trips when a
+// peer stops draining its inbox entirely.
+const (
+	defaultHeartbeatInterval = 1 * time.Second
+	defaultWorkerTimeout     = 10 * time.Second
+	defaultSendTimeout       = 1 * time.Minute
+)
+
+// spawnWorker starts a local worker goroutine serving slot w.
+func (ex *Executor) spawnWorker(w int) {
+	ex.workerWG.Add(1)
+	go func() {
+		defer ex.workerWG.Done()
+		workerMain(ex.ctx, ex.wtr, w, ex.wopts, false)
+	}()
+}
+
+// initFor builds partition p's bootstrap message under its current lease.
+func (ex *Executor) initFor(p int) Init {
+	lease := ex.parts[p]
+	return Init{
+		Worker:      lease.slot,
+		Partition:   p,
+		Epoch:       lease.epoch,
+		HeartbeatNS: int64(ex.hbInterval),
+		SchemaAttrs: ex.attrs,
+		Rules:       ex.wireRules,
+		Opts:        ex.wireOpts,
+		HasOpts:     true,
+	}
+}
+
+// sendLease stamps m with partition p's current (slot, epoch) lease and
+// sends it under the executor's send deadline.
+func (ex *Executor) sendLease(p int, m Message) error {
+	lease := ex.parts[p]
+	switch msg := m.(type) {
+	case StartStageI:
+		msg.Worker, msg.Epoch = lease.slot, lease.epoch
+		m = msg
+	case MergedWeights:
+		msg.Worker, msg.Epoch = lease.slot, lease.epoch
+		m = msg
+	}
+	return ex.tr.ToWorkerDeadline(lease.slot, m, ex.sendTimeout)
+}
+
+// WorkersLost reports how many workers the run has declared dead and
+// re-dispatched so far. Safe to call concurrently with a run (the serving
+// layer polls it while a session cleans).
+func (ex *Executor) WorkersLost() int {
+	return int(ex.lost.Load())
 }
 
 // workerCoreOpts derives the per-worker pipeline options: τ scaled to
@@ -212,6 +344,7 @@ func (ex *Executor) Submit(batch *dataset.Table) error {
 	if !batch.Schema.Equal(ex.schema) {
 		return fmt.Errorf("distributed: batch schema does not match executor schema")
 	}
+	ex.drainLiveness()
 	for _, t := range batch.Tuples {
 		vals := make([]string, len(t.Values))
 		ids := make([]uint32, len(t.Values))
@@ -252,9 +385,6 @@ func (ex *Executor) assignAndShip() error {
 		}
 	}
 	batches := make([]TupleBatch, ex.k)
-	for w := range batches {
-		batches[w].Worker = w
-	}
 	dists := make([]float64, ex.k)
 	for ; ex.shipped < ex.gather.Len(); ex.shipped++ {
 		t := ex.gather.Tuples[ex.shipped]
@@ -282,28 +412,48 @@ func (ex *Executor) assignAndShip() error {
 		batches[best].Rows = append(batches[best].Rows, t.Values)
 		ex.assignTime += time.Since(t0)
 	}
-	for w := range batches {
-		if len(batches[w].IDs) == 0 {
+	for p := range batches {
+		if len(batches[p].IDs) == 0 {
 			continue
 		}
-		if err := ex.shipBatched(w, batches[w]); err != nil {
+		if err := ex.shipBatched(p, batches[p]); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// shipBatched sends one worker's assignment in BatchSize chunks.
-func (ex *Executor) shipBatched(w int, b TupleBatch) error {
+// shipBatched records partition p's assignment (for recovery replay) and
+// sends it in BatchSize chunks. A send deadline expiring here means the
+// worker stopped draining its inbox mid-ingest — with detection enabled
+// that is a death, and the partition is re-leased and its full recorded
+// history (including b, already recorded) replayed onto the fresh slot.
+func (ex *Executor) shipBatched(p int, b TupleBatch) error {
+	ex.drainLiveness()
+	ex.parts[p].batches = append(ex.parts[p].batches, b)
+	err := ex.shipChunks(p, b)
+	if err == ErrTimeout && ex.workerTimeout > 0 {
+		err = ex.recoverPartition(p, phaseIngest, false, nil)
+	}
+	if err != nil {
+		ex.fail(err)
+		return ex.err
+	}
+	return nil
+}
+
+// shipChunks sends one recorded batch to partition p's current lease in
+// BatchSize chunks, stamped with the lease's slot and epoch.
+func (ex *Executor) shipChunks(p int, b TupleBatch) error {
 	size := ex.opts.BatchSize
+	lease := ex.parts[p]
 	for lo := 0; lo < len(b.IDs); lo += size {
 		hi := lo + size
 		if hi > len(b.IDs) {
 			hi = len(b.IDs)
 		}
-		msg := TupleBatch{Worker: w, IDs: b.IDs[lo:hi], Rows: b.Rows[lo:hi]}
-		if err := ex.tr.ToWorker(w, msg); err != nil {
-			ex.fail(err)
+		msg := TupleBatch{Worker: lease.slot, Epoch: lease.epoch, IDs: b.IDs[lo:hi], Rows: b.Rows[lo:hi]}
+		if err := ex.tr.ToWorkerDeadline(lease.slot, msg, ex.sendTimeout); err != nil {
 			return err
 		}
 	}
@@ -363,9 +513,22 @@ func (ex *Executor) Close() {
 	ex.fail(fmt.Errorf("distributed: executor closed"))
 }
 
+// gatherPhase names how far the protocol has progressed for a partition,
+// because a recovery must replay exactly up to that point: batches only
+// (ingest), batches + StartStageI (stage I), or the full history including
+// the merged weights (stage II).
+type gatherPhase int
+
+const (
+	phaseIngest gatherPhase = iota
+	phaseStageI
+	phaseStageII
+)
+
 // finish drives the two-phase protocol to completion: stage I on every
 // worker, the Eq. 6 reduce + broadcast, stage II on every worker, then the
 // global gather (FSCR over the original dirty tuples + deduplication).
+// Both gather loops detect and recover dead workers.
 func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	ok := false
 	defer func() {
@@ -383,25 +546,28 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	}()
 
 	skipLearn := len(ex.opts.PresetWeights) > 0
-	for w := 0; w < ex.k; w++ {
-		if err := ex.tr.ToWorker(w, StartStageI{Worker: w, SkipLearn: skipLearn}); err != nil {
+	for p := range ex.parts {
+		err := ex.sendLease(p, StartStageI{SkipLearn: skipLearn})
+		if err == ErrTimeout && ex.workerTimeout > 0 {
+			// The worker stopped draining its inbox before the stage even
+			// started — a death shipBatched happened not to observe.
+			err = ex.recoverPartition(p, phaseStageI, skipLearn, nil)
+		}
+		if err != nil {
 			return nil, ex.runErr(err)
 		}
 	}
 	sums := make([]WeightSummaries, ex.k)
-	for i := 0; i < ex.k; i++ {
-		m, err := ex.tr.CoordinatorRecv()
-		if err != nil {
-			return nil, ex.runErr(err)
-		}
+	err := ex.gatherReplies(phaseStageI, skipLearn, nil, func(p int, m Message) (bool, error) {
 		ws, isWS := m.(WeightSummaries)
 		if !isWS {
-			return nil, fmt.Errorf("distributed: protocol: expected WeightSummaries, got %T", m)
+			return false, fmt.Errorf("distributed: protocol: expected WeightSummaries, got %T", m)
 		}
-		if ws.Err != "" {
-			return nil, fmt.Errorf("distributed: worker %d: %s", ws.Worker, ws.Err)
-		}
-		sums[ws.Worker] = ws
+		sums[p] = ws
+		return true, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	// Eq. 6: reduce the workers' piece summaries to support-weighted mean
@@ -424,26 +590,32 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	}
 	res.MergedWeights = index.CopySummaries(merged)
 	res.GatherTime += time.Since(t0)
-	for w := 0; w < ex.k; w++ {
-		if err := ex.tr.ToWorker(w, MergedWeights{Worker: w, Merged: merged}); err != nil {
+	for p := range ex.parts {
+		err := ex.sendLease(p, MergedWeights{Merged: merged})
+		if err == ErrTimeout && ex.workerTimeout > 0 {
+			err = ex.recoverPartition(p, phaseStageII, skipLearn, merged)
+		}
+		if err != nil {
 			return nil, ex.runErr(err)
 		}
 	}
 
 	frs := make([]FusionResult, ex.k)
-	for i := 0; i < ex.k; i++ {
-		m, err := ex.tr.CoordinatorRecv()
-		if err != nil {
-			return nil, ex.runErr(err)
+	err = ex.gatherReplies(phaseStageII, skipLearn, merged, func(p int, m Message) (bool, error) {
+		switch msg := m.(type) {
+		case WeightSummaries:
+			// A partition recovered mid-stage-II re-runs stage I first; its
+			// summaries are progress, not a completion.
+			return false, nil
+		case FusionResult:
+			frs[p] = msg
+			return true, nil
+		default:
+			return false, fmt.Errorf("distributed: protocol: expected FusionResult, got %T", m)
 		}
-		fr, isFR := m.(FusionResult)
-		if !isFR {
-			return nil, fmt.Errorf("distributed: protocol: expected FusionResult, got %T", m)
-		}
-		if fr.Err != "" {
-			return nil, fmt.Errorf("distributed: worker %d: %s", fr.Worker, fr.Err)
-		}
-		frs[fr.Worker] = fr
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	res.WorkerTimes = make([]time.Duration, ex.k)
@@ -453,6 +625,7 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 		res.PartSizes[w] = frs[w].PartSize
 		res.Stats.Add(frs[w].Stats)
 	}
+	res.WorkersLost = ex.WorkersLost()
 
 	// Gather (§6: "conflicts and duplicates are eliminated in the same way
 	// to stand-alone MLNClean"): run a global conflict resolution over the
@@ -486,6 +659,278 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	return res, nil
 }
 
+// gatherReplies collects one completing reply per partition, running the
+// failure detector while it waits. handle sees every current-epoch protocol
+// reply (heartbeats and stale-epoch replies are consumed here) and reports
+// whether its partition completed the phase; a reply carrying a worker
+// error aborts the run — worker pipelines are deterministic, so an error
+// would only recur on a re-dispatch.
+func (ex *Executor) gatherReplies(ph gatherPhase, skipLearn bool, merged []index.PieceSummary, handle func(p int, m Message) (bool, error)) error {
+	pending := make([]bool, ex.k)
+	n := ex.k
+	now := time.Now()
+	for p := range ex.parts {
+		pending[p] = true
+		ex.parts[p].lastSeen = now
+	}
+	detect := ex.workerTimeout > 0
+	tick := ex.detectTick()
+	for n > 0 {
+		// Scan every iteration, not just on receive timeouts: surviving
+		// workers' heartbeats keep the receive loop busy, and a dead
+		// partition must not hide behind its peers' liveness.
+		if detect {
+			if err := ex.scanForDead(ph, skipLearn, merged, pending); err != nil {
+				return err
+			}
+		}
+		var m Message
+		var err error
+		if detect {
+			m, err = ex.tr.CoordinatorRecvDeadline(tick)
+		} else {
+			m, err = ex.tr.CoordinatorRecv()
+		}
+		if err == ErrTimeout {
+			continue
+		}
+		if err != nil {
+			return ex.runErr(err)
+		}
+		if hb, isHB := m.(Heartbeat); isHB {
+			if err := ex.noteHeartbeat(hb, ph, skipLearn, merged, pending); err != nil {
+				return err
+			}
+			continue
+		}
+		if at, isAt := m.(WorkerAttached); isAt {
+			// A remote worker claimed this slot: start its silence clock, so
+			// a worker that dies before its first beacon is still detected.
+			ex.noteAttached(at.Worker)
+			continue
+		}
+		p, epoch, werr, isReply := replyLease(m)
+		if !isReply {
+			return fmt.Errorf("distributed: protocol: unexpected %T", m)
+		}
+		if p < 0 || p >= ex.k || epoch != ex.parts[p].epoch {
+			continue // stale epoch: a falsely-declared-dead worker's late reply
+		}
+		if werr != "" {
+			return fmt.Errorf("distributed: worker for partition %d: %s", p, werr)
+		}
+		lease := ex.parts[p]
+		lease.lastSeen = time.Now()
+		lease.seen = true
+		lease.replies++
+		done, err := handle(p, m)
+		if err != nil {
+			return err
+		}
+		if done && pending[p] {
+			pending[p] = false
+			n--
+		}
+	}
+	return nil
+}
+
+// drainLiveness consumes buffered upward liveness traffic (heartbeats,
+// attach signals) without blocking. The gather loop is the upward queue's
+// only steady consumer, so a long ingest would otherwise saturate it —
+// blocking worker beacon goroutines and, on remote transports, the /send
+// handlers — right when a mid-ingest recovery may need the queue moving.
+// Protocol replies cannot legally arrive before StartStageI; anything
+// unexpected is dropped here and the gather loop enforces the protocol.
+func (ex *Executor) drainLiveness() {
+	for {
+		m, err := ex.tr.CoordinatorRecvDeadline(time.Nanosecond)
+		if err != nil {
+			return // empty (ErrTimeout) or closed — real errors surface later
+		}
+		switch msg := m.(type) {
+		case Heartbeat:
+			if msg.Partition >= 0 && msg.Partition < ex.k {
+				lease := ex.parts[msg.Partition]
+				if msg.Epoch == lease.epoch {
+					lease.lastSeen = time.Now()
+					lease.seen = true
+				}
+			}
+		case WorkerAttached:
+			ex.noteAttached(msg.Worker)
+		}
+	}
+}
+
+// noteAttached starts the silence clock of the lease held by a
+// just-claimed slot.
+func (ex *Executor) noteAttached(slot int) {
+	for _, lease := range ex.parts {
+		if lease.slot == slot && !lease.seen {
+			lease.lastSeen = time.Now()
+			lease.seen = true
+		}
+	}
+}
+
+// detectTick is the failure detector's poll interval: a fraction of the
+// worker timeout, clamped so tiny test timeouts still poll sanely and large
+// production ones don't spin.
+func (ex *Executor) detectTick() time.Duration {
+	tick := ex.workerTimeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 500*time.Millisecond {
+		tick = 500 * time.Millisecond
+	}
+	return tick
+}
+
+// noteHeartbeat refreshes a partition's liveness deadline and checks the
+// reply-count gap: a worker that has handed more protocol replies to its
+// transport than the coordinator has received lost one in flight, and the
+// partition is re-dispatched immediately instead of waiting out the full
+// silence timeout.
+func (ex *Executor) noteHeartbeat(hb Heartbeat, ph gatherPhase, skipLearn bool, merged []index.PieceSummary, pending []bool) error {
+	if hb.Partition < 0 || hb.Partition >= ex.k {
+		return nil
+	}
+	lease := ex.parts[hb.Partition]
+	if hb.Epoch != lease.epoch {
+		return nil
+	}
+	lease.lastSeen = time.Now()
+	lease.seen = true
+	if ex.workerTimeout > 0 && pending[hb.Partition] && hb.Sent > lease.replies {
+		return ex.recoverPartition(hb.Partition, ph, skipLearn, merged)
+	}
+	return nil
+}
+
+// scanForDead re-dispatches every pending partition whose worker has been
+// silent past the timeout. With remotely attaching workers (nothing spawned
+// locally), a lease whose epoch never showed a sign of life is exempt: the
+// worker fleet may simply not have attached yet, and re-dispatching would
+// strand the only dispatched epoch on the slot a late worker will claim —
+// such a run blocks until workers appear, exactly as before the
+// fault-tolerance layer.
+func (ex *Executor) scanForDead(ph gatherPhase, skipLearn bool, merged []index.PieceSummary, pending []bool) error {
+	now := time.Now()
+	for p, lease := range ex.parts {
+		if !pending[p] || (!lease.seen && !ex.spawnLocal) || now.Sub(lease.lastSeen) <= ex.workerTimeout {
+			continue
+		}
+		if err := ex.recoverPartition(p, ph, skipLearn, merged); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recoverPartition re-leases partition p to a fresh worker slot under a
+// bumped epoch and replays its protocol history: Init, every recorded
+// batch, StartStageI — and, when the failure struck mid-stage-II, the
+// merged weights. A stage-II replay skips weight learning: the Eq. 6 merge
+// already ran, and every piece of this partition is in the merged vector
+// because its original summaries were (unless the run never merged —
+// SkipWeightMerge — where the local learning must be reproduced instead).
+// The output stays byte-identical to a no-failure run either way.
+func (ex *Executor) recoverPartition(p int, ph gatherPhase, skipLearn bool, merged []index.PieceSummary) error {
+	if ex.WorkersLost() >= ex.maxRecoveries {
+		return fmt.Errorf("distributed: partition %d lost its worker with the recovery budget (%d) spent", p, ex.maxRecoveries)
+	}
+	slot, err := ex.tr.AddWorker()
+	if err != nil {
+		return ex.runErr(err)
+	}
+	ex.lost.Add(1)
+	lease := ex.parts[p]
+	lease.slot, lease.epoch, lease.replies = slot, lease.epoch+1, 0
+	lease.lastSeen, lease.seen = time.Now(), false
+	if ex.spawnLocal {
+		ex.spawnWorker(slot)
+	}
+	err = ex.replayPartition(p, ph, skipLearn, merged)
+	if errors.Is(err, ErrTimeout) && ex.workerTimeout > 0 {
+		// The replacement itself stopped draining mid-replay — another
+		// death, which spends more budget on yet another slot (the budget
+		// check above bounds the recursion).
+		return ex.recoverPartition(p, ph, skipLearn, merged)
+	}
+	if err != nil {
+		return ex.runErr(err)
+	}
+	// The replay may have blocked long enough (up to SendTimeout waiting
+	// for a spare) for the other workers' beacons to pile up unread — the
+	// gather loop is the upward queue's consumer and it was here, not
+	// there. Give every live lease a fresh window so queued-but-unread
+	// liveness is not misread as silence and cascaded into bogus
+	// recoveries; a genuinely dead peer just takes one extra timeout to
+	// catch.
+	now := time.Now()
+	for _, l := range ex.parts {
+		if l.seen {
+			l.lastSeen = now
+		}
+	}
+	return nil
+}
+
+// replayPartition re-sends partition p's protocol history to its current
+// lease, up to the point phase ph has reached. The replay is bounded by the
+// send deadline: a remote recovery slot must be claimed (and drained) by a
+// spare within SendTimeout, or the replay fails — blocking indefinitely
+// here would stall failure detection for every other partition, so the
+// indefinite late-attach grace applies only to never-dispatched epochs.
+func (ex *Executor) replayPartition(p int, ph gatherPhase, skipLearn bool, merged []index.PieceSummary) error {
+	lease := ex.parts[p]
+	slot := lease.slot
+	if err := ex.sendLease(p, ex.initFor(p)); err != nil {
+		return replayErr(p, slot, err)
+	}
+	for _, b := range lease.batches {
+		if err := ex.shipChunks(p, b); err != nil {
+			return replayErr(p, slot, err)
+		}
+	}
+	if ph == phaseIngest {
+		return nil // StartStageI has not been reached yet; finish sends it
+	}
+	replaySkipLearn := skipLearn
+	if ph == phaseStageII && !ex.opts.SkipWeightMerge {
+		replaySkipLearn = true
+	}
+	if err := ex.sendLease(p, StartStageI{SkipLearn: replaySkipLearn}); err != nil {
+		return replayErr(p, slot, err)
+	}
+	if ph == phaseStageII {
+		if err := ex.sendLease(p, MergedWeights{Merged: merged}); err != nil {
+			return replayErr(p, slot, err)
+		}
+	}
+	return nil
+}
+
+// replayErr contextualizes a recovery replay failure: the bare transport
+// sentinel would otherwise surface as the whole run's error.
+func replayErr(p, slot int, err error) error {
+	return fmt.Errorf("distributed: replaying partition %d onto worker slot %d: %w", p, slot, err)
+}
+
+// replyLease extracts a protocol reply's lease stamp and error string.
+func replyLease(m Message) (partition, epoch int, workerErr string, ok bool) {
+	switch msg := m.(type) {
+	case WeightSummaries:
+		return msg.Partition, msg.Epoch, msg.Err, true
+	case FusionResult:
+		return msg.Partition, msg.Epoch, msg.Err, true
+	default:
+		return 0, 0, "", false
+	}
+}
+
 // runErr maps a transport failure observed after cancellation back to the
 // context's error; other failures pass through.
 func (ex *Executor) runErr(err error) error {
@@ -504,28 +949,104 @@ type workerHoster interface {
 	LocalWorkerTransport() Transport
 }
 
-// workerMain is one worker's receive loop, driven entirely by transport
-// messages: accumulate partition batches, run stage I on StartStageI, apply
-// the merged weights and run stage II on MergedWeights, then exit. With
-// optsFromInit (out-of-process workers) the pipeline options are
-// reconstructed from the Init message instead of the opts argument.
+// heartbeater emits a worker's liveness beacons while it holds a lease. The
+// Sent counter rides along so the coordinator can spot replies lost in
+// flight (see Heartbeat): the protocol loop bumps it only after a reply's
+// send returned, so a beacon never claims a reply that is still behind it
+// in the transport's upward queue.
+type heartbeater struct {
+	mu   sync.Mutex
+	sent int
+	quit chan struct{}
+}
+
+// start begins beaconing for a lease, replacing any previous beacon loop.
+// The loop exits only via stop (the worker loop's lifetime bounds it): a
+// failed send is tolerated, because over HTTP a beacon can fail transiently
+// while the worker is perfectly healthy, and one lost beacon must not
+// silence the worker for the rest of its incarnation — a genuinely dead
+// transport (closed, or the fault layer crashed this worker) also fails the
+// worker loop's own calls, which stops the beacon.
+func (h *heartbeater) start(tr Transport, slot, partition, epoch int, interval time.Duration) {
+	h.stop()
+	h.mu.Lock()
+	h.sent = 0
+	h.mu.Unlock()
+	if interval <= 0 {
+		return
+	}
+	quit := make(chan struct{})
+	h.quit = quit
+	go func() {
+		// Beacon immediately: the sooner the coordinator sees this lease
+		// alive, the narrower the window in which a crash reads as
+		// "never attached" rather than "died".
+		tr.ToCoordinator(Heartbeat{Worker: slot, Partition: partition, Epoch: epoch})
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				h.mu.Lock()
+				sent := h.sent
+				h.mu.Unlock()
+				tr.ToCoordinator(Heartbeat{Worker: slot, Partition: partition, Epoch: epoch, Sent: sent})
+			}
+		}
+	}()
+}
+
+func (h *heartbeater) markSent() {
+	h.mu.Lock()
+	h.sent++
+	h.mu.Unlock()
+}
+
+func (h *heartbeater) stop() {
+	if h.quit != nil {
+		close(h.quit)
+		h.quit = nil
+	}
+}
+
+// workerMain is one worker incarnation's receive loop, driven entirely by
+// transport messages: adopt a lease on Init (starting the liveness beacon),
+// accumulate partition batches, run stage I on StartStageI, apply the
+// merged weights and run stage II on MergedWeights, then exit. Messages
+// stamped with an epoch other than the adopted lease's are discarded —
+// they belong to a lease this incarnation does not hold. With optsFromInit
+// (out-of-process workers) the pipeline options are reconstructed from the
+// Init message instead of the opts argument.
 func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, optsFromInit bool) {
 	var (
-		schema  *dataset.Schema
-		rs      []*rules.Rule
-		batches []TupleBatch
-		initErr error
-		tb      *dataset.Table
-		ix      *index.Index
-		stats   core.Stats
+		schema    *dataset.Schema
+		rs        []*rules.Rule
+		batches   []TupleBatch
+		initErr   error
+		tb        *dataset.Table
+		ix        *index.Index
+		stats     core.Stats
+		inited    bool
+		partition int
+		epoch     int
+		hb        heartbeater
 	)
+	defer hb.stop()
 	for {
 		m, err := tr.WorkerRecv(w)
 		if err != nil {
-			return // transport closed: coordinator gave up
+			return // transport closed or this incarnation crashed
 		}
 		switch msg := m.(type) {
 		case Init:
+			if inited && msg.Epoch <= epoch {
+				continue // stale lease
+			}
+			inited, partition, epoch = true, msg.Partition, msg.Epoch
+			schema, rs, batches, tb, ix, initErr = nil, nil, nil, nil, nil, nil
+			stats = core.Stats{}
 			if optsFromInit && msg.HasOpts {
 				opts = coreOptsFromWire(msg.Opts)
 			}
@@ -536,11 +1057,18 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			} else {
 				schema, rs = s, r
 			}
+			hb.start(tr, w, partition, epoch, time.Duration(msg.HeartbeatNS))
 		case TupleBatch:
+			if !inited || msg.Epoch != epoch {
+				continue
+			}
 			batches = append(batches, msg)
 		case StartStageI:
+			if !inited || msg.Epoch != epoch {
+				continue
+			}
 			t0 := time.Now()
-			reply := WeightSummaries{Worker: w}
+			reply := WeightSummaries{Worker: w, Partition: partition, Epoch: epoch}
 			switch {
 			case initErr != nil:
 				reply.Err = initErr.Error()
@@ -572,15 +1100,19 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			if tr.ToCoordinator(reply) != nil || reply.Err != "" {
 				return
 			}
+			hb.markSent()
 		case MergedWeights:
+			if !inited || msg.Epoch != epoch {
+				continue
+			}
 			if ix == nil {
-				tr.ToCoordinator(FusionResult{Worker: w, Err: "protocol: MergedWeights before stage I"})
+				tr.ToCoordinator(FusionResult{Worker: w, Partition: partition, Epoch: epoch, Err: "protocol: MergedWeights before stage I"})
 				return
 			}
 			t0 := time.Now()
 			ix.ApplyPieceWeights(msg.Merged)
 			if err := core.StageRSC(ctx, ix, opts, &stats); err != nil {
-				tr.ToCoordinator(FusionResult{Worker: w, Err: err.Error()})
+				tr.ToCoordinator(FusionResult{Worker: w, Partition: partition, Epoch: epoch, Err: err.Error()})
 				return
 			}
 			for _, b := range ix.Blocks {
@@ -592,6 +1124,8 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			core.RunFSCREncoded(tb, ix.Encoded(), fusionBlocks(ix), opts, &stats)
 			tr.ToCoordinator(FusionResult{
 				Worker:    w,
+				Partition: partition,
+				Epoch:     epoch,
 				PartSize:  tb.Len(),
 				Blocks:    blocksToWire(ix),
 				Stats:     stats,

@@ -36,10 +36,10 @@ import (
 // httpTransport is the coordinator side: gob-framed per-worker inboxes plus
 // the shared upward queue, exposed over an HTTP listener.
 type httpTransport struct {
-	down []chan []byte
-	up   chan []byte
-	done chan struct{}
-	once sync.Once
+	inboxes *inboxSet[[]byte]
+	up      chan []byte
+	done    chan struct{}
+	once    sync.Once
 
 	srv *http.Server
 	url string
@@ -47,12 +47,12 @@ type httpTransport struct {
 	claimMu   sync.Mutex
 	nextClaim int
 
-	// redeliver holds, per worker, messages whose HTTP delivery failed
+	// redeliver holds, per worker slot, messages whose HTTP delivery failed
 	// mid-write (client dropped the long poll as the coordinator dequeued).
 	// They are served before the inbox channel so delivery order holds and
 	// a flaky connection cannot permanently lose a protocol message.
 	redeliverMu sync.Mutex
-	redeliver   [][][]byte
+	redeliver   map[int][][]byte
 
 	localWorkers bool
 }
@@ -75,11 +75,11 @@ func NewHTTPTransport(workers int) Transport {
 // executor spawns no local workers; the run blocks until k workers have
 // claimed slots and drained their inboxes.
 //
-// Fault model: worker slots are claimed once and the per-worker protocol is
-// stateful, so transient connection failures heal (client retries + the
-// coordinator's redeliver queue) but a permanently lost worker process
-// cannot be replaced mid-run — the run blocks until the caller cancels the
-// executor's context (CLI Ctrl-C; serving sessions via DELETE).
+// Fault model: transient connection failures heal (client retries + the
+// coordinator's redeliver queue); a permanently lost worker process is
+// detected by the executor's heartbeat timeout, which adds a fresh claimable
+// slot (AddWorker) and replays the dead worker's partition onto it — a spare
+// or reconnecting mlnworker picks the slot up and the run completes.
 func NewRemoteHTTPTransport(addr string) TransportFactory {
 	return func(workers int) Transport {
 		t, err := newHTTPTransport(workers, addr, false)
@@ -96,15 +96,12 @@ func newHTTPTransport(workers int, addr string, localWorkers bool) (*httpTranspo
 		return nil, fmt.Errorf("distributed: http transport listen %s: %w", addr, err)
 	}
 	t := &httpTransport{
-		down:         make([]chan []byte, workers),
+		inboxes:      newInboxSet[[]byte](workers),
 		up:           make(chan []byte, 4*workers),
 		done:         make(chan struct{}),
 		url:          "http://" + ln.Addr().String(),
-		redeliver:    make([][][]byte, workers),
+		redeliver:    make(map[int][][]byte),
 		localWorkers: localWorkers,
-	}
-	for w := range t.down {
-		t.down[w] = make(chan []byte, 64)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /claim", t.handleClaim)
@@ -129,30 +126,59 @@ func (t *httpTransport) LocalWorkerTransport() Transport {
 }
 
 func (t *httpTransport) handleClaim(w http.ResponseWriter, r *http.Request) {
+	// The slot count is read under claimMu so a claim racing AddWorker (a
+	// recovery re-dispatch opening a slot) cannot see the pre-growth length
+	// and bounce a spare with a spurious conflict.
 	t.claimMu.Lock()
+	slots := t.inboxes.len()
 	id := t.nextClaim
-	if id < len(t.down) {
+	if id < slots {
 		t.nextClaim++
 	}
 	t.claimMu.Unlock()
-	if id >= len(t.down) {
+	if id >= slots {
 		http.Error(w, "all worker slots claimed", http.StatusConflict)
 		return
 	}
+	// Tell the coordinator the slot is live before the worker even speaks:
+	// a claimed-then-crashed worker must be detectable by silence, while an
+	// unclaimed slot must never time out (the fleet may just be late). The
+	// handler must not block on a full upward queue (recovery depends on
+	// spares being able to claim at any moment), but the signal must not be
+	// lost either — a worker that dies before its first beacon would
+	// otherwise stay exempt from detection forever — so a full queue hands
+	// delivery to a goroutine that waits the congestion out.
+	if b, err := EncodeMessage(WorkerAttached{Worker: id}); err == nil {
+		select {
+		case t.up <- b:
+		default:
+			go func() {
+				select {
+				case t.up <- b:
+				case <-t.done:
+				}
+			}()
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]int{"worker": id, "workers": len(t.down)})
+	json.NewEncoder(w).Encode(map[string]int{"worker": id, "workers": slots})
 }
 
 func (t *httpTransport) handleRecv(w http.ResponseWriter, r *http.Request) {
 	var wid int
-	if _, err := fmt.Sscanf(r.URL.Query().Get("worker"), "%d", &wid); err != nil || wid < 0 || wid >= len(t.down) {
+	if _, err := fmt.Sscanf(r.URL.Query().Get("worker"), "%d", &wid); err != nil {
+		http.Error(w, "bad worker id", http.StatusBadRequest)
+		return
+	}
+	inbox, err := t.inboxes.get(wid)
+	if err != nil {
 		http.Error(w, "bad worker id", http.StatusBadRequest)
 		return
 	}
 	b := t.popRedeliver(wid)
 	if b == nil {
 		select {
-		case b = <-t.down[wid]:
+		case b = <-inbox:
 		case <-t.done:
 			http.Error(w, "transport closed", http.StatusGone)
 			return
@@ -183,7 +209,11 @@ func (t *httpTransport) popRedeliver(w int) []byte {
 		return nil
 	}
 	b := q[0]
-	t.redeliver[w] = q[1:]
+	if len(q) == 1 {
+		delete(t.redeliver, w)
+	} else {
+		t.redeliver[w] = q[1:]
+	}
 	return b
 }
 
@@ -210,39 +240,34 @@ func (t *httpTransport) handleSend(w http.ResponseWriter, r *http.Request) {
 }
 
 func (t *httpTransport) ToWorker(w int, m Message) error {
-	if w < 0 || w >= len(t.down) {
-		return fmt.Errorf("distributed: no worker %d", w)
+	return t.ToWorkerDeadline(w, m, 0)
+}
+
+func (t *httpTransport) ToWorkerDeadline(w int, m Message, d time.Duration) error {
+	ch, err := t.inboxes.get(w)
+	if err != nil {
+		return err
 	}
 	b, err := EncodeMessage(m)
 	if err != nil {
 		return err
 	}
-	select {
-	case <-t.done:
-		return errTransportClosed
-	default:
-	}
-	select {
-	case t.down[w] <- b:
-		return nil
-	case <-t.done:
-		return errTransportClosed
-	}
+	return sendInbox(ch, b, t.done, d)
 }
 
 // WorkerRecv on the coordinator value reads the worker's inbox directly; it
 // exists so the transport satisfies the full interface, but HTTP workers
 // receive through /recv, never through this method.
 func (t *httpTransport) WorkerRecv(w int) (Message, error) {
-	if w < 0 || w >= len(t.down) {
-		return nil, fmt.Errorf("distributed: no worker %d", w)
+	ch, err := t.inboxes.get(w)
+	if err != nil {
+		return nil, err
 	}
-	select {
-	case b := <-t.down[w]:
-		return DecodeMessage(b)
-	case <-t.done:
-		return nil, errTransportClosed
+	b, err := recvInbox(ch, t.done, 0)
+	if err != nil {
+		return nil, err
 	}
+	return DecodeMessage(b)
 }
 
 func (t *httpTransport) ToCoordinator(m Message) error {
@@ -259,17 +284,31 @@ func (t *httpTransport) ToCoordinator(m Message) error {
 }
 
 func (t *httpTransport) CoordinatorRecv() (Message, error) {
+	return t.CoordinatorRecvDeadline(0)
+}
+
+func (t *httpTransport) CoordinatorRecvDeadline(d time.Duration) (Message, error) {
+	b, err := recvInbox(t.up, t.done, d)
+	if err != nil {
+		return nil, err
+	}
+	return DecodeMessage(b)
+}
+
+// AddWorker appends a fresh claimable slot: the next /claim hands it to a
+// spare or reconnecting worker process, which then drains the replayed
+// partition from its inbox. The growth happens under claimMu so a claim
+// racing it sees either the pre- or post-growth slot count consistently
+// (handleClaim reads the count under the same lock).
+func (t *httpTransport) AddWorker() (int, error) {
 	select {
 	case <-t.done:
-		return nil, errTransportClosed
+		return 0, errTransportClosed
 	default:
 	}
-	select {
-	case b := <-t.up:
-		return DecodeMessage(b)
-	case <-t.done:
-		return nil, errTransportClosed
-	}
+	t.claimMu.Lock()
+	defer t.claimMu.Unlock()
+	return t.inboxes.add(), nil
 }
 
 func (t *httpTransport) Close() error {
@@ -375,8 +414,20 @@ func (t *httpWorkerTransport) ToWorker(int, Message) error {
 	return fmt.Errorf("distributed: ToWorker on worker-side http transport")
 }
 
+func (t *httpWorkerTransport) ToWorkerDeadline(int, Message, time.Duration) error {
+	return fmt.Errorf("distributed: ToWorker on worker-side http transport")
+}
+
 func (t *httpWorkerTransport) CoordinatorRecv() (Message, error) {
 	return nil, fmt.Errorf("distributed: CoordinatorRecv on worker-side http transport")
+}
+
+func (t *httpWorkerTransport) CoordinatorRecvDeadline(time.Duration) (Message, error) {
+	return nil, fmt.Errorf("distributed: CoordinatorRecv on worker-side http transport")
+}
+
+func (t *httpWorkerTransport) AddWorker() (int, error) {
+	return 0, fmt.Errorf("distributed: AddWorker on worker-side http transport")
 }
 
 func (t *httpWorkerTransport) Close() error {
@@ -418,8 +469,11 @@ func ServeHTTPWorker(ctx context.Context, base string) error {
 // a TransportFactory that cannot listen still satisfies the interface.
 type failedTransport struct{ err error }
 
-func (t *failedTransport) ToWorker(int, Message) error       { return t.err }
-func (t *failedTransport) WorkerRecv(int) (Message, error)   { return nil, t.err }
-func (t *failedTransport) ToCoordinator(Message) error       { return t.err }
-func (t *failedTransport) CoordinatorRecv() (Message, error) { return nil, t.err }
-func (t *failedTransport) Close() error                      { return nil }
+func (t *failedTransport) ToWorker(int, Message) error                            { return t.err }
+func (t *failedTransport) ToWorkerDeadline(int, Message, time.Duration) error     { return t.err }
+func (t *failedTransport) WorkerRecv(int) (Message, error)                        { return nil, t.err }
+func (t *failedTransport) ToCoordinator(Message) error                            { return t.err }
+func (t *failedTransport) CoordinatorRecv() (Message, error)                      { return nil, t.err }
+func (t *failedTransport) CoordinatorRecvDeadline(time.Duration) (Message, error) { return nil, t.err }
+func (t *failedTransport) AddWorker() (int, error)                                { return 0, t.err }
+func (t *failedTransport) Close() error                                           { return nil }

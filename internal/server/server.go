@@ -177,11 +177,15 @@ type ResultResponse struct {
 	Rows  [][]string `json:"rows"`
 	// IDs are the cleaned tuples' original table ids (gaps mark removed
 	// duplicates).
-	IDs           []int      `json:"ids"`
-	Stats         core.Stats `json:"stats"`
-	Workers       int        `json:"workers"`
-	WeightsCached bool       `json:"weights_cached"`
-	WallMS        int64      `json:"wall_ms"`
+	IDs   []int      `json:"ids"`
+	Stats core.Stats `json:"stats"`
+	// Workers is the run's worker count; WorkersLost how many of them died
+	// and were recovered from mid-run (the result is unaffected — recovery
+	// re-runs the lost partitions deterministically).
+	Workers       int   `json:"workers"`
+	WorkersLost   int   `json:"workers_lost"`
+	WeightsCached bool  `json:"weights_cached"`
+	WallMS        int64 `json:"wall_ms"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +205,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		IDs:           make([]int, res.Clean.Len()),
 		Stats:         res.Stats,
 		Workers:       res.Workers,
+		WorkersLost:   res.WorkersLost,
 		WeightsCached: info.WeightsCached,
 		WallMS:        res.WallTime.Milliseconds(),
 	}

@@ -113,11 +113,16 @@ type Session struct {
 }
 
 // SessionInfo is a session's externally visible status snapshot.
+// WorkersLost counts executor workers declared dead and recovered from so
+// far — a session survives worker deaths (the partition is re-dispatched
+// and the run continues), and the counter updates live while the session
+// cleans, so pollers can watch a degraded-but-recovering run.
 type SessionInfo struct {
 	ID            string       `json:"id"`
 	State         SessionState `json:"state"`
 	RulesHash     string       `json:"rules_hash"`
 	Workers       int          `json:"workers"`
+	WorkersLost   int          `json:"workers_lost"`
 	Tuples        int          `json:"tuples"`
 	WeightsCached bool         `json:"weights_cached"`
 	CreatedAt     time.Time    `json:"created_at"`
@@ -134,6 +139,7 @@ func (s *Session) Info() SessionInfo {
 		State:         s.state,
 		RulesHash:     s.model.Hash,
 		Workers:       s.workers,
+		WorkersLost:   s.ex.WorkersLost(),
 		Tuples:        s.tuples,
 		WeightsCached: s.cached,
 		CreatedAt:     s.created,
@@ -235,6 +241,15 @@ type ManagerConfig struct {
 	// DefaultWorkers is the executor worker count when a session does not
 	// choose one. Default 2.
 	DefaultWorkers int
+	// HeartbeatInterval/WorkerTimeout tune session executors' failure
+	// detection (see distributed.Options); zero keeps the executor
+	// defaults, negative disables the respective mechanism.
+	HeartbeatInterval time.Duration
+	WorkerTimeout     time.Duration
+	// TransportFor resolves a session's transport name; nil uses
+	// distributed.TransportByName. Tests swap in fault-injecting wrappers
+	// to exercise sessions surviving worker deaths.
+	TransportFor func(name string) (distributed.TransportFactory, error)
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -252,6 +267,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	}
 	if c.DefaultWorkers <= 0 {
 		c.DefaultWorkers = 2
+	}
+	if c.TransportFor == nil {
+		c.TransportFor = distributed.TransportByName
 	}
 	return c
 }
@@ -306,7 +324,7 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	if workers <= 0 {
 		workers = m.cfg.DefaultWorkers
 	}
-	factory, err := distributed.TransportByName(req.Transport)
+	factory, err := m.cfg.TransportFor(req.Transport)
 	if err != nil {
 		return nil, err
 	}
@@ -316,11 +334,13 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 		preset = m.cache.TakeWeights(model, fp)
 	}
 	opts := distributed.Options{
-		Workers:       workers,
-		Seed:          req.Seed,
-		Transport:     factory,
-		BatchSize:     req.BatchSize,
-		PresetWeights: preset,
+		Workers:           workers,
+		Seed:              req.Seed,
+		Transport:         factory,
+		BatchSize:         req.BatchSize,
+		PresetWeights:     preset,
+		HeartbeatInterval: m.cfg.HeartbeatInterval,
+		WorkerTimeout:     m.cfg.WorkerTimeout,
 		// Per-session dictionary over the model's frozen vocabulary: the
 		// coordinator interns streamed tuples into it (partitioning + gather
 		// FSCR); values already named by the model's rules or cached weight
