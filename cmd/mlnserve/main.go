@@ -7,7 +7,7 @@
 // Usage:
 //
 //	mlnserve [-addr :7700] [-max-sessions 16] [-idle-timeout 10m] [-workers 2]
-//	         [-heartbeat 1s] [-worker-timeout 10s]
+//	         [-heartbeat 1s] [-worker-timeout 10s] [-data-dir /var/lib/mlnserve]
 //
 // -addr :0 binds an OS-chosen free port; the daemon always prints the
 // resolved listen address on startup, so scripted runs (CI smokes, local
@@ -16,6 +16,14 @@
 // survives a worker death — the lost partition is re-dispatched and the
 // run completes with the same output, surfacing a workers_lost counter in
 // its poll status.
+//
+// -data-dir enables durability: every session mutation is written to a
+// write-ahead log under the directory before it is acknowledged, and a
+// restart on the same directory replays it — sessions resume, completed
+// results re-serve byte-identically, learned weight vectors warm the model
+// cache. The recovery summary (sessions replayed / tombstoned / truncated
+// bytes) is printed on startup; graceful shutdown flushes and fsyncs the
+// log before exit.
 //
 // Walkthrough (see the README's Serving section for the full curl script):
 //
@@ -51,6 +59,7 @@ func main() {
 		workers       = flag.Int("workers", 2, "default executor workers per session")
 		heartbeat     = flag.Duration("heartbeat", 0, "executor worker heartbeat interval (0 = default 1s, negative disables)")
 		workerTimeout = flag.Duration("worker-timeout", 0, "declare an executor worker dead after this much silence (0 = default 10s, negative disables recovery)")
+		dataDir       = flag.String("data-dir", "", "write-ahead-log directory; enables durable sessions and crash recovery (empty = in-memory only)")
 	)
 	flag.Parse()
 	cfg := server.ManagerConfig{
@@ -59,6 +68,7 @@ func main() {
 		DefaultWorkers:    *workers,
 		HeartbeatInterval: *heartbeat,
 		WorkerTimeout:     *workerTimeout,
+		DataDir:           *dataDir,
 	}
 	if err := run(*addr, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "mlnserve:", err)
@@ -67,7 +77,13 @@ func main() {
 }
 
 func run(addr string, cfg server.ManagerConfig) error {
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if rec := srv.Recovery(); rec != nil {
+		fmt.Printf("mlnserve: recovered %s: %s\n", cfg.DataDir, rec)
+	}
 	httpSrv := &http.Server{
 		Handler: srv,
 		// Slow-client protection; no overall ReadTimeout because tuple
@@ -105,7 +121,12 @@ func run(addr string, cfg server.ManagerConfig) error {
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
+	// Shutdown flushes, fsyncs, and closes the WAL (no tombstones): a
+	// restart on the same -data-dir resumes every session.
 	srv.Shutdown()
+	if cfg.DataDir != "" {
+		fmt.Fprintln(os.Stderr, "mlnserve: wal flushed and closed")
+	}
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

@@ -2,7 +2,10 @@
 // loopback port, then act as a client: create a session, stream a dirty
 // table in batches, trigger the clean, poll, and fetch the repairs. A second
 // session over the same rules demonstrates the model cache: the learned
-// Eq. 6 weights are preset and weight learning is skipped.
+// Eq. 6 weights are preset and weight learning is skipped. Each round also
+// pulls the repair audit trail (cell, old value, new value, attributed rule
+// and weight), and the final session is rolled back — the pre-repair table
+// restored from the server's log — before it is closed.
 //
 // Against a real daemon the same requests work verbatim — set BASE:
 //
@@ -34,7 +37,10 @@ func main() {
 	if base == "" {
 		// A real deployment runs `mlnserve`; here the handler serves
 		// loopback on port 0.
-		srv := server.New(server.ManagerConfig{DefaultWorkers: 2})
+		srv, err := server.New(server.ManagerConfig{DefaultWorkers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
 		defer srv.Shutdown()
 		ts := httptest.NewServer(srv)
 		defer ts.Close()
@@ -108,6 +114,37 @@ func main() {
 		fmt.Printf("  cleaned: %d rows, %d fused cells, %d duplicates removed, learned %d iterations, %d ms\n",
 			len(res.Rows), res.Stats.FSCRCellChanges, res.Stats.DuplicatesRemoved,
 			res.Stats.LearnIterations, res.WallMS)
+
+		// 5. Audit: the ordered repair trail — every applied cell change with
+		// the rule (and learned weight) it is attributed to.
+		var audit server.RepairsResponse
+		get(base+"/v1/sessions/"+info.ID+"/repairs", &audit)
+		fmt.Printf("  audit trail: %d repairs\n", len(audit.Repairs))
+		for i, rep := range audit.Repairs {
+			if i == 3 {
+				fmt.Printf("    ... and %d more\n", len(audit.Repairs)-3)
+				break
+			}
+			fmt.Printf("    tuple %d %s: %q -> %q (rule %s, weight %.3f)\n",
+				rep.Tuple, rep.Attr, rep.Old, rep.New, rep.Rule, rep.Weight)
+		}
+
+		// 6. Rollback (final round): restore the pre-repair values from the
+		// server's log and verify they match what was streamed.
+		if round == 2 {
+			var rb server.RollbackResponse
+			post(base+"/v1/sessions/"+info.ID+"/rollback", nil, &rb)
+			restored := 0
+			for i, row := range rb.Rows {
+				for j, v := range row {
+					if dirty.Tuples[i].Values[j] == v {
+						restored++
+					}
+				}
+			}
+			fmt.Printf("  rollback: reverted %d repairs, %d/%d cells match the original stream\n",
+				rb.Reverted, restored, len(rb.Rows)*dirty.Schema.Len())
+		}
 
 		del(base + "/v1/sessions/" + info.ID)
 	}

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"mlnclean/internal/wal"
+)
+
+// walPayload builds a deterministic pseudo-record of n bytes, sized like the
+// serving WAL's real traffic: a session-create record is a few hundred
+// bytes, a streamed tuple batch tens of KiB.
+func walPayload(n int) []byte {
+	p := make([]byte, n)
+	for i := range p {
+		p[i] = byte(i*131 + 17)
+	}
+	return p
+}
+
+// benchFS builds the filesystem variant under test: the crash-simulating
+// in-memory FS (pure framing + checksumming cost) or a real directory
+// (adds the page cache and fsync).
+func benchFS(b *testing.B, impl string) wal.FS {
+	b.Helper()
+	switch impl {
+	case "mem":
+		return wal.NewMemFS(wal.FaultPlan{})
+	case "dir":
+		fs, err := wal.DirFS(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return fs
+	}
+	b.Fatalf("unknown fs impl %q", impl)
+	return nil
+}
+
+// BenchmarkWALAppend measures the durable-append hot path — frame, CRC,
+// write, fsync — which sits on every acknowledged session mutation of the
+// serving API. The nosync variants isolate the fsync cost from the framing
+// cost; the dir variants pay a real fsync per append.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, impl := range []string{"mem", "dir"} {
+		for _, size := range []int{256, 16 << 10} {
+			for _, sync := range []bool{true, false} {
+				b.Run(fmt.Sprintf("fs=%s/size=%d/sync=%t", impl, size, sync), func(b *testing.B) {
+					lg, _, err := wal.Open(benchFS(b, impl), wal.Options{NoSync: !sync})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer lg.Close()
+					payload := walPayload(size)
+					b.SetBytes(int64(size))
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := lg.Append(payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkRecovery measures restart replay: reopening a populated log and
+// decoding every surviving frame. The snapshot variants compact most of the
+// log first, so replay is one snapshot read plus a short record tail — the
+// shape a long-running mlnserve converges to.
+func BenchmarkRecovery(b *testing.B) {
+	const size = 1 << 10
+	for _, records := range []int{1_000, 10_000} {
+		for _, snapshot := range []bool{false, true} {
+			name := fmt.Sprintf("records=%d/snapshot=%t", records, snapshot)
+			b.Run(name, func(b *testing.B) {
+				fs := wal.NewMemFS(wal.FaultPlan{})
+				lg, _, err := wal.Open(fs, wal.Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				payload := walPayload(size)
+				tail := records
+				if snapshot {
+					// Compact all but a short tail into a snapshot sized
+					// like the folded state of the logged records.
+					for i := 0; i < records-16; i++ {
+						if err := lg.Append(payload); err != nil {
+							b.Fatal(err)
+						}
+					}
+					if err := lg.Compact(walPayload((records - 16) * size)); err != nil {
+						b.Fatal(err)
+					}
+					tail = 16
+				}
+				for i := 0; i < tail; i++ {
+					if err := lg.Append(payload); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := lg.Close(); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					lg, rec, err := wal.Open(fs, wal.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(rec.Records) != tail || rec.Truncated() {
+						b.Fatalf("recovered %d records (truncated=%t), want %d clean", len(rec.Records), rec.Truncated(), tail)
+					}
+					if snapshot && rec.Snapshot == nil {
+						b.Fatal("snapshot not recovered")
+					}
+					lg.Close()
+				}
+			})
+		}
+	}
+}

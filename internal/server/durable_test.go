@@ -1,0 +1,627 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/wal"
+)
+
+// chaosSeeds returns the fault-plan seeds the crash-recovery suite runs
+// under: a small default locally, widened in CI via CHAOS_SEEDS=1,7,13,29
+// (the same knob internal/distributed's chaos suite uses).
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEEDS")
+	if env == "" {
+		return []int64{1, 7}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEEDS entry %q: %v", f, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+// splitRows slices a table into n near-equal row batches, the shipment
+// sequence every driver in this file shares so batch boundaries line up
+// across original, resumed, and re-created runs.
+func splitRows(tb *dataset.Table, n int) [][][]string {
+	per := (tb.Len() + n - 1) / n
+	var out [][][]string
+	for lo := 0; lo < tb.Len(); lo += per {
+		hi := min(lo+per, tb.Len())
+		rows := make([][]string, 0, hi-lo)
+		for _, tp := range tb.Tuples[lo:hi] {
+			rows = append(rows, tp.Values)
+		}
+		out = append(out, rows)
+	}
+	return out
+}
+
+func createSession(c *client, req CreateRequest) SessionInfo {
+	c.t.Helper()
+	var info SessionInfo
+	if code := c.do("POST", "/v1/sessions", req, &info); code != http.StatusCreated {
+		c.t.Fatalf("create session: status %d", code)
+	}
+	return info
+}
+
+func submitBatches(c *client, id string, batches [][][]string) {
+	c.t.Helper()
+	for i, b := range batches {
+		if code := c.do("POST", "/v1/sessions/"+id+"/tuples", TuplesRequest{Rows: b}, nil); code != http.StatusOK {
+			c.t.Fatalf("submit batch %d to %s: status %d", i, id, code)
+		}
+	}
+}
+
+func startClean(c *client, id string) {
+	c.t.Helper()
+	if code := c.do("POST", "/v1/sessions/"+id+"/clean", nil, nil); code != http.StatusAccepted {
+		c.t.Fatalf("clean %s: status %d", id, code)
+	}
+}
+
+func pollDone(c *client, id string) SessionInfo {
+	c.t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var st SessionInfo
+		if code := c.do("GET", "/v1/sessions/"+id, nil, &st); code != http.StatusOK {
+			c.t.Fatalf("poll %s: status %d", id, code)
+		}
+		switch st.State {
+		case StateDone:
+			return st
+		case StateFailed:
+			c.t.Fatalf("session %s failed: %s", id, st.Error)
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("session %s never finished cleaning", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getResult(c *client, id string) ResultResponse {
+	c.t.Helper()
+	var res ResultResponse
+	if code := c.do("GET", "/v1/sessions/"+id+"/result", nil, &res); code != http.StatusOK {
+		c.t.Fatalf("result %s: status %d", id, code)
+	}
+	return res
+}
+
+func getRepairs(c *client, id string) RepairsResponse {
+	c.t.Helper()
+	var reps RepairsResponse
+	if code := c.do("GET", "/v1/sessions/"+id+"/repairs", nil, &reps); code != http.StatusOK {
+		c.t.Fatalf("repairs %s: status %d", id, code)
+	}
+	return reps
+}
+
+// TestServeRestartEndToEnd is the happy-path durability contract over a real
+// directory: stream the hospital workload, shut down gracefully, restart on
+// the same data dir, and require the completed session to re-serve its
+// result and audit trail byte-identically, an open session to resume where
+// it stopped, a deleted session to stay gone, and a repeat workload to run
+// with zero learning iterations off the replayed weight vector. The small
+// SnapshotEvery forces several compactions, so replay exercises the
+// snapshot-plus-tail path, not just raw records.
+func TestServeRestartEndToEnd(t *testing.T) {
+	dirty, rs, rulesText := hospitalFixture(t)
+	want, err := core.Clean(dirty, rs, core.Options{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := splitRows(dirty, 3)
+	req := CreateRequest{Rules: rulesText, Attrs: dirty.Schema.Attrs(), Workers: 1, Tau: 2, Seed: 1}
+	cfg := ManagerConfig{DataDir: t.TempDir(), SnapshotEvery: 4}
+
+	srv1 := newTestServer(t, cfg)
+	ts1 := httptest.NewServer(srv1)
+	c1 := &client{t: t, base: ts1.URL}
+	if rec := srv1.Recovery(); rec == nil || rec.Records != 0 || rec.SessionsReplayed != 0 {
+		t.Fatalf("fresh data dir recovered %+v", rec)
+	}
+
+	// a: a full run, the byte-identity baseline.
+	a := createSession(c1, req)
+	submitBatches(c1, a.ID, batches)
+	startClean(c1, a.ID)
+	pollDone(c1, a.ID)
+	resA := getResult(c1, a.ID)
+	assertResultEquals(t, resA, want.Clean)
+	repsA := getRepairs(c1, a.ID)
+	if len(repsA.Repairs) == 0 {
+		t.Fatal("hospital run produced no repairs to audit")
+	}
+
+	// b: left open mid-stream; the restart must resume it, not lose it.
+	b := createSession(c1, req)
+	submitBatches(c1, b.ID, batches[:1])
+
+	// c: closed before shutdown; its tombstone must hold forever.
+	cs := createSession(c1, req)
+	if code := c1.do("DELETE", "/v1/sessions/"+cs.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("delete: status %d", code)
+	}
+
+	ts1.Close()
+	srv1.Shutdown() // graceful: flush + fsync + close, no tombstones
+
+	srv2 := newTestServer(t, cfg)
+	rec := srv2.Recovery()
+	if rec == nil {
+		t.Fatal("restart on a populated data dir reports no recovery")
+	}
+	if rec.SessionsReplayed != 2 || rec.SessionsTombstoned != 1 || rec.WeightVectors != 1 || rec.CleansRestarted != 0 {
+		t.Fatalf("recovery = %+v, want 2 replayed / 1 tombstoned / 1 weight vector / 0 restarted cleans", rec)
+	}
+	if rec.TruncatedBytes != 0 {
+		t.Fatalf("graceful shutdown left %d truncated bytes", rec.TruncatedBytes)
+	}
+	ts2 := httptest.NewServer(srv2)
+	c2 := &client{t: t, base: ts2.URL}
+
+	// The completed session re-serves byte-identically.
+	if resA2 := getResult(c2, a.ID); !reflect.DeepEqual(resA, resA2) {
+		t.Errorf("restored result differs:\n got %+v\nwant %+v", resA2, resA)
+	}
+	if repsA2 := getRepairs(c2, a.ID); !reflect.DeepEqual(repsA, repsA2) {
+		t.Errorf("restored audit trail differs:\n got %+v\nwant %+v", repsA2, repsA)
+	}
+
+	// The closed session stays closed.
+	if code := c2.do("GET", "/v1/sessions/"+cs.ID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("closed session resurrected across restart (status %d)", code)
+	}
+
+	// The open session picks up exactly where it stopped and, resumed with
+	// the remaining batches, produces the canonical result — warm-started
+	// from the replayed weight vector, so zero learning iterations.
+	var bInfo SessionInfo
+	if code := c2.do("GET", "/v1/sessions/"+b.ID, nil, &bInfo); code != http.StatusOK {
+		t.Fatalf("restored open session: status %d", code)
+	}
+	if bInfo.State != StateOpen || bInfo.Tuples != len(batches[0]) {
+		t.Fatalf("restored session state = %s with %d tuples, want open with %d", bInfo.State, bInfo.Tuples, len(batches[0]))
+	}
+	submitBatches(c2, b.ID, batches[1:])
+	startClean(c2, b.ID)
+	if info := pollDone(c2, b.ID); !info.WeightsCached {
+		t.Error("resumed session did not warm-start from the replayed weight vector")
+	}
+	resB := getResult(c2, b.ID)
+	assertResultEquals(t, resB, want.Clean)
+	if resB.Stats.LearnIterations != 0 {
+		t.Errorf("warm restart still learned (%d iterations)", resB.Stats.LearnIterations)
+	}
+
+	// /stats surfaces the recovery summary.
+	var stats StatsResponse
+	if code := c2.do("GET", "/v1/stats", nil, &stats); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if stats.Recovery == nil || stats.Recovery.SessionsReplayed != 2 {
+		t.Errorf("stats recovery = %+v, want the startup summary", stats.Recovery)
+	}
+
+	// Double close after replay: the first wins, the second is a clean 404.
+	if code := c2.do("DELETE", "/v1/sessions/"+a.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("close replayed session: status %d", code)
+	}
+	if code := c2.do("DELETE", "/v1/sessions/"+a.ID, nil, nil); code != http.StatusNotFound {
+		t.Errorf("double close after replay: status %d, want 404", code)
+	}
+
+	// Warm-data-dir repeat workload: a brand-new session over the same rules
+	// and options is cache-served end to end.
+	d := createSession(c2, req)
+	if !d.WeightsCached {
+		t.Error("fresh session on a warm data dir did not get cached weights")
+	}
+	submitBatches(c2, d.ID, batches)
+	startClean(c2, d.ID)
+	pollDone(c2, d.ID)
+	resD := getResult(c2, d.ID)
+	assertResultEquals(t, resD, want.Clean)
+	if resD.Stats.LearnIterations != 0 {
+		t.Errorf("repeat workload learned (%d iterations) despite the warm data dir", resD.Stats.LearnIterations)
+	}
+
+	ts2.Close()
+	srv2.Shutdown()
+
+	// Third generation: tombstones written after a replay hold too, and the
+	// twice-restored result is still byte-identical.
+	srv3 := newTestServer(t, cfg)
+	defer srv3.Shutdown()
+	if rec := srv3.Recovery(); rec.SessionsReplayed != 2 || rec.SessionsTombstoned != 2 {
+		t.Fatalf("second restart recovery = %+v, want 2 replayed / 2 tombstoned", rec)
+	}
+	ts3 := httptest.NewServer(srv3)
+	defer ts3.Close()
+	c3 := &client{t: t, base: ts3.URL}
+	for _, id := range []string{a.ID, cs.ID} {
+		if code := c3.do("GET", "/v1/sessions/"+id, nil, nil); code != http.StatusNotFound {
+			t.Errorf("session %s resurrected on the second restart (status %d)", id, code)
+		}
+	}
+	if resB2 := getResult(c3, b.ID); !reflect.DeepEqual(resB, resB2) {
+		t.Errorf("twice-restored result differs:\n got %+v\nwant %+v", resB2, resB)
+	}
+}
+
+// TestServeCrashRecoveryChaos drives the serving stack over the
+// fault-injecting in-memory filesystem and hard-crashes it mid-workload
+// under every fault mode: short writes, fsync errors, torn tails, and
+// bit-flipped frames. The invariant is the WAL contract seen from the API:
+// every acknowledged mutation survives the crash — the completed session
+// re-serves byte-identically, the deleted session never resurrects, no
+// acked tuple batch is lost — and whatever prefix the session under fire
+// recovered to can be driven to the canonical result.
+func TestServeCrashRecoveryChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos grid is not short")
+	}
+	dirty, rs, rulesText := hospitalFixture(t)
+	want, err := core.Clean(dirty, rs, core.Options{Tau: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := splitRows(dirty, 3)
+	req := CreateRequest{Rules: rulesText, Attrs: dirty.Schema.Attrs(), Workers: 1, Tau: 2, Seed: 1}
+
+	modes := []wal.FaultMode{wal.FaultNone, wal.FaultShortWrite, wal.FaultSyncError, wal.FaultTornTail, wal.FaultBitFlip}
+	for _, mode := range modes {
+		for _, seed := range chaosSeeds(t) {
+			t.Run(fmt.Sprintf("%v/seed=%d", mode, seed), func(t *testing.T) {
+				t.Parallel()
+				// Record appends, in order: the doomed session's create and
+				// tombstone (writes 1-2), then session a end to end (3-10:
+				// create, three batches, clean start, done, repairs, weights).
+				// The trigger lands inside session b's range (11-16), so
+				// everything before it is acked and must survive any crash.
+				at := 11 + int(seed%6)
+				fs := wal.NewMemFS(wal.FaultPlan{Seed: seed, Mode: mode, AtWrite: at, AtSync: at})
+				cfg := ManagerConfig{WALFS: fs, SnapshotEvery: 1 << 20}
+				srv1 := newTestServer(t, cfg)
+				ts1 := httptest.NewServer(srv1)
+				c1 := &client{t: t, base: ts1.URL}
+
+				// Deleted before the fault window: the acked tombstone must
+				// hold through every crash.
+				doomed := createSession(c1, CreateRequest{Rules: testRules, Attrs: []string{"CT", "ST"}, Workers: 1})
+				if code := c1.do("DELETE", "/v1/sessions/"+doomed.ID, nil, nil); code != http.StatusNoContent {
+					t.Fatalf("delete doomed session: status %d", code)
+				}
+
+				// Session a: a fully acked run, the byte-identity baseline.
+				a := createSession(c1, req)
+				submitBatches(c1, a.ID, batches)
+				startClean(c1, a.ID)
+				pollDone(c1, a.ID)
+				resA := getResult(c1, a.ID)
+				repsA := getRepairs(c1, a.ID)
+
+				// Session b: the one under fire. Drive it best-effort and
+				// record which mutations were acknowledged — past the fault
+				// the log is fail-stop and every durable mutation answers 500.
+				const bID = "s-000003" // third create on this manager
+				created, acked, cleanAcked := false, 0, false
+				var resB *ResultResponse
+				var bInfo SessionInfo
+				if code := c1.do("POST", "/v1/sessions", req, &bInfo); code == http.StatusCreated {
+					created = true
+					if bInfo.ID != bID {
+						t.Fatalf("session ids drifted: %s, want %s", bInfo.ID, bID)
+					}
+					for _, rows := range batches {
+						if code := c1.do("POST", "/v1/sessions/"+bID+"/tuples", TuplesRequest{Rows: rows}, nil); code != http.StatusOK {
+							break
+						}
+						acked++
+					}
+					if acked == len(batches) {
+						if code := c1.do("POST", "/v1/sessions/"+bID+"/clean", nil, nil); code == http.StatusAccepted {
+							cleanAcked = true
+							pollDone(c1, bID) // done is observable even if its record could not be logged
+							r := getResult(c1, bID)
+							resB = &r
+						}
+					}
+				}
+
+				// Crash: volatile bytes are dropped (or torn, mode depending)
+				// and every handle dies; then reboot over the survivors.
+				ts1.Close()
+				fs.Crash()
+				srv1.Shutdown()
+
+				srv2, err := New(cfg)
+				if err != nil {
+					t.Fatalf("restart after %v crash: %v", mode, err)
+				}
+				defer srv2.Shutdown()
+				rec := srv2.Recovery()
+				if rec == nil {
+					t.Fatal("restart reports no recovery summary")
+				}
+				if mode == wal.FaultShortWrite && rec.TruncatedBytes == 0 {
+					t.Error("short write durably persisted half a frame, but recovery reports no truncation")
+				}
+				ts2 := httptest.NewServer(srv2)
+				defer ts2.Close()
+				c2 := &client{t: t, base: ts2.URL}
+
+				if code := c2.do("GET", "/v1/sessions/"+doomed.ID, nil, nil); code != http.StatusNotFound {
+					t.Errorf("deleted session resurrected after %v crash (status %d)", mode, code)
+				}
+				if resA2 := getResult(c2, a.ID); !reflect.DeepEqual(resA, resA2) {
+					t.Errorf("recovered result for %s not byte-identical:\n got %+v\nwant %+v", a.ID, resA2, resA)
+				}
+				if repsA2 := getRepairs(c2, a.ID); !reflect.DeepEqual(repsA, repsA2) {
+					t.Errorf("recovered audit trail for %s not identical", a.ID)
+				}
+
+				// Session b recovered to its acked prefix (plus at most the
+				// one in-flight record a torn tail may have completed).
+				// Wherever it landed, drive it on to the canonical result.
+				var final ResultResponse
+				var info SessionInfo
+				code := c2.do("GET", "/v1/sessions/"+bID, nil, &info)
+				switch code {
+				case http.StatusNotFound:
+					if created {
+						t.Fatalf("acked session %s lost after %v crash", bID, mode)
+					}
+					// The create never acked; run the workload from scratch.
+					nb := createSession(c2, req)
+					submitBatches(c2, nb.ID, batches)
+					startClean(c2, nb.ID)
+					pollDone(c2, nb.ID)
+					final = getResult(c2, nb.ID)
+				case http.StatusOK:
+					ackedRows := 0
+					for _, rows := range batches[:acked] {
+						ackedRows += len(rows)
+					}
+					if info.Tuples < ackedRows {
+						t.Fatalf("acked rows lost: recovered %d tuples, acked %d", info.Tuples, ackedRows)
+					}
+					if info.State == StateOpen {
+						// Resume from the batch boundary the survivors end on.
+						k, rows := 0, 0
+						for k < len(batches) && rows < info.Tuples {
+							rows += len(batches[k])
+							k++
+						}
+						if rows != info.Tuples {
+							t.Fatalf("recovered tuple count %d is not a batch boundary", info.Tuples)
+						}
+						submitBatches(c2, bID, batches[k:])
+						startClean(c2, bID)
+					}
+					if info.State != StateDone {
+						pollDone(c2, bID)
+					}
+					final = getResult(c2, bID)
+				default:
+					t.Fatalf("recovered session %s: status %d", bID, code)
+				}
+				assertResultEquals(t, final, want.Clean)
+				if !final.WeightsCached {
+					t.Error("recovered run did not reuse the replayed weight vector")
+				}
+				if final.Stats.LearnIterations != 0 {
+					t.Errorf("recovered run relearned (%d iterations)", final.Stats.LearnIterations)
+				}
+				// When the completed run's record itself survived (no clean
+				// was restarted), the response must be byte-identical to the
+				// one served before the crash.
+				if resB != nil && cleanAcked && code == http.StatusOK && info.State == StateDone && rec.CleansRestarted == 0 {
+					if !reflect.DeepEqual(*resB, final) {
+						t.Errorf("logged result not byte-identical to the pre-crash response:\n got %+v\nwant %+v", final, *resB)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRollbackGoldenParity: the audit trail's old values are exactly the
+// dirty input cells, and rollback restores the byte-exact pre-repair table —
+// including across a restart, since the rollback itself is logged.
+func TestRollbackGoldenParity(t *testing.T) {
+	dirty, _, rulesText := hospitalFixture(t)
+	batches := splitRows(dirty, 3)
+	req := CreateRequest{Rules: rulesText, Attrs: dirty.Schema.Attrs(), Workers: 1, Tau: 2, Seed: 1}
+	cfg := ManagerConfig{DataDir: t.TempDir()}
+
+	srv := newTestServer(t, cfg)
+	ts := httptest.NewServer(srv)
+	c := &client{t: t, base: ts.URL}
+	s := createSession(c, req)
+	submitBatches(c, s.ID, batches)
+	startClean(c, s.ID)
+	info := pollDone(c, s.ID)
+
+	reps := getRepairs(c, s.ID)
+	if len(reps.Repairs) == 0 {
+		t.Fatal("hospital run produced no repairs")
+	}
+	if info.Repairs != len(reps.Repairs) {
+		t.Errorf("status reports %d repairs, trail has %d", info.Repairs, len(reps.Repairs))
+	}
+	attrIdx := make(map[string]int)
+	for i, a := range dirty.Schema.Attrs() {
+		attrIdx[a] = i
+	}
+	attributed := 0
+	for i, r := range reps.Repairs {
+		if i > 0 && r.Tuple < reps.Repairs[i-1].Tuple {
+			t.Fatalf("repair trail out of order at %d: tuple %d after %d", i, r.Tuple, reps.Repairs[i-1].Tuple)
+		}
+		j, ok := attrIdx[r.Attr]
+		if !ok {
+			t.Fatalf("repair %d names unknown attribute %q", i, r.Attr)
+		}
+		if got := dirty.Tuples[r.Tuple].Values[j]; got != r.Old {
+			t.Errorf("repair %d old value %q, dirty cell is %q", i, r.Old, got)
+		}
+		if r.New == r.Old {
+			t.Errorf("repair %d is a no-op (%q)", i, r.Old)
+		}
+		if r.Rule != "" {
+			attributed++
+			if r.Weight <= 0 {
+				t.Errorf("repair %d attributed to %s with non-positive weight %v", i, r.Rule, r.Weight)
+			}
+		}
+	}
+	if attributed == 0 {
+		t.Error("no repair carries a rule attribution")
+	}
+
+	// Rollback: the restored table is the dirty input, cell for cell.
+	var rb RollbackResponse
+	if code := c.do("POST", "/v1/sessions/"+s.ID+"/rollback", nil, &rb); code != http.StatusOK {
+		t.Fatalf("rollback: status %d", code)
+	}
+	if rb.Reverted != len(reps.Repairs) {
+		t.Errorf("rollback reverted %d repairs, trail has %d", rb.Reverted, len(reps.Repairs))
+	}
+	if len(rb.Rows) != dirty.Len() {
+		t.Fatalf("rollback returned %d rows, input had %d", len(rb.Rows), dirty.Len())
+	}
+	for i, tp := range dirty.Tuples {
+		if rb.IDs[i] != tp.ID {
+			t.Fatalf("rollback row %d: id %d, want %d", i, rb.IDs[i], tp.ID)
+		}
+		for j, v := range tp.Values {
+			if rb.Rows[i][j] != v {
+				t.Fatalf("rollback row %d col %d: %q, want the dirty input %q", i, j, rb.Rows[i][j], v)
+			}
+		}
+	}
+
+	// The result endpoint now serves the restored table, flagged.
+	res := getResult(c, s.ID)
+	if !res.RolledBack {
+		t.Error("result after rollback not flagged rolled_back")
+	}
+	for i, tp := range dirty.Tuples {
+		for j, v := range tp.Values {
+			if res.Rows[i][j] != v {
+				t.Fatalf("rolled-back result row %d col %d: %q, want %q", i, j, res.Rows[i][j], v)
+			}
+		}
+	}
+
+	// Idempotent: a second rollback is the same answer, not an error.
+	var rb2 RollbackResponse
+	if code := c.do("POST", "/v1/sessions/"+s.ID+"/rollback", nil, &rb2); code != http.StatusOK {
+		t.Fatalf("second rollback: status %d", code)
+	}
+	if !reflect.DeepEqual(rb, rb2) {
+		t.Error("second rollback differs from the first")
+	}
+
+	// The rollback is durable: a restart re-serves the restored table.
+	ts.Close()
+	srv.Shutdown()
+	srv2 := newTestServer(t, cfg)
+	defer srv2.Shutdown()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	c2 := &client{t: t, base: ts2.URL}
+	if res2 := getResult(c2, s.ID); !reflect.DeepEqual(res, res2) {
+		t.Errorf("rolled-back result not byte-identical across restart:\n got %+v\nwant %+v", res2, res)
+	}
+	reps2 := getRepairs(c2, s.ID)
+	if !reps2.RolledBack {
+		t.Error("restored audit trail not flagged rolled_back")
+	}
+	if !reflect.DeepEqual(reps.Repairs, reps2.Repairs) {
+		t.Error("restored audit trail differs")
+	}
+}
+
+// TestEvictionTombstoneNoResurrection: an idle eviction logs its tombstone
+// before the session disappears, so even a hard crash immediately after
+// cannot resurrect it; a graceful shutdown by contrast writes no tombstones
+// and resumes its sessions; and an eviction whose tombstone cannot be made
+// durable is not acknowledged — the session stays.
+func TestEvictionTombstoneNoResurrection(t *testing.T) {
+	fs := wal.NewMemFS(wal.FaultPlan{})
+	cfg := ManagerConfig{WALFS: fs, IdleTimeout: 50 * time.Millisecond, SweepInterval: time.Hour}
+
+	m := newTestManager(t, cfg)
+	s, err := m.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.EvictIdle(time.Now().Add(time.Second)); n != 1 {
+		t.Fatalf("EvictIdle = %d, want 1", n)
+	}
+	fs.Crash()
+	m.Shutdown()
+
+	m2 := newTestManager(t, cfg)
+	rec := m2.Recovery()
+	if rec.SessionsTombstoned != 1 || rec.SessionsReplayed != 0 {
+		t.Fatalf("recovery = %+v, want 1 tombstoned / 0 replayed", rec)
+	}
+	if _, err := m2.Get(s.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("evicted session resurrected after crash: %v", err)
+	}
+
+	// Graceful shutdown resumes sessions (no tombstones written).
+	s2, err := m2.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.Shutdown()
+	m3 := newTestManager(t, cfg)
+	if rec := m3.Recovery(); rec.SessionsReplayed != 1 {
+		t.Fatalf("recovery after graceful shutdown = %+v, want 1 replayed", rec)
+	}
+	if _, err := m3.Get(s2.ID); err != nil {
+		t.Fatalf("graceful shutdown lost session %s: %v", s2.ID, err)
+	}
+
+	// Fail-stop eviction: the create is append 1 (write+sync 1), the
+	// eviction tombstone is sync 2 — scripted to fail, so the eviction must
+	// not be acknowledged and the session must survive.
+	fsBad := wal.NewMemFS(wal.FaultPlan{Mode: wal.FaultSyncError, AtSync: 2})
+	m4 := newTestManager(t, ManagerConfig{WALFS: fsBad, IdleTimeout: 50 * time.Millisecond, SweepInterval: time.Hour})
+	s4, err := m4.Create(testCreateReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m4.EvictIdle(time.Now().Add(time.Second)); n != 0 {
+		t.Fatalf("eviction acknowledged without a durable tombstone (%d)", n)
+	}
+	if _, err := m4.Get(s4.ID); err != nil {
+		t.Fatalf("session evicted though its tombstone never hit disk: %v", err)
+	}
+}

@@ -11,18 +11,26 @@ import (
 
 // The session API, all JSON:
 //
-//	POST   /v1/sessions              create a session (rules text + schema)
-//	POST   /v1/sessions/{id}/tuples  stream one batch of rows
-//	POST   /v1/sessions/{id}/clean   start the cleaning run (async, 202)
-//	GET    /v1/sessions/{id}         poll session status
-//	GET    /v1/sessions/{id}/result  fetch the cleaned table + stats
-//	DELETE /v1/sessions/{id}         close the session
-//	GET    /v1/stats                 sessions + model-cache counters
-//	GET    /healthz                  liveness
+//	POST   /v1/sessions               create a session (rules text + schema)
+//	POST   /v1/sessions/{id}/tuples   stream one batch of rows
+//	POST   /v1/sessions/{id}/clean    start the cleaning run (async, 202)
+//	GET    /v1/sessions/{id}          poll session status
+//	GET    /v1/sessions/{id}/result   fetch the cleaned table + stats
+//	GET    /v1/sessions/{id}/repairs  ordered repair audit trail
+//	POST   /v1/sessions/{id}/rollback restore pre-repair values
+//	DELETE /v1/sessions/{id}          close the session
+//	GET    /v1/stats                  sessions + model-cache counters
+//	GET    /healthz                   liveness
 //
 // Backpressure: creating a session past the manager's cap returns 429 with
 // Retry-After. Sessions idle past the manager's timeout are evicted and
 // subsequent requests against them return 404.
+//
+// Durability: with ManagerConfig.DataDir set, every mutation above is
+// written to a write-ahead log before the 2xx goes out, and a restart on the
+// same directory replays it — live sessions resume, completed results (and
+// their audit trails) re-serve byte-identically, closed or evicted sessions
+// stay gone.
 
 // Server is the serving subsystem: a session manager plus a model cache
 // behind an http.Handler.
@@ -32,11 +40,16 @@ type Server struct {
 	mux   *http.ServeMux
 }
 
-// New builds a Server over a fresh manager and model cache.
-func New(cfg ManagerConfig) *Server {
+// New builds a Server over a fresh manager and model cache, replaying the
+// write-ahead log first when the config enables durability.
+func New(cfg ManagerConfig) (*Server, error) {
 	cache := NewModelCache()
+	mgr, err := NewManager(cfg, cache)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		mgr:   NewManager(cfg, cache),
+		mgr:   mgr,
 		cache: cache,
 		mux:   http.NewServeMux(),
 	}
@@ -45,12 +58,14 @@ func New(cfg ManagerConfig) *Server {
 	s.mux.HandleFunc("POST /v1/sessions/{id}/tuples", s.handleTuples)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/clean", s.handleClean)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/repairs", s.handleRepairs)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleRollback)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
@@ -63,6 +78,10 @@ func (s *Server) Manager() *Manager { return s.mgr }
 
 // Cache exposes the model cache (for tests and stats).
 func (s *Server) Cache() *ModelCache { return s.cache }
+
+// Recovery reports what startup replayed from the data directory; nil when
+// durability is off.
+func (s *Server) Recovery() *RecoverySummary { return s.mgr.Recovery() }
 
 // Shutdown closes every session and stops the eviction sweeper.
 func (s *Server) Shutdown() { s.mgr.Shutdown() }
@@ -147,10 +166,15 @@ func (s *Server) handleTuples(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.Submit(req.Rows); err != nil {
-		// Malformed rows are the client's fault (400); everything else is a
+		// Malformed rows are the client's fault (400); a durability failure
+		// is ours (500, the batch is NOT stored); everything else is a
 		// session-state conflict (409), worth retrying after a state change.
 		if errors.Is(err, ErrBadInput) {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if errors.Is(err, ErrDurability) {
+			writeError(w, http.StatusInternalServerError, err)
 			return
 		}
 		writeError(w, http.StatusConflict, err)
@@ -165,6 +189,10 @@ func (s *Server) handleClean(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.Clean(s.cache); err != nil {
+		if errors.Is(err, ErrDurability) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 		writeError(w, http.StatusConflict, err)
 		return
 	}
@@ -186,6 +214,9 @@ type ResultResponse struct {
 	WorkersLost   int   `json:"workers_lost"`
 	WeightsCached bool  `json:"weights_cached"`
 	WallMS        int64 `json:"wall_ms"`
+	// RolledBack marks that the session's repairs were reverted: Rows/IDs
+	// are the original streamed values, not the cleaned output.
+	RolledBack bool `json:"rolled_back,omitempty"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -199,17 +230,84 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info := sess.Info()
+	serve := res.Clean
+	rolled := false
+	if tb := sess.Restored(); tb != nil {
+		serve, rolled = tb, true
+	}
 	resp := ResultResponse{
-		Attrs:         res.Clean.Schema.Attrs(),
-		Rows:          make([][]string, res.Clean.Len()),
-		IDs:           make([]int, res.Clean.Len()),
+		Attrs:         serve.Schema.Attrs(),
+		Rows:          make([][]string, serve.Len()),
+		IDs:           make([]int, serve.Len()),
 		Stats:         res.Stats,
 		Workers:       res.Workers,
 		WorkersLost:   res.WorkersLost,
 		WeightsCached: info.WeightsCached,
 		WallMS:        res.WallTime.Milliseconds(),
+		RolledBack:    rolled,
 	}
-	for i, t := range res.Clean.Tuples {
+	for i, t := range serve.Tuples {
+		resp.Rows[i] = t.Values
+		resp.IDs[i] = t.ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// RepairsResponse is the session's ordered repair audit trail.
+type RepairsResponse struct {
+	Session    string   `json:"session"`
+	Repairs    []Repair `json:"repairs"`
+	RolledBack bool     `json:"rolled_back,omitempty"`
+}
+
+func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	reps, rolled, err := sess.Repairs()
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if reps == nil {
+		reps = []Repair{} // a clean table has an empty trail, not a null one
+	}
+	writeJSON(w, http.StatusOK, RepairsResponse{Session: sess.ID, Repairs: reps, RolledBack: rolled})
+}
+
+// RollbackResponse is the restored pre-repair table.
+type RollbackResponse struct {
+	Session string `json:"session"`
+	// Reverted is the number of audited repairs undone.
+	Reverted int        `json:"reverted"`
+	Attrs    []string   `json:"attrs"`
+	Rows     [][]string `json:"rows"`
+	IDs      []int      `json:"ids"`
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	tb, reverted, err := sess.Rollback()
+	if err != nil {
+		if errors.Is(err, ErrDurability) {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	resp := RollbackResponse{
+		Session:  sess.ID,
+		Reverted: reverted,
+		Attrs:    tb.Schema.Attrs(),
+		Rows:     make([][]string, tb.Len()),
+		IDs:      make([]int, tb.Len()),
+	}
+	for i, t := range tb.Tuples {
 		resp.Rows[i] = t.Values
 		resp.IDs[i] = t.ID
 	}
@@ -229,6 +327,9 @@ type StatsResponse struct {
 	Sessions    []SessionInfo `json:"sessions"`
 	MaxSessions int           `json:"max_sessions"`
 	Cache       CacheStats    `json:"cache"`
+	// Recovery reports what startup replayed from the WAL; absent when
+	// durability is off.
+	Recovery *RecoverySummary `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -236,5 +337,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions:    s.mgr.List(),
 		MaxSessions: s.mgr.cfg.MaxSessions,
 		Cache:       s.cache.Stats(),
+		Recovery:    s.mgr.Recovery(),
 	})
 }

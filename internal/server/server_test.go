@@ -36,6 +36,16 @@ func hospitalFixture(t *testing.T) (*dataset.Table, []*rules.Rule, string) {
 	return inj.Dirty, rs, strings.Join(lines, "\n")
 }
 
+// newTestServer builds a Server, failing the test on a config/replay error.
+func newTestServer(t *testing.T, cfg ManagerConfig) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // client is a minimal JSON client for the session API.
 type client struct {
 	t    *testing.T
@@ -138,7 +148,7 @@ func TestServeHospitalEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := New(ManagerConfig{})
+	srv := newTestServer(t, ManagerConfig{})
 	defer srv.Shutdown()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -217,7 +227,7 @@ func assertResultEquals(t *testing.T, got ResultResponse, want *dataset.Table) {
 
 // TestServeBackpressureHTTP maps the session cap to 429 + Retry-After.
 func TestServeBackpressureHTTP(t *testing.T) {
-	srv := New(ManagerConfig{MaxSessions: 1})
+	srv := newTestServer(t, ManagerConfig{MaxSessions: 1})
 	defer srv.Shutdown()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -267,7 +277,7 @@ func TestServeBackpressureHTTP(t *testing.T) {
 func TestSessionSurvivesWorkerDeath(t *testing.T) {
 	dirty, _, rulesText := hospitalFixture(t)
 
-	faulty := New(ManagerConfig{
+	faulty := newTestServer(t, ManagerConfig{
 		HeartbeatInterval: 20 * time.Millisecond,
 		WorkerTimeout:     250 * time.Millisecond,
 		TransportFor: func(name string) (distributed.TransportFactory, error) {
@@ -285,7 +295,7 @@ func TestSessionSurvivesWorkerDeath(t *testing.T) {
 	tsF := httptest.NewServer(faulty)
 	defer tsF.Close()
 
-	healthy := New(ManagerConfig{})
+	healthy := newTestServer(t, ManagerConfig{})
 	defer healthy.Shutdown()
 	tsH := httptest.NewServer(healthy)
 	defer tsH.Close()

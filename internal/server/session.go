@@ -12,6 +12,7 @@ import (
 	"mlnclean/internal/distributed"
 	"mlnclean/internal/index"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/wal"
 )
 
 // SessionState is a session's lifecycle position.
@@ -38,6 +39,12 @@ var ErrNotFound = fmt.Errorf("server: no such session")
 // ErrBadInput wraps client-input validation failures (malformed rows), so
 // the API can answer 400 instead of the 409 reserved for state conflicts.
 var ErrBadInput = fmt.Errorf("server: bad input")
+
+// ErrDurability wraps write-ahead-log failures: the mutation could not be
+// made durable, so it was not acknowledged. The log is fail-stop — once it
+// breaks, every subsequent durable mutation fails the same way (the API maps
+// it to 500).
+var ErrDurability = fmt.Errorf("server: durability failure")
 
 // CreateRequest are the parameters of a new cleaning session.
 type CreateRequest struct {
@@ -93,23 +100,33 @@ func (r CreateRequest) weightsFingerprint(workers int) string {
 
 // Session is one client's cleaning conversation: a schema, an interned
 // model, and a live executor accumulating streamed tuples until Clean.
+//
+// A session restored from the WAL in StateDone has no executor (ex is nil,
+// cancel a no-op): the logged result re-serves as-is and the session accepts
+// no further tuples, so nothing needs workers.
 type Session struct {
 	ID string
 
-	mu       sync.Mutex
-	state    SessionState
-	model    *Model
-	fp       string // weight-cache fingerprint of this session's options
-	schema   *dataset.Schema
-	workers  int
-	cached   bool // run started with cached weights (learning skipped)
-	ex       *distributed.Executor
-	cancel   context.CancelFunc
-	tuples   int
-	created  time.Time
-	lastUsed time.Time
-	res      *distributed.Result
-	runErr   error
+	mu        sync.Mutex
+	state     SessionState
+	model     *Model
+	fp        string // weight-cache fingerprint of this session's options
+	rulesText string // original rules source, for the weight-vector WAL record
+	schema    *dataset.Schema
+	workers   int
+	cached    bool // run started with cached weights (learning skipped)
+	ex        *distributed.Executor
+	cancel    context.CancelFunc
+	tuples    int
+	batches   [][][]string // streamed rows, per Submit call (audit + replay)
+	created   time.Time
+	lastUsed  time.Time
+	res       *distributed.Result
+	runErr    error
+	repairs   []Repair
+	rolled    *dataset.Table // pre-repair table, non-nil once rolled back
+	lostDone  int            // WorkersLost of a WAL-restored result (ex == nil)
+	wal       *walStore      // nil when durability is off
 }
 
 // SessionInfo is a session's externally visible status snapshot.
@@ -125,6 +142,8 @@ type SessionInfo struct {
 	WorkersLost   int          `json:"workers_lost"`
 	Tuples        int          `json:"tuples"`
 	WeightsCached bool         `json:"weights_cached"`
+	Repairs       int          `json:"repairs,omitempty"`
+	RolledBack    bool         `json:"rolled_back,omitempty"`
 	CreatedAt     time.Time    `json:"created_at"`
 	LastUsedAt    time.Time    `json:"last_used_at"`
 	Error         string       `json:"error,omitempty"`
@@ -134,14 +153,20 @@ type SessionInfo struct {
 func (s *Session) Info() SessionInfo {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	lost := s.lostDone
+	if s.ex != nil {
+		lost = s.ex.WorkersLost()
+	}
 	info := SessionInfo{
 		ID:            s.ID,
 		State:         s.state,
 		RulesHash:     s.model.Hash,
 		Workers:       s.workers,
-		WorkersLost:   s.ex.WorkersLost(),
+		WorkersLost:   lost,
 		Tuples:        s.tuples,
 		WeightsCached: s.cached,
+		Repairs:       len(s.repairs),
+		RolledBack:    s.rolled != nil,
 		CreatedAt:     s.created,
 		LastUsedAt:    s.lastUsed,
 	}
@@ -168,6 +193,18 @@ func (s *Session) Submit(rows [][]string) error {
 	if err := s.ex.Submit(batch); err != nil {
 		return err
 	}
+	// Copy the rows before logging/retaining: the client's decoder owns the
+	// originals. One record per Submit keeps batch boundaries, which the
+	// streaming partitioner's capacity growth is sensitive to — replay must
+	// ship the executor the identical shipment sequence.
+	kept := make([][]string, len(rows))
+	for i, row := range rows {
+		kept[i] = append([]string(nil), row...)
+	}
+	if err := s.wal.append(recBatch{ID: s.ID, Rows: kept}); err != nil {
+		return fmt.Errorf("%w: session %s: %v", ErrDurability, s.ID, err)
+	}
+	s.batches = append(s.batches, kept)
 	s.tuples += len(rows)
 	s.lastUsed = time.Now()
 	return nil
@@ -184,25 +221,112 @@ func (s *Session) Clean(cache *ModelCache) error {
 	if s.tuples == 0 {
 		return fmt.Errorf("server: session %s has no tuples", s.ID)
 	}
+	if err := s.wal.append(recCleanStart{ID: s.ID}); err != nil {
+		return fmt.Errorf("%w: session %s: %v", ErrDurability, s.ID, err)
+	}
 	s.state = StateCleaning
 	s.lastUsed = time.Now()
 	go func() {
 		res, err := s.ex.Run()
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		s.lastUsed = time.Now()
 		if err != nil {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			s.lastUsed = time.Now()
 			s.state = StateFailed
 			s.runErr = err
 			return
 		}
+		// Compute the audit trail and log the completion — result, repairs,
+		// and (when this run learned) the weight vector — before the done
+		// state becomes observable: a poller that saw "done" must find the
+		// result after a crash.
+		reps := computeRepairs(s.schema, s.batches, res.Repaired, s.model.Rules, res.MergedWeights)
+		s.wal.append(resultRecord(s, res))
+		s.wal.append(recRepairs{ID: s.ID, Repairs: reps})
+		if !s.cached && len(res.MergedWeights) > 0 {
+			s.wal.append(recWeights{
+				RulesHash:   s.model.Hash,
+				RulesText:   s.rulesText,
+				Fingerprint: s.fp,
+				Summaries:   index.CopySummaries(res.MergedWeights),
+			})
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.lastUsed = time.Now()
 		s.state = StateDone
 		s.res = res
+		s.repairs = reps
 		if !s.cached {
 			cache.StoreWeights(s.model, s.fp, res.MergedWeights)
 		}
 	}()
 	return nil
+}
+
+// resultRecord denormalizes a completed run into its WAL record: exactly
+// what the result endpoint serves.
+func resultRecord(s *Session, res *distributed.Result) recCleanDone {
+	rec := recCleanDone{
+		ID:          s.ID,
+		Attrs:       res.Clean.Schema.Attrs(),
+		Rows:        make([][]string, res.Clean.Len()),
+		IDs:         make([]int, res.Clean.Len()),
+		Stats:       res.Stats,
+		Workers:     res.Workers,
+		WorkersLost: res.WorkersLost,
+		WallMS:      res.WallTime.Milliseconds(),
+		Cached:      s.cached,
+	}
+	for i, t := range res.Clean.Tuples {
+		rec.Rows[i] = append([]string(nil), t.Values...)
+		rec.IDs[i] = t.ID
+	}
+	return rec
+}
+
+// Repairs returns the completed run's ordered audit trail and whether the
+// session has been rolled back.
+func (s *Session) Repairs() ([]Repair, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateDone {
+		return nil, false, fmt.Errorf("server: session %s is %s, repairs not ready", s.ID, s.state)
+	}
+	s.lastUsed = time.Now()
+	return s.repairs, s.rolled != nil, nil
+}
+
+// Rollback restores the pre-repair table from the session's logged batches:
+// after it, Result serves the original streamed values (flagged rolled
+// back). Idempotent; only valid on a done session.
+func (s *Session) Rollback() (*dataset.Table, int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != StateDone {
+		return nil, 0, fmt.Errorf("server: session %s is %s, cannot roll back", s.ID, s.state)
+	}
+	if s.rolled != nil {
+		return s.rolled, len(s.repairs), nil
+	}
+	tb, err := preRepairTable(s.schema, s.batches)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := s.wal.append(recRollback{ID: s.ID}); err != nil {
+		return nil, 0, fmt.Errorf("%w: session %s: %v", ErrDurability, s.ID, err)
+	}
+	s.rolled = tb
+	s.lastUsed = time.Now()
+	return tb, len(s.repairs), nil
+}
+
+// Restored returns the pre-repair table when the session has been rolled
+// back, else nil (serve the cleaned result).
+func (s *Session) Restored() *dataset.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rolled
 }
 
 // Result returns the completed run, or an error describing the session's
@@ -250,6 +374,22 @@ type ManagerConfig struct {
 	// distributed.TransportByName. Tests swap in fault-injecting wrappers
 	// to exercise sessions surviving worker deaths.
 	TransportFor func(name string) (distributed.TransportFactory, error)
+	// DataDir enables durability: every session mutation is written to a
+	// write-ahead log under this directory before it is acknowledged, and a
+	// restart on the same directory replays it — sessions rebuilt, model
+	// cache warmed, completed results re-served byte-identically. Empty
+	// (and WALFS nil) means in-memory only, the pre-durability behavior.
+	DataDir string
+	// WALFS overrides the log's filesystem (tests inject the fault-injecting
+	// crash-simulating wal.MemFS). Takes precedence over DataDir.
+	WALFS wal.FS
+	// SnapshotEvery compacts the log into a snapshot every N records
+	// (default 256). Smaller is tighter disk usage, larger is fewer
+	// compaction pauses.
+	SnapshotEvery int
+	// WALSegmentSize overrides the log's segment rotation size (default 4
+	// MiB); mainly for tests.
+	WALSegmentSize int64
 }
 
 func (c ManagerConfig) withDefaults() ManagerConfig {
@@ -271,6 +411,9 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 	if c.TransportFor == nil {
 		c.TransportFor = distributed.TransportByName
 	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
 	return c
 }
 
@@ -279,6 +422,8 @@ func (c ManagerConfig) withDefaults() ManagerConfig {
 type Manager struct {
 	cfg   ManagerConfig
 	cache *ModelCache
+	wal   *walStore // nil when durability is off
+	rec   *RecoverySummary
 
 	mu       sync.Mutex
 	sessions map[string]*Session
@@ -290,8 +435,11 @@ type Manager struct {
 }
 
 // NewManager starts a session manager (and its eviction sweeper) over the
-// given model cache.
-func NewManager(cfg ManagerConfig, cache *ModelCache) *Manager {
+// given model cache. With durability configured (DataDir or WALFS) it first
+// replays the write-ahead log: rebuilds logged sessions, warms the model
+// cache with logged weight vectors, restarts interrupted cleans, and
+// positions the log for appending.
+func NewManager(cfg ManagerConfig, cache *ModelCache) (*Manager, error) {
 	m := &Manager{
 		cfg:       cfg.withDefaults(),
 		cache:     cache,
@@ -299,13 +447,241 @@ func NewManager(cfg ManagerConfig, cache *ModelCache) *Manager {
 		stopSweep: make(chan struct{}),
 		sweepDone: make(chan struct{}),
 	}
+	fs, err := openWAL(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	if fs != nil {
+		if err := m.replay(fs); err != nil {
+			return nil, err
+		}
+	}
 	go m.sweep()
-	return m
+	return m, nil
+}
+
+// Recovery reports what the manager replayed at startup; nil when
+// durability is off.
+func (m *Manager) Recovery() *RecoverySummary { return m.rec }
+
+// replay opens the log on fs, folds its surviving records, and rebuilds the
+// live world. Sessions restore in creation order; restored sessions do not
+// count against MaxSessions (they were admitted before the restart).
+func (m *Manager) replay(fs wal.FS) error {
+	lg, rec, err := wal.Open(fs, wal.Options{
+		SegmentSize: m.cfg.WALSegmentSize,
+		Validate: func(p []byte) error {
+			_, err := decodeRecord(p)
+			return err
+		},
+	})
+	if err != nil {
+		return err
+	}
+	st := newReplayState()
+	if rec.Snapshot != nil {
+		if st, err = decodeState(rec.Snapshot); err != nil {
+			lg.Close()
+			return err
+		}
+	}
+	for _, p := range rec.Records {
+		r, err := decodeRecord(p)
+		if err != nil {
+			continue // unreachable: the Validate hook truncated these
+		}
+		st.apply(r)
+	}
+	sum := &RecoverySummary{
+		SessionsTombstoned: st.Tombstones,
+		WeightVectors:      len(st.Weights),
+		Records:            len(rec.Records),
+		TruncatedBytes:     rec.TruncatedBytes,
+	}
+	// Warm the model cache: repeat workloads (and restarted cleans below)
+	// start from the logged weight vectors and skip learning.
+	for _, w := range st.Weights {
+		if model, _, err := m.cache.Intern(w.RulesText); err == nil {
+			m.cache.StoreWeights(model, w.Fingerprint, w.Summaries)
+		}
+	}
+	m.seq = st.Seq
+	var restart []*Session
+	for _, id := range st.Order {
+		s, err := m.restore(id, st.Sessions[id])
+		if err != nil {
+			sum.SessionsFailed++
+			continue
+		}
+		m.sessions[id] = s
+		sum.SessionsReplayed++
+		if st.Sessions[id].Cleaning {
+			restart = append(restart, s)
+		}
+	}
+	m.wal = &walStore{log: lg, st: st, every: m.cfg.SnapshotEvery}
+	m.rec = sum
+	// Attach the log only now: the restores above must not re-log the
+	// records they were built from.
+	for _, s := range m.sessions {
+		s.wal = m.wal
+	}
+	// Restart interrupted cleans from their logged batches. The re-logged
+	// clean-start record is idempotent under replay.
+	for _, s := range restart {
+		if err := s.Clean(m.cache); err == nil {
+			sum.CleansRestarted++
+		}
+	}
+	return nil
+}
+
+// restore rebuilds one session from its folded log state. Open and
+// mid-clean sessions get a fresh executor re-fed the logged batches
+// (boundaries preserved); done sessions carry the logged result directly and
+// need no executor.
+func (m *Manager) restore(id string, snap *sessSnap) (*Session, error) {
+	model, _, err := m.cache.Intern(snap.Req.Rules)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := dataset.NewSchema(snap.Req.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	workers := snap.Req.Workers
+	if workers <= 0 {
+		workers = m.cfg.DefaultWorkers
+	}
+	now := time.Now()
+	s := &Session{
+		ID:        id,
+		model:     model,
+		fp:        snap.Req.weightsFingerprint(workers),
+		rulesText: snap.Req.Rules,
+		schema:    schema,
+		workers:   workers,
+		batches:   snap.Batches,
+		repairs:   snap.Repairs,
+		created:   time.Unix(0, snap.Created),
+		lastUsed:  now,
+	}
+	for _, b := range snap.Batches {
+		s.tuples += len(b)
+	}
+	if snap.RolledBack {
+		if s.rolled, err = preRepairTable(schema, snap.Batches); err != nil {
+			return nil, err
+		}
+	}
+	if done := snap.Done; done != nil {
+		res, err := resultFromRecord(done)
+		if err != nil {
+			return nil, err
+		}
+		s.state = StateDone
+		s.res = res
+		s.cached = done.Cached
+		s.lostDone = done.WorkersLost
+		s.cancel = func() {}
+		return s, nil
+	}
+
+	// Open (or interrupted mid-clean): rebuild the executor exactly like
+	// Create, replaying the logged batches shipment by shipment.
+	factory, err := m.cfg.TransportFor(snap.Req.Transport)
+	if err != nil {
+		return nil, err
+	}
+	var preset []index.PieceSummary
+	if !snap.Req.FreshWeights {
+		preset = m.cache.TakeWeights(model, s.fp)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	ex, err := distributed.NewExecutorContext(ctx, schema, model.Rules, executorOptions(snap.Req, workers, factory, preset, model, m.cfg))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	for bi, b := range snap.Batches {
+		batch := dataset.NewTable(schema)
+		for _, row := range b {
+			if _, err := batch.Append(row...); err != nil {
+				cancel()
+				return nil, fmt.Errorf("server: replay session %s batch %d: %w", id, bi, err)
+			}
+		}
+		if err := ex.Submit(batch); err != nil {
+			cancel()
+			return nil, fmt.Errorf("server: replay session %s batch %d: %w", id, bi, err)
+		}
+	}
+	s.state = StateOpen
+	s.cached = len(preset) > 0
+	s.ex = ex
+	s.cancel = cancel
+	return s, nil
+}
+
+// resultFromRecord rebuilds a servable result from its log record.
+func resultFromRecord(rec *recCleanDone) (*distributed.Result, error) {
+	schema, err := dataset.NewSchema(rec.Attrs...)
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.Rows) != len(rec.IDs) {
+		return nil, fmt.Errorf("server: result record: %d rows, %d ids", len(rec.Rows), len(rec.IDs))
+	}
+	tb := dataset.NewTable(schema)
+	for i, row := range rec.Rows {
+		t, err := tb.Append(row...)
+		if err != nil {
+			return nil, err
+		}
+		t.ID = rec.IDs[i]
+	}
+	return &distributed.Result{
+		Clean:       tb,
+		Workers:     rec.Workers,
+		WorkersLost: rec.WorkersLost,
+		WallTime:    time.Duration(rec.WallMS) * time.Millisecond,
+		Stats:       rec.Stats,
+	}, nil
+}
+
+// executorOptions derives a session executor's options from its create
+// request — shared by Create and WAL replay, which must configure the
+// executor identically for the replayed run to be deterministic.
+func executorOptions(req CreateRequest, workers int, factory distributed.TransportFactory, preset []index.PieceSummary, model *Model, cfg ManagerConfig) distributed.Options {
+	opts := distributed.Options{
+		Workers:           workers,
+		Seed:              req.Seed,
+		Transport:         factory,
+		BatchSize:         req.BatchSize,
+		PresetWeights:     preset,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		WorkerTimeout:     cfg.WorkerTimeout,
+		// Per-session dictionary over the model's frozen vocabulary: the
+		// coordinator interns streamed tuples into it (partitioning + gather
+		// FSCR); values already named by the model's rules or cached weight
+		// vectors resolve to base IDs without per-session re-interning.
+		Dict: intern.NewDictWithBase(model.Vocabulary()),
+		Core: core.Options{
+			Tau:            req.Tau,
+			Metric:         metricFor(req.Metric),
+			KeepDuplicates: req.KeepDuplicates,
+		},
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	return opts
 }
 
 // Create opens a new session: interns the rule set, validates it against the
 // schema, and starts an executor seeded with cached weights when the model
-// has them. Returns ErrBusy at the session cap.
+// has them. Returns ErrBusy at the session cap. With durability on, the
+// session is acknowledged only after its create record is on disk.
 func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	model, _, err := m.cache.Intern(req.Rules)
 	if err != nil {
@@ -333,28 +709,7 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	if !req.FreshWeights {
 		preset = m.cache.TakeWeights(model, fp)
 	}
-	opts := distributed.Options{
-		Workers:           workers,
-		Seed:              req.Seed,
-		Transport:         factory,
-		BatchSize:         req.BatchSize,
-		PresetWeights:     preset,
-		HeartbeatInterval: m.cfg.HeartbeatInterval,
-		WorkerTimeout:     m.cfg.WorkerTimeout,
-		// Per-session dictionary over the model's frozen vocabulary: the
-		// coordinator interns streamed tuples into it (partitioning + gather
-		// FSCR); values already named by the model's rules or cached weight
-		// vectors resolve to base IDs without per-session re-interning.
-		Dict: intern.NewDictWithBase(model.Vocabulary()),
-		Core: core.Options{
-			Tau:            req.Tau,
-			Metric:         metricFor(req.Metric),
-			KeepDuplicates: req.KeepDuplicates,
-		},
-	}
-	if opts.Seed == 0 {
-		opts.Seed = 1
-	}
+	opts := executorOptions(req, workers, factory, preset, model, m.cfg)
 
 	m.mu.Lock()
 	if m.closed {
@@ -382,24 +737,38 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	}
 	now := time.Now()
 	s := &Session{
-		ID:       id,
-		state:    StateOpen,
-		model:    model,
-		fp:       fp,
-		schema:   schema,
-		workers:  workers,
-		cached:   len(preset) > 0,
-		ex:       ex,
-		cancel:   cancel,
-		created:  now,
-		lastUsed: now,
+		ID:        id,
+		state:     StateOpen,
+		model:     model,
+		fp:        fp,
+		rulesText: req.Rules,
+		schema:    schema,
+		workers:   workers,
+		cached:    len(preset) > 0,
+		ex:        ex,
+		cancel:    cancel,
+		created:   now,
+		lastUsed:  now,
+		wal:       m.wal,
+	}
+	// Log the create before the session becomes reachable: an acknowledged
+	// session id must survive a crash.
+	if err := s.wal.append(recCreate{ID: id, Req: req, Created: now.UnixNano()}); err != nil {
+		cancel()
+		m.mu.Lock()
+		delete(m.sessions, id)
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrDurability, err)
 	}
 	m.mu.Lock()
 	if _, reserved := m.sessions[id]; !reserved || m.closed {
 		// The reservation was swept away by Shutdown (or an explicit Close)
-		// while the executor was spinning up.
+		// while the executor was spinning up. The create was already logged;
+		// tombstone it (best-effort) so the unacknowledged session does not
+		// resurrect on replay.
 		m.mu.Unlock()
 		cancel()
+		s.wal.append(recTombstone{ID: id})
 		return nil, fmt.Errorf("server: manager shut down")
 	}
 	m.sessions[id] = s
@@ -420,13 +789,25 @@ func (m *Manager) Get(id string) (*Session, error) {
 
 // Close tears a session down and frees its slot. Closing twice (or closing
 // an evicted session) returns ErrNotFound; the teardown itself is
-// idempotent.
+// idempotent. The tombstone is logged before the session disappears, so an
+// acknowledged close can never resurrect on replay.
 func (m *Manager) Close(id string) error {
 	m.mu.Lock()
 	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return ErrNotFound
+	}
+	if err := m.wal.append(recTombstone{ID: id}); err != nil {
+		return fmt.Errorf("%w: %v", ErrDurability, err)
+	}
+	m.mu.Lock()
+	s = m.sessions[id]
 	delete(m.sessions, id)
 	m.mu.Unlock()
 	if s == nil {
+		// A concurrent Close won the race after both logged tombstones;
+		// replayState.apply ignores the duplicate.
 		return ErrNotFound
 	}
 	s.close()
@@ -459,11 +840,12 @@ func (m *Manager) List() []SessionInfo {
 
 // EvictIdle closes every session idle past the timeout as of now, returning
 // how many were evicted. Sessions mid-clean are exempt — their lastUsed is
-// refreshed when the run completes.
+// refreshed when the run completes. Each eviction logs its tombstone before
+// the session is removed, so an evicted session cannot resurrect on replay.
 func (m *Manager) EvictIdle(now time.Time) int {
 	m.mu.Lock()
-	var victims []*Session
-	for id, s := range m.sessions {
+	var candidates []*Session
+	for _, s := range m.sessions {
 		if s == nil {
 			continue
 		}
@@ -472,15 +854,27 @@ func (m *Manager) EvictIdle(now time.Time) int {
 			continue
 		}
 		if now.Sub(info.LastUsedAt) > m.cfg.IdleTimeout {
-			victims = append(victims, s)
-			delete(m.sessions, id)
+			candidates = append(candidates, s)
 		}
 	}
 	m.mu.Unlock()
-	for _, s := range victims {
-		s.close()
+	evicted := 0
+	for _, s := range candidates {
+		if err := m.wal.append(recTombstone{ID: s.ID}); err != nil {
+			// Durability broke (fail-stop): keep the session rather than
+			// evict one whose tombstone is not on disk.
+			continue
+		}
+		m.mu.Lock()
+		_, live := m.sessions[s.ID]
+		delete(m.sessions, s.ID)
+		m.mu.Unlock()
+		if live {
+			s.close()
+			evicted++
+		}
 	}
-	return len(victims)
+	return evicted
 }
 
 func (m *Manager) sweep() {
@@ -497,7 +891,9 @@ func (m *Manager) sweep() {
 	}
 }
 
-// Shutdown stops the sweeper and closes every session.
+// Shutdown stops the sweeper and closes every session. With durability on,
+// the WAL is flushed, fsynced, and closed — no tombstones are written, so a
+// restart on the same data directory resumes the sessions. Idempotent.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
 	if m.closed {
@@ -518,6 +914,7 @@ func (m *Manager) Shutdown() {
 	for _, s := range victims {
 		s.close()
 	}
+	m.wal.close()
 }
 
 // metricFor resolves a metric name, defaulting like the CLI does.

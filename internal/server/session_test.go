@@ -20,7 +20,10 @@ func testCreateReq() CreateRequest {
 // sweeping delays, cleaned up with the test.
 func newTestManager(t *testing.T, cfg ManagerConfig) *Manager {
 	t.Helper()
-	m := NewManager(cfg, NewModelCache())
+	m, err := NewManager(cfg, NewModelCache())
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(m.Shutdown)
 	return m
 }
