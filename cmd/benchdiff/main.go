@@ -1,8 +1,8 @@
 // Command benchdiff compares two benchrunner -json documents and flags
 // experiments whose elapsed time regressed beyond a threshold. CI runs it
-// against the committed BENCH_PR4.json baseline:
+// against the committed BENCH_PR7.json baseline:
 //
-//	benchdiff -baseline BENCH_PR4.json -current BENCH_new.json [-fail-over 0.30]
+//	benchdiff -baseline BENCH_PR7.json -current BENCH_new.json [-fail-over 0.30]
 //
 // Output is one line per experiment; regressions beyond the threshold print
 // as GitHub Actions ::warning:: annotations. Two modes:
@@ -54,7 +54,7 @@ func load(path string) (map[string]int64, string, error) {
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "BENCH_PR4.json", "committed baseline document")
+		baseline  = flag.String("baseline", "BENCH_PR7.json", "committed baseline document")
 		current   = flag.String("current", "", "freshly generated document")
 		threshold = flag.Float64("threshold", 0.30, "relative slowdown that triggers a warning")
 		minMS     = flag.Int64("min-ms", 50, "ignore experiments faster than this in the baseline (noise)")

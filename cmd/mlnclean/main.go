@@ -43,6 +43,8 @@ type runConfig struct {
 	transport                string
 	batchSize                int
 	seed                     int64
+	noPlanner                bool
+	showPlan                 bool
 }
 
 func main() {
@@ -58,6 +60,8 @@ func main() {
 	flag.StringVar(&cfg.transport, "transport", "chan", "distributed transport: chan|gob|http")
 	flag.IntVar(&cfg.batchSize, "batch", 1024, "tuples per distributed partition shipment")
 	flag.Int64Var(&cfg.seed, "seed", 1, "partition centroid seed (distributed only)")
+	flag.BoolVar(&cfg.noPlanner, "no-planner", false, "disable the selectivity-driven rule planner (declared-order full scans)")
+	flag.BoolVar(&cfg.showPlan, "show-plan", false, "print the rule planner's per-rule scan choices to stderr")
 	flag.Parse()
 	if cfg.input == "" || cfg.rulesPath == "" {
 		flag.Usage()
@@ -87,6 +91,7 @@ func run(cfg runConfig) error {
 		Tau:            cfg.tau,
 		Metric:         distance.ByName(cfg.metricName),
 		KeepDuplicates: cfg.keepDups,
+		DisablePlanner: cfg.noPlanner,
 	}
 	start := time.Now()
 	var (
@@ -110,6 +115,7 @@ func run(cfg runConfig) error {
 		}
 		clean = res.Clean
 		stats = res.Stats
+		printPlan(cfg, res.Plan)
 		if cfg.verbose {
 			fmt.Fprintf(os.Stderr, "distributed: %d workers (%s transport), parts=%v, wall=%v, modeled cluster=%v\n",
 				res.Workers, cfg.transport, res.PartSizes,
@@ -122,6 +128,11 @@ func run(cfg runConfig) error {
 		}
 		clean = res.Clean
 		stats = res.Stats
+		lines := make([]string, 0, len(res.Index.Plan().Choices()))
+		for _, c := range res.Index.Plan().Choices() {
+			lines = append(lines, c.String())
+		}
+		printPlan(cfg, lines)
 	}
 	if cfg.verbose {
 		fmt.Fprintf(os.Stderr, "cleaned %d tuples with %d rules in %v\n", dirty.Len(), len(rs), time.Since(start).Round(time.Millisecond))
@@ -133,4 +144,19 @@ func run(cfg runConfig) error {
 		return clean.WriteCSV(os.Stdout)
 	}
 	return clean.WriteCSVFile(cfg.output)
+}
+
+// printPlan dumps the rule planner's per-rule scan choices — why each rule's
+// evaluation was ordered the way it was — when asked for.
+func printPlan(cfg runConfig, lines []string) {
+	if !cfg.showPlan {
+		return
+	}
+	if len(lines) == 0 {
+		fmt.Fprintln(os.Stderr, "plan: (planner disabled)")
+		return
+	}
+	for _, l := range lines {
+		fmt.Fprintf(os.Stderr, "plan: %s\n", l)
+	}
 }

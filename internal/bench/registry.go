@@ -47,6 +47,7 @@ func buildRegistry() map[string]Experiment {
 	add("ablation-mergecap", "AGP merge-distance cap vs unconditional merge", AblationMergeCap)
 	add("ablation-weightmerge", "Eq. 6 weight merge on vs off (distributed)", AblationWeightMerge)
 	add("ablation-agp", "AGP merge-target strategy: nearest vs support-biased", AblationAGPStrategy)
+	add("ablation-planner", "selectivity-driven rule planner on vs off (stage I)", AblationPlanner)
 	return reg
 }
 

@@ -20,11 +20,11 @@ import (
 // symmetrically (γ⋆ values repeat across sources) and the per-pair DP is
 // bounded by the running best, so hopeless targets abandon early.
 //
-// Returns the number of abnormal groups detected and the total γ count
-// inside them (#dag).
-func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces int) {
+// Returns the number of abnormal groups detected, the total γ count inside
+// them (#dag), and the number of promotions (0 or 1).
+func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces, promotions int) {
 	if len(b.Groups) <= 1 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	var abnormalGroups, normalGroups []*index.Group
 	for _, g := range b.Groups {
@@ -35,11 +35,13 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 		}
 	}
 	if len(abnormalGroups) == 0 {
-		return 0, 0
+		return 0, 0, 0
 	}
 	if len(normalGroups) == 0 {
 		// Promote the largest abnormal group (ties: lexicographic key) to
-		// normal so every other group has a merge target.
+		// normal so every other group has a merge target, and record the
+		// promotion — repair audits must see that this block was degenerate
+		// and which group the others were measured against.
 		sort.Slice(abnormalGroups, func(i, j int) bool {
 			ti, tj := abnormalGroups[i].TupleCount(), abnormalGroups[j].TupleCount()
 			if ti != tj {
@@ -49,8 +51,21 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 		})
 		normalGroups = abnormalGroups[:1]
 		abnormalGroups = abnormalGroups[1:]
+		promotions = 1
+		promo := AGPMerge{
+			BlockIndex:   blockIdx,
+			RuleID:       b.Rule.ID,
+			SourceKey:    normalGroups[0].Key,
+			SourcePieces: len(normalGroups[0].Pieces),
+			Promoted:     true,
+		}
+		for _, p := range normalGroups[0].Pieces {
+			promo.SourceTuples = append(promo.SourceTuples, p.TupleIDs...)
+		}
+		sort.Ints(promo.SourceTuples)
+		tr.addAGP(promo)
 		if len(abnormalGroups) == 0 {
-			return 0, 0
+			return 0, 0, promotions
 		}
 	}
 
@@ -91,6 +106,12 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 			}
 			d := ev.ValuesBounded(sids, targets[i].ids, bound)
 			score := d / targets[i].discount
+			// Order independence: strictly better score wins; an exact score
+			// tie falls to the explicit key comparison, never to the scan
+			// order of targets. A candidate whose true score ties bestScore
+			// has d == bound exactly, which the bounded evaluator returns
+			// exactly (it only clips strictly past the bound), so clipping
+			// cannot hide a tie.
 			if score < bestScore || (score == bestScore && best >= 0 && targets[i].g.Key < targets[best].g.Key) {
 				bestScore = score
 				bestD = d
@@ -115,7 +136,7 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 		}
 		tr.addAGP(merge)
 	}
-	return abnormal, abnormalPieces
+	return abnormal, abnormalPieces, promotions
 }
 
 // maxRuneLen returns the larger total rune length of the two value-ID

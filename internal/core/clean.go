@@ -52,10 +52,13 @@ func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, o
 	if dirty == nil || dirty.Len() == 0 {
 		return nil, fmt.Errorf("core: empty input table")
 	}
-	ix, err := index.Build(dirty, rs)
+	ix, err := index.BuildConfigured(dirty, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner})
 	if err != nil {
 		return nil, err
 	}
+	// Record why the planner ordered evaluation the way it did; the CLI and
+	// /v1/stats surface these lines.
+	opts.Trace.SetPlan(ix.Plan().Choices())
 	st := Stats{Tuples: dirty.Len(), Blocks: len(ix.Blocks)}
 
 	// Stage I: clean each block's data version independently (§5.1).

@@ -61,6 +61,11 @@ type Options struct {
 	MinimalityPriorSet bool
 	// KeepDuplicates skips the final duplicate-elimination step.
 	KeepDuplicates bool
+	// DisablePlanner turns off the selectivity-driven rule planner: the MLN
+	// index is built by the fixed-order row scan and stage-I blocks run in
+	// rule order. The planner never changes the cleaning outcome (only
+	// evaluation order), so this is a comparison/debugging switch.
+	DisablePlanner bool
 	// Trace, when non-nil, collects the per-phase decisions needed by the
 	// component metrics of §7.3 (Precision/Recall-A/R/F, #dag).
 	Trace *Trace
@@ -126,6 +131,7 @@ type Stats struct {
 	Groups            int
 	AbnormalGroups    int
 	AbnormalPieces    int // #dag: γs inside detected abnormal groups
+	AGPPromotions     int // abnormal groups promoted to normal in blocks with no normal group
 	RSCRepairs        int // pieces rewritten by RSC
 	FSCRCellChanges   int // cells changed during fusion (vs dirty input)
 	FusionFailures    int // tuples whose every fusion order conflicted out
@@ -144,6 +150,7 @@ func (s *Stats) Add(o Stats) {
 	s.Groups += o.Groups
 	s.AbnormalGroups += o.AbnormalGroups
 	s.AbnormalPieces += o.AbnormalPieces
+	s.AGPPromotions += o.AGPPromotions
 	s.RSCRepairs += o.RSCRepairs
 	s.FSCRCellChanges += o.FSCRCellChanges
 	s.FusionFailures += o.FusionFailures

@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+	"mlnclean/internal/intern"
+	"mlnclean/internal/rules"
+)
+
+// --- forEachBlock worker pool -------------------------------------------
+
+func poolIndex(t *testing.T, blocks int) *index.Index {
+	t.Helper()
+	tb := dataset.NewTable(dataset.MustSchema("A", "B"))
+	tb.MustAppend("x", "1")
+	tb.MustAppend("x", "2")
+	rs := make([]*rules.Rule, blocks)
+	for i := range rs {
+		rs[i] = rules.MustParseStrings("FD: A -> B")[0]
+	}
+	ix, err := index.Build(tb, rs)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return ix
+}
+
+// TestForEachBlockVisitsAll: the bounded pool must visit every block
+// exactly once regardless of the parallelism setting.
+func TestForEachBlockVisitsAll(t *testing.T) {
+	for _, par := range []int{1, 2, 7, 64} {
+		ix := poolIndex(t, 9)
+		visited := make([]int, len(ix.Blocks))
+		err := forEachBlock(context.Background(), ix, Options{Parallelism: par}, func(bi int, b *index.Block) error {
+			visited[bi]++ // distinct bi per call; each index written once
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		for bi, n := range visited {
+			if n != 1 {
+				t.Errorf("par=%d: block %d visited %d times", par, bi, n)
+			}
+		}
+	}
+}
+
+// TestForEachBlockFirstErrorWins: when several blocks fail, the error
+// reported is the one with the lowest block index — independent of the
+// scheduling order the pool ran them in.
+func TestForEachBlockFirstErrorWins(t *testing.T) {
+	ix := poolIndex(t, 16)
+	for _, par := range []int{1, 4} {
+		err := forEachBlock(context.Background(), ix, Options{Parallelism: par}, func(bi int, b *index.Block) error {
+			if bi >= 3 {
+				return fmt.Errorf("block %d failed", bi)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "block 3 failed" {
+			t.Errorf("par=%d: err = %v, want block 3's error", par, err)
+		}
+	}
+}
+
+// TestForEachBlockCancelSkips: blocks not yet started when the context is
+// cancelled are skipped, and the stage reports the context error.
+func TestForEachBlockCancelSkips(t *testing.T) {
+	ix := poolIndex(t, 32)
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := forEachBlock(ctx, ix, Options{Parallelism: 1}, func(bi int, b *index.Block) error {
+		ran++
+		if ran == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran >= len(ix.Blocks) {
+		t.Errorf("ran all %d blocks despite cancellation", ran)
+	}
+}
+
+// --- AGP promotion trace + stats ----------------------------------------
+
+// TestAGPPromotionTraced: a block where every group is abnormal promotes
+// its largest group, and the promotion is visible both in Stats and as a
+// Promoted trace entry naming the promoted group.
+func TestAGPPromotionTraced(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("CT", "ST"))
+	// Three groups of ≤2 tuples each; τ=2 makes all of them abnormal.
+	tb.MustAppend("DOTHAN", "AL")
+	tb.MustAppend("DOTHAN", "AL")
+	tb.MustAppend("DOTHAM", "AL")
+	tb.MustAppend("BOAZ", "AK")
+	rs := rules.MustParseStrings("FD: CT -> ST")
+
+	tr := &Trace{}
+	res, err := Clean(tb, rs, Options{Tau: 2, TauSet: true, Trace: tr})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	if res.Stats.AGPPromotions != 1 {
+		t.Fatalf("AGPPromotions = %d, want 1", res.Stats.AGPPromotions)
+	}
+	var promo *AGPMerge
+	detected := 0
+	for i := range tr.AGP {
+		if tr.AGP[i].Promoted {
+			promo = &tr.AGP[i]
+		} else {
+			detected++
+		}
+	}
+	if promo == nil {
+		t.Fatal("no Promoted entry in trace")
+	}
+	if promo.SourceKey != "DOTHAN" {
+		t.Errorf("promoted group = %q, want DOTHAN (largest)", promo.SourceKey)
+	}
+	if promo.TargetKey != "" {
+		t.Errorf("promotion must have no merge target, got %q", promo.TargetKey)
+	}
+	if detected != res.Stats.AbnormalGroups {
+		t.Errorf("trace holds %d detections, stats says %d — promotions must not count as detections",
+			detected, res.Stats.AbnormalGroups)
+	}
+}
+
+// TestAGPNoPromotionOnNormalBlocks: with a normal group present the counter
+// stays zero (the parity suite depends on this staying zero on its
+// workloads).
+func TestAGPNoPromotionOnNormalBlocks(t *testing.T) {
+	tb := dataset.NewTable(dataset.MustSchema("CT", "ST"))
+	for i := 0; i < 5; i++ {
+		tb.MustAppend("DOTHAN", "AL")
+	}
+	tb.MustAppend("BOAZ", "AK")
+	res, err := Clean(tb, rules.MustParseStrings("FD: CT -> ST"), Options{Tau: 1, TauSet: true})
+	if err != nil {
+		t.Fatalf("Clean: %v", err)
+	}
+	if res.Stats.AGPPromotions != 0 {
+		t.Errorf("AGPPromotions = %d, want 0", res.Stats.AGPPromotions)
+	}
+}
+
+// --- rscWinner degenerate Z ---------------------------------------------
+
+// TestRSCWinnerZeroZ: when every pairwise distance in a group is zero, Z is
+// zero and all reliability scores collapse to 0 — the winner must then fall
+// to the deterministic tie-break (higher weight first), not to slice order.
+func TestRSCWinnerZeroZ(t *testing.T) {
+	d := intern.NewDict()
+	r := rules.MustParseStrings("FD: CT -> ST")[0]
+	// Identical values → all pairwise distances are 0 → z == 0.
+	mk := func(id int, w float64) *index.Piece {
+		p := index.NewPiece(r, d, []string{"BOAZ"}, []string{"AL"})
+		p.TupleIDs = []int{id}
+		p.Weight = w
+		return p
+	}
+	heavy := mk(1, 2.5)
+	light := mk(2, 1.0)
+	g := &index.Group{Key: "BOAZ", Pieces: []*index.Piece{light, heavy}}
+	ev := distance.NewEvaluator(distance.Levenshtein{}, d)
+	if got := rscWinner(g, ev); got != heavy {
+		t.Errorf("z==0 winner = %+v, want the higher-weight piece", got)
+	}
+	// Same outcome with the slice order flipped.
+	g.Pieces = []*index.Piece{heavy, light}
+	if got := rscWinner(g, ev); got != heavy {
+		t.Errorf("z==0 winner after permutation = %+v, want the higher-weight piece", got)
+	}
+}
+
+// --- permuted-order determinism -----------------------------------------
+
+// permuteIndex shuffles group order within every block and piece order
+// within every group — the scan-order degrees of freedom a different block
+// build order could produce.
+func permuteIndex(ix *index.Index, rng *rand.Rand) {
+	for _, b := range ix.Blocks {
+		rng.Shuffle(len(b.Groups), func(i, j int) { b.Groups[i], b.Groups[j] = b.Groups[j], b.Groups[i] })
+		for _, g := range b.Groups {
+			rng.Shuffle(len(g.Pieces), func(i, j int) { g.Pieces[i], g.Pieces[j] = g.Pieces[j], g.Pieces[i] })
+		}
+	}
+}
+
+// TestPermutedOrderDeterminism is the tie-break regression test: stage
+// I+II run over a randomly permuted index must produce byte-identical
+// repairs to the run over the as-built index. AGP, RSC, and FSCR may only
+// depend on group/piece identity, never on slice order.
+func TestPermutedOrderDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	cities := []string{"DOTHAN", "DOTHAM", "BOAZ", "BOAS", "MOBILE"}
+	states := []string{"AL", "AK", "AI"}
+	for i := 0; i < 80; i++ {
+		tb.MustAppend(
+			fmt.Sprintf("H%d", rng.Intn(6)),
+			cities[rng.Intn(len(cities))],
+			states[rng.Intn(len(states))],
+			fmt.Sprintf("55%03d", rng.Intn(40)),
+		)
+	}
+	rs := rules.MustParseStrings("FD: CT -> ST", "FD: PN, HN -> CT")
+	opts := Options{Tau: 2, TauSet: true}.withDefaults()
+
+	run := func(permute bool, seed int64) *dataset.Table {
+		ix, err := index.Build(tb, rs)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		if permute {
+			permuteIndex(ix, rand.New(rand.NewSource(seed)))
+		}
+		var st Stats
+		ctx := context.Background()
+		if err := StageAGP(ctx, ix, opts, &st); err != nil {
+			t.Fatalf("AGP: %v", err)
+		}
+		if err := StageLearn(ctx, ix, opts, &st); err != nil {
+			t.Fatalf("Learn: %v", err)
+		}
+		if err := StageRSC(ctx, ix, opts, &st); err != nil {
+			t.Fatalf("RSC: %v", err)
+		}
+		return fscr(tb, ix, opts, &st)
+	}
+
+	want := dumpTable(run(false, 0))
+	for seed := int64(1); seed <= 4; seed++ {
+		if got := dumpTable(run(true, seed)); got != want {
+			t.Fatalf("permutation seed %d changed the repairs:\n--- canonical ---\n%s--- permuted ---\n%s", seed, want, got)
+		}
+	}
+}
+
+func dumpTable(tb *dataset.Table) string {
+	out := ""
+	for _, t := range tb.Tuples {
+		out += fmt.Sprintf("%d %v\n", t.ID, t.Values)
+	}
+	return out
+}

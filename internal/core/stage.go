@@ -25,12 +25,12 @@ import (
 // read during the stages).
 func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
-	type agpOut struct{ groups, pieces int }
+	type agpOut struct{ groups, pieces, promotions int }
 	outs := make([]agpOut, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
-		ab, abp := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
-		outs[bi] = agpOut{ab, abp}
+		ab, abp, promos := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		outs[bi] = agpOut{ab, abp, promos}
 		return nil
 	})
 	if err != nil {
@@ -39,6 +39,7 @@ func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 	for _, o := range outs {
 		st.AbnormalGroups += o.groups
 		st.AbnormalPieces += o.pieces
+		st.AGPPromotions += o.promotions
 	}
 	return nil
 }
@@ -84,9 +85,14 @@ func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 	return nil
 }
 
-// forEachBlock applies fn to each block with bounded parallelism; the first
-// error wins. Blocks not yet started when ctx is cancelled are skipped, so a
-// cancelled stage returns promptly without waiting out the whole index.
+// forEachBlock applies fn to each block with bounded parallelism: exactly
+// par workers drain a shared index channel, so a huge index never allocates
+// more than par goroutines up front. Blocks are fed in the index's planned
+// scheduling order (heaviest first) while error reporting stays in block
+// order — the first error by block index wins. Workers re-check the context
+// before each block, so blocks not yet started when ctx is cancelled are
+// skipped and a cancelled stage returns promptly without waiting out the
+// whole index.
 func forEachBlock(ctx context.Context, ix *index.Index, opts Options, fn func(int, *index.Block) error) error {
 	par := opts.Parallelism
 	if par <= 0 {
@@ -99,21 +105,25 @@ func forEachBlock(ctx context.Context, ix *index.Index, opts Options, fn func(in
 		par = 1
 	}
 	errs := make([]error, len(ix.Blocks))
+	blocks := make(chan int)
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, par)
-	for bi := range ix.Blocks {
-		wg.Add(1)
-		go func(bi int) {
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[bi] = err
-				return
+			for bi := range blocks {
+				if err := ctx.Err(); err != nil {
+					errs[bi] = err
+					continue
+				}
+				errs[bi] = fn(bi, ix.Blocks[bi])
 			}
-			errs[bi] = fn(bi, ix.Blocks[bi])
-		}(bi)
+		}()
 	}
+	for _, bi := range ix.BlockOrder() {
+		blocks <- bi
+	}
+	close(blocks)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,6 +1,10 @@
 package core
 
-import "sync"
+import (
+	"sync"
+
+	"mlnclean/internal/plan"
+)
 
 // Trace records the decisions of each pipeline phase so the component
 // accuracy metrics of §7.3 can be computed against ground truth by
@@ -8,6 +12,10 @@ import "sync"
 // cleaner performs.
 type Trace struct {
 	mu sync.Mutex
+	// Plan records the selectivity planner's per-rule choices (scan shape,
+	// predicate order, and why) for the run's index build. Empty when the
+	// planner was disabled.
+	Plan []plan.Choice
 	// AGP lists every abnormal-group decision.
 	AGP []AGPMerge
 	// RSC lists every piece rewrite.
@@ -16,7 +24,9 @@ type Trace struct {
 	FSCR []FusionOutcome
 }
 
-// AGPMerge records one detected abnormal group and where it was merged.
+// AGPMerge records one abnormal-group decision: a detected abnormal group
+// and where it was merged, or (Promoted) an abnormal group re-classed as
+// normal because its block had no normal group at all.
 type AGPMerge struct {
 	BlockIndex int
 	RuleID     string
@@ -26,8 +36,14 @@ type AGPMerge struct {
 	SourceTuples []int
 	SourcePieces int
 	// TargetKey is the reason key of the normal group it merged into.
-	// Empty when no normal group existed and the group stayed in place.
+	// Empty when the group was not merged (no target within the merge cap,
+	// or the group itself was promoted).
 	TargetKey string
+	// Promoted marks the degenerate-block path of §5.1.1: every group was
+	// abnormal, and this one (the largest) was promoted to normal so the
+	// rest had a merge target. A promotion is not a detection — component
+	// metrics (internal/eval) skip these entries.
+	Promoted bool
 }
 
 // RSCRepair records one losing piece being rewritten to the group winner.
@@ -65,6 +81,16 @@ type CellChange struct {
 	Attr string
 	Old  string
 	New  string
+}
+
+// SetPlan records the planner's choices for the run.
+func (tr *Trace) SetPlan(cs []plan.Choice) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.Plan = cs
+	tr.mu.Unlock()
 }
 
 func (tr *Trace) addAGP(m AGPMerge) {

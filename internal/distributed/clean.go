@@ -110,6 +110,11 @@ type Result struct {
 	// (keyed by rules.CanonicalHash) to skip weight learning on repeat
 	// workloads over the same rule set.
 	MergedWeights []index.PieceSummary
+	// Plan lists the selectivity planner's per-rule choices as rendered
+	// plan-dump lines, derived coordinator-side from the gather dictionary's
+	// column statistics (the same greedy planner each worker applies to its
+	// partition). Empty when the planner is disabled.
+	Plan []string
 	// Stats aggregates the worker pipelines' stats.
 	Stats core.Stats
 }

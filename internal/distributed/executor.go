@@ -17,6 +17,7 @@ import (
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/plan"
 	"mlnclean/internal/rules"
 )
 
@@ -345,6 +346,7 @@ func (ex *Executor) Submit(batch *dataset.Table) error {
 		return fmt.Errorf("distributed: batch schema does not match executor schema")
 	}
 	ex.drainLiveness()
+	st := ex.dict.Stats()
 	for _, t := range batch.Tuples {
 		vals := make([]string, len(t.Values))
 		ids := make([]uint32, len(t.Values))
@@ -352,6 +354,9 @@ func (ex *Executor) Submit(batch *dataset.Table) error {
 			vals[i] = v
 			ids[i] = ex.dict.Intern(v)
 		}
+		// Observe column statistics at ingest so the coordinator can report
+		// the plan its workers derive from the same distribution.
+		st.ObserveRow(ids)
 		ex.gather.Tuples = append(ex.gather.Tuples, &dataset.Tuple{ID: len(ex.gather.Tuples), Values: vals})
 		ex.gatherIDs = append(ex.gatherIDs, ids)
 	}
@@ -567,7 +572,9 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 		return true, nil
 	})
 	if err != nil {
-		return nil, err
+		// Prefer the context's error when the run was cancelled: a worker
+		// losing the same cancellation race reports it as an opaque string.
+		return nil, ex.runErr(err)
 	}
 
 	// Eq. 6: reduce the workers' piece summaries to support-weighted mean
@@ -615,7 +622,7 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, ex.runErr(err)
 	}
 
 	res.WorkerTimes = make([]time.Duration, ex.k)
@@ -651,6 +658,16 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 		res.Clean = clean
 		for _, d := range dups {
 			res.Stats.DuplicatesRemoved += len(d) - 1
+		}
+	}
+	if !ex.opts.Core.DisablePlanner {
+		// Render the plan the run's statistics imply. The gather dictionary
+		// has observed every tuple by now (Submit observes at ingest; the
+		// batch path's gather FSCR re-encode observes the full table), so
+		// this is the whole-dataset view of the per-partition plans the
+		// workers derived.
+		for _, c := range plan.New(ex.rs, ex.schema, ex.dict).Choices() {
+			res.Plan = append(res.Plan, c.String())
 		}
 	}
 	res.GatherTime += time.Since(t0)
@@ -1079,7 +1096,7 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 				batches = nil
 				stats.Tuples = tb.Len()
 				var err error
-				if ix, err = index.Build(tb, rs); err != nil {
+				if ix, err = index.BuildConfigured(tb, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner}); err != nil {
 					reply.Err = err.Error()
 					break
 				}

@@ -76,8 +76,12 @@ type WireCoreOptions struct {
 	MinimalityPrior    float64
 	MinimalityPriorSet bool
 	KeepDuplicates     bool
-	Parallelism        int
-	Learn              mln.LearnOptions
+	// DisablePlanner crosses so coordinator and workers plan identically:
+	// a worker must not plan its partition scan when the coordinator's run
+	// has the planner off.
+	DisablePlanner bool
+	Parallelism    int
+	Learn          mln.LearnOptions
 }
 
 // coreOptsToWire projects the serializable fields of o.
@@ -92,6 +96,7 @@ func coreOptsToWire(o core.Options) WireCoreOptions {
 		MinimalityPrior:    o.MinimalityPrior,
 		MinimalityPriorSet: o.MinimalityPriorSet,
 		KeepDuplicates:     o.KeepDuplicates,
+		DisablePlanner:     o.DisablePlanner,
 		Parallelism:        o.Parallelism,
 		Learn:              o.Learn,
 	}
@@ -109,6 +114,7 @@ func coreOptsFromWire(w WireCoreOptions) core.Options {
 		MinimalityPrior:    w.MinimalityPrior,
 		MinimalityPriorSet: w.MinimalityPriorSet,
 		KeepDuplicates:     w.KeepDuplicates,
+		DisablePlanner:     w.DisablePlanner,
 		Parallelism:        w.Parallelism,
 		Learn:              w.Learn,
 	}

@@ -82,6 +82,12 @@ func AGPQualityFromTrace(tr *core.Trace, truth, dirty *dataset.Table, rs []*rule
 	}
 
 	for _, m := range tr.AGP {
+		if m.Promoted {
+			// A promotion is bookkeeping for a degenerate block, not a
+			// detected-and-merged abnormal group; counting it would deflate
+			// Precision-A for runs that never merged anything.
+			continue
+		}
 		q.Detected++
 		q.DetectedPieces += m.SourcePieces
 		r, ok := ruleByID[m.RuleID]

@@ -17,6 +17,7 @@ import (
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/plan"
 	"mlnclean/internal/rules"
 )
 
@@ -249,6 +250,25 @@ type Index struct {
 	Blocks []*Block
 	table  *dataset.Table
 	enc    *dataset.Encoded
+	plan   *plan.Plan
+}
+
+// Plan returns the evaluation plan the index was built under, or nil when
+// the planner was disabled (BuildConfig.FixedOrder).
+func (ix *Index) Plan() *plan.Plan { return ix.plan }
+
+// BlockOrder returns the stage-I scheduling order of the blocks: descending
+// estimated cost (longest-processing-time-first) when a plan exists, block
+// order otherwise.
+func (ix *Index) BlockOrder() []int {
+	if ix.plan != nil && len(ix.plan.Rules) == len(ix.Blocks) {
+		return ix.plan.BlockOrder()
+	}
+	order := make([]int, len(ix.Blocks))
+	for i := range order {
+		order[i] = i
+	}
+	return order
 }
 
 // Table returns the dirty table the index was built over.
@@ -306,12 +326,26 @@ func (pl *rulePlan) appliesTo(row []uint32) bool {
 	return false
 }
 
+// BuildConfig parameterizes index construction.
+type BuildConfig struct {
+	// Dict is the dictionary to encode into (nil for a fresh one).
+	Dict *intern.Dict
+	// FixedOrder disables the selectivity planner: every block is built by
+	// the fixed-order row scan and Index.Plan() returns nil. A planned build
+	// produces an identical index — selectivity changes evaluation order,
+	// never outcome — so this exists for comparison benchmarks and as an
+	// escape hatch.
+	FixedOrder bool
+}
+
 // Build constructs the MLN index over the table for the rule set: one block
 // per rule (O(|B|·|T|), §4), one group per distinct reason key, one piece
 // per distinct reason+result combination. The table is dictionary-encoded
-// into a fresh dictionary first; use BuildWithDict to share one.
+// into a fresh dictionary first; use BuildWithDict to share one. Blocks are
+// scanned under the selectivity plan derived from the encode-time column
+// statistics (internal/plan).
 func Build(tb *dataset.Table, rs []*rules.Rule) (*Index, error) {
-	return BuildWithDict(tb, rs, nil)
+	return BuildConfigured(tb, rs, BuildConfig{})
 }
 
 // BuildWithDict is Build over a caller-supplied dictionary (nil for a fresh
@@ -320,6 +354,11 @@ func Build(tb *dataset.Table, rs []*rules.Rule) (*Index, error) {
 // per-tuple scan hashes fixed-width sequence keys only — no joined strings,
 // no per-tuple allocations beyond the deduplicated pieces themselves.
 func BuildWithDict(tb *dataset.Table, rs []*rules.Rule, dict *intern.Dict) (*Index, error) {
+	return BuildConfigured(tb, rs, BuildConfig{Dict: dict})
+}
+
+// BuildConfigured is the fully parameterized Build.
+func BuildConfigured(tb *dataset.Table, rs []*rules.Rule, cfg BuildConfig) (*Index, error) {
 	if len(rs) == 0 {
 		return nil, fmt.Errorf("index: no rules")
 	}
@@ -328,57 +367,231 @@ func BuildWithDict(tb *dataset.Table, rs []*rules.Rule, dict *intern.Dict) (*Ind
 			return nil, err
 		}
 	}
-	enc := dataset.Encode(tb, dict)
+	enc := dataset.Encode(tb, cfg.Dict)
 	d := enc.Dict
 	ix := &Index{table: tb, enc: enc}
-	for _, r := range rs {
-		pl := planRule(r, tb.Schema, d)
-		b := &Block{Rule: r}
-		groupByID := make(map[uint32]*Group)
+	if !cfg.FixedOrder {
+		ix.plan = plan.New(rs, tb.Schema, d)
+	}
+	post := &postings{enc: enc, cols: make([]*colPostings, tb.Schema.Len())}
+	for ri, r := range rs {
+		var choice *plan.RulePlan
+		if ix.plan != nil {
+			choice = &ix.plan.Rules[ri]
+		}
+		ix.Blocks = append(ix.Blocks, buildBlock(tb, enc, d, r, choice, post))
+	}
+	return ix, nil
+}
+
+// buildBlock constructs one rule's block under its plan choice. Whatever the
+// scan shape, the resulting block is identical to the fixed-order scan's:
+// group and piece identities are minted from declared-order folds, tuple
+// lists stay ascending in scan position, and the pivot-join path restores
+// first-sight group order afterwards.
+func buildBlock(tb *dataset.Table, enc *dataset.Encoded, d *intern.Dict, r *rules.Rule, choice *plan.RulePlan, post *postings) *Block {
+	bb := &blockBuilder{
+		b:    &Block{Rule: r},
+		tb:   tb,
+		enc:  enc,
+		d:    d,
+		pl:   planRule(r, tb.Schema, d),
+		gMap: make(map[uint32]*Group),
 		// Pieces are probed on (reason fold, result fold): for the common
 		// single-reason/single-result rule shape that is one map access per
 		// tuple with zero sequence-node minting; the dictionary-global
 		// sequence keys are minted only when a piece is first seen.
-		pieceByKey := make(map[[2]uint32]*Piece, len(tb.Tuples)/4+8)
-		nReason := len(pl.reasonPos)
-		width := nReason + len(pl.resultPos)
-		for ti, t := range tb.Tuples {
-			row := enc.Rows[ti]
-			if !pl.appliesTo(row) {
-				continue
-			}
-			gk := row[pl.reasonPos[0]]
-			for _, pos := range pl.reasonPos[1:] {
-				gk = d.Fold(gk, row[pos])
-			}
-			rk := row[pl.resultPos[0]]
-			for _, pos := range pl.resultPos[1:] {
-				rk = d.Fold(rk, row[pos])
-			}
-			p, ok := pieceByKey[[2]uint32{gk, rk}]
-			if !ok {
-				ids := make([]uint32, 0, width)
-				for _, pos := range pl.reasonPos {
-					ids = append(ids, row[pos])
-				}
-				for _, pos := range pl.resultPos {
-					ids = append(ids, row[pos])
-				}
-				p = &Piece{Rule: r, dict: d, ids: ids, nReason: nReason, gkid: gk, kid: d.Extend(gk, ids[nReason:])}
-				pieceByKey[[2]uint32{gk, rk}] = p
-				g, ok := groupByID[gk]
-				if !ok {
-					g = &Group{Key: dataset.JoinKey(p.Reason()), id: gk}
-					groupByID[gk] = g
-					b.Groups = append(b.Groups, g)
-				}
-				g.Pieces = append(g.Pieces, p)
-			}
-			p.TupleIDs = append(p.TupleIDs, t.ID)
-		}
-		ix.Blocks = append(ix.Blocks, b)
+		pMap: make(map[[2]uint32]*Piece, len(tb.Tuples)/4+8),
 	}
-	return ix, nil
+	scan := plan.FullScan
+	if choice != nil {
+		scan = choice.Scan
+	}
+	switch scan {
+	case plan.PostingUnion:
+		// Candidate rows are exactly the rows appliesTo accepts (the union
+		// of constant-ID posting lists), ascending, so the filter is skipped.
+		for _, ti := range post.union(choice.ConstPos, choice.ConstIDs) {
+			bb.add(int(ti), false)
+		}
+	case plan.PivotJoin:
+		// Visit rows one pivot posting list at a time. All rows of a group
+		// share the pivot value, so each group lives inside one list; a
+		// singleton list is a complete group and skips every map probe.
+		// PivotJoin is only planned for constant-free rules, so appliesTo
+		// always holds.
+		c := post.column(choice.Pivot)
+		for _, vid := range c.order {
+			if list := c.rows[vid]; len(list) == 1 {
+				bb.addSingleton(int(list[0]))
+			} else {
+				for _, ti := range list {
+					bb.add(int(ti), false)
+				}
+			}
+		}
+		bb.restoreFirstSightOrder()
+	default:
+		for ti := range tb.Tuples {
+			bb.add(ti, true)
+		}
+	}
+	return bb.b
+}
+
+// blockBuilder accumulates one block during a (possibly planned) scan.
+type blockBuilder struct {
+	b      *Block
+	tb     *dataset.Table
+	enc    *dataset.Encoded
+	d      *intern.Dict
+	pl     rulePlan
+	gMap   map[uint32]*Group
+	pMap   map[[2]uint32]*Piece
+	firsts []int // scan position each group was first seen at, aligned with b.Groups
+}
+
+// add folds row ti into the block, creating its piece/group on first sight.
+func (bb *blockBuilder) add(ti int, checkApplies bool) {
+	row := bb.enc.Rows[ti]
+	pl, d := &bb.pl, bb.d
+	if checkApplies && !pl.appliesTo(row) {
+		return
+	}
+	gk := row[pl.reasonPos[0]]
+	for _, pos := range pl.reasonPos[1:] {
+		gk = d.Fold(gk, row[pos])
+	}
+	rk := row[pl.resultPos[0]]
+	for _, pos := range pl.resultPos[1:] {
+		rk = d.Fold(rk, row[pos])
+	}
+	p, ok := bb.pMap[[2]uint32{gk, rk}]
+	if !ok {
+		p = bb.newPiece(row, gk)
+		bb.pMap[[2]uint32{gk, rk}] = p
+		g, ok := bb.gMap[gk]
+		if !ok {
+			g = &Group{Key: dataset.JoinKey(p.Reason()), id: gk}
+			bb.gMap[gk] = g
+			bb.b.Groups = append(bb.b.Groups, g)
+			bb.firsts = append(bb.firsts, ti)
+		}
+		g.Pieces = append(g.Pieces, p)
+	}
+	p.TupleIDs = append(p.TupleIDs, bb.tb.Tuples[ti].ID)
+}
+
+// addSingleton folds a row that is alone in its pivot posting list: its
+// group and piece cannot recur, so both are constructed directly without
+// touching the probe maps (or minting the result-only fold).
+func (bb *blockBuilder) addSingleton(ti int) {
+	row := bb.enc.Rows[ti]
+	pl, d := &bb.pl, bb.d
+	gk := row[pl.reasonPos[0]]
+	for _, pos := range pl.reasonPos[1:] {
+		gk = d.Fold(gk, row[pos])
+	}
+	p := bb.newPiece(row, gk)
+	p.TupleIDs = []int{bb.tb.Tuples[ti].ID}
+	g := &Group{Key: dataset.JoinKey(p.Reason()), id: gk, Pieces: []*Piece{p}}
+	bb.b.Groups = append(bb.b.Groups, g)
+	bb.firsts = append(bb.firsts, ti)
+}
+
+func (bb *blockBuilder) newPiece(row []uint32, gk uint32) *Piece {
+	pl := &bb.pl
+	nReason := len(pl.reasonPos)
+	ids := make([]uint32, 0, nReason+len(pl.resultPos))
+	for _, pos := range pl.reasonPos {
+		ids = append(ids, row[pos])
+	}
+	for _, pos := range pl.resultPos {
+		ids = append(ids, row[pos])
+	}
+	return &Piece{Rule: bb.b.Rule, dict: bb.d, ids: ids, nReason: nReason, gkid: gk, kid: bb.d.Extend(gk, ids[nReason:])}
+}
+
+// restoreFirstSightOrder re-sorts the block's groups into the order a
+// fixed-order scan would have created them (ascending first-seen row). Each
+// row belongs to exactly one group per rule, so first-seen positions are
+// unique and the order is total. Pieces within a group never need fixing:
+// a group's rows all live in one pivot list, which is scanned ascending.
+func (bb *blockBuilder) restoreFirstSightOrder() {
+	order := make([]int, len(bb.b.Groups))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return bb.firsts[order[a]] < bb.firsts[order[b]] })
+	sorted := make([]*Group, len(order))
+	for i, j := range order {
+		sorted[i] = bb.b.Groups[j]
+	}
+	bb.b.Groups = sorted
+}
+
+// postings lazily materializes per-column posting lists over the encoded
+// rows: for each value ID of a column, the ascending row positions holding
+// it, plus the IDs in first-sight order. Built once per column per Build
+// call and shared by every rule that scans via postings.
+type postings struct {
+	enc  *dataset.Encoded
+	cols []*colPostings
+}
+
+type colPostings struct {
+	order []uint32 // value IDs in first-sight row order
+	rows  map[uint32][]int32
+}
+
+func (ps *postings) column(pos int) *colPostings {
+	if c := ps.cols[pos]; c != nil {
+		return c
+	}
+	c := &colPostings{rows: make(map[uint32][]int32)}
+	for ti, row := range ps.enc.Rows {
+		id := row[pos]
+		list, ok := c.rows[id]
+		if !ok {
+			c.order = append(c.order, id)
+		}
+		c.rows[id] = append(list, int32(ti))
+	}
+	ps.cols[pos] = c
+	return c
+}
+
+// union returns the ascending, deduplicated union of the posting lists for
+// the given (column, value ID) pairs.
+func (ps *postings) union(poss []int, ids []uint32) []int32 {
+	var lists [][]int32
+	for i, pos := range poss {
+		if list := ps.column(pos).rows[ids[i]]; len(list) > 0 {
+			lists = append(lists, list)
+		}
+	}
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return lists[0]
+	}
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]int32, 0, total)
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	dedup := out[:1]
+	for _, v := range out[1:] {
+		if v != dedup[len(dedup)-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
 }
 
 // Assignments maps every covered tuple ID to its current group, per block.

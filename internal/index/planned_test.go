@@ -1,0 +1,129 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/plan"
+	"mlnclean/internal/rules"
+)
+
+// dumpIndex renders an index's observable structure — block, group, and
+// piece order, decoded identities, and supporting tuples — so two builds
+// can be compared byte-for-byte. The raw hash-consed IDs are deliberately
+// omitted: they are minted in first-encounter order and so legitimately
+// differ between scan orders, while everything the pipeline's output
+// depends on (decoded values, group/piece order, tuple membership) must
+// not.
+func dumpIndex(ix *Index) string {
+	var sb strings.Builder
+	for bi, b := range ix.Blocks {
+		fmt.Fprintf(&sb, "block %d rule %s\n", bi, b.Rule.ID)
+		for gi, g := range b.Groups {
+			fmt.Fprintf(&sb, "  group %d key=%q\n", gi, g.Key)
+			for pi, p := range g.Pieces {
+				fmt.Fprintf(&sb, "    piece %d key=%q tuples=%v\n", pi, p.Key(), p.TupleIDs)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// plannedRules exercises all three scan shapes: a multi-attribute FD the
+// planner pivots, a CFD with a rare constant it turns into a posting union,
+// and a single-attribute FD that stays a full scan.
+func plannedRules(t *testing.T) []*rules.Rule {
+	t.Helper()
+	return rules.MustParseStrings(
+		"FD: CT, PN -> ST",
+		"CFD: HN=ELIZA, CT -> PN",
+		"FD: CT -> ST",
+	)
+}
+
+// plannedTable generates a table wide enough that the pivot gate engages:
+// PN is near-unique, CT has a handful of values, HN=ELIZA is rare.
+func plannedTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	cities := []string{"DOTHAN", "BOAZ", "MOBILE", "AUBURN"}
+	for i := 0; i < 120; i++ {
+		hn := "OTHER"
+		if i%40 == 0 {
+			hn = "ELIZA"
+		}
+		ct := cities[rng.Intn(len(cities))]
+		st := "AL"
+		if rng.Intn(10) == 0 {
+			st = "AK"
+		}
+		pn := fmt.Sprintf("33479%05d", rng.Intn(90)) // duplicates exist
+		tb.MustAppend(hn, ct, st, pn)
+	}
+	return tb
+}
+
+// TestPlannedBuildEquivalence is the planner's core guarantee: a planned
+// build produces byte-for-byte the same index — same block, group, and
+// piece order, same identities, same supporting tuples — as the fixed
+// declared-order scan. Selectivity changes how the work is done, never its
+// outcome.
+func TestPlannedBuildEquivalence(t *testing.T) {
+	rs := plannedRules(t)
+	fixed, err := BuildConfigured(plannedTable(t), rs, BuildConfig{FixedOrder: true})
+	if err != nil {
+		t.Fatalf("fixed build: %v", err)
+	}
+	planned, err := BuildConfigured(plannedTable(t), rs, BuildConfig{})
+	if err != nil {
+		t.Fatalf("planned build: %v", err)
+	}
+
+	if fixed.Plan() != nil {
+		t.Error("fixed-order build must not carry a plan")
+	}
+	p := planned.Plan()
+	if p == nil {
+		t.Fatal("planned build must carry its plan")
+	}
+	kinds := make([]string, len(p.Rules))
+	for i := range p.Rules {
+		kinds[i] = p.Rules[i].Scan.String()
+	}
+	want := []string{plan.PivotJoin.String(), plan.PostingUnion.String(), plan.FullScan.String()}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("rule %d scan = %s, want %s (%s)", i, kinds[i], want[i], p.Rules[i].Why)
+		}
+	}
+
+	if df, dp := dumpIndex(fixed), dumpIndex(planned); df != dp {
+		t.Errorf("planned index differs from fixed-order index:\n--- fixed ---\n%s--- planned ---\n%s", df, dp)
+	}
+}
+
+// TestBlockOrderFallback: an index built without a plan schedules blocks in
+// rule order; a planned one uses the plan's heaviest-first order over the
+// same index set.
+func TestBlockOrderFallback(t *testing.T) {
+	rs := plannedRules(t)
+	fixed, _ := BuildConfigured(plannedTable(t), rs, BuildConfig{FixedOrder: true})
+	order := fixed.BlockOrder()
+	for i, bi := range order {
+		if bi != i {
+			t.Fatalf("fixed BlockOrder = %v, want identity", order)
+		}
+	}
+	planned, _ := BuildConfigured(plannedTable(t), rs, BuildConfig{})
+	seen := make(map[int]bool)
+	for _, bi := range planned.BlockOrder() {
+		seen[bi] = true
+	}
+	if len(seen) != len(planned.Blocks) {
+		t.Fatalf("planned BlockOrder %v is not a permutation of %d blocks", planned.BlockOrder(), len(planned.Blocks))
+	}
+}

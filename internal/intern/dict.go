@@ -8,6 +8,11 @@
 // string, and it is immune to the separator-collision class that plagues
 // dataset.JoinKey (values containing the 0x1f byte).
 //
+// The dictionary also accumulates per-column statistics (Stats) as rows are
+// encoded — cell counts, distinct-ID cardinality, and exact per-ID
+// frequencies — which the rule planner (internal/plan) ranks predicates by,
+// so selectivity planning needs no separate stats-collection pass.
+//
 // A Dict is NOT safe for concurrent mutation. The pipeline confines writes
 // to serial phases (table encoding, index construction, wire-piece
 // interning); the parallel stage-I/II loops only read. Long-lived holders
@@ -24,11 +29,27 @@ const pairTag = 1 << 31
 // 0..Len-1 and the sequence nodes minted so far) that derived Dicts extend
 // without copying. Safe for concurrent use by any number of readers and
 // derived Dicts.
+//
+// A Frozen also carries the column statistics (Stats) its Dict accumulated
+// before freezing. The snapshot is immutable: concurrent readers may call
+// Stats() and its read methods freely, and a derived Dict starts from its
+// own deep copy, so no observation ever flows back into the base.
 type Frozen struct {
 	ids    map[string]uint32
 	vals   []string
 	pairs  map[[2]uint32]uint32
 	nPairs uint32
+	stats  *Stats
+}
+
+// Stats returns the column statistics frozen with the snapshot. Never nil;
+// a base that observed no table reports zero rows for every column. The
+// returned Stats must be treated as read-only.
+func (f *Frozen) Stats() *Stats {
+	if f == nil || f.stats == nil {
+		return &Stats{}
+	}
+	return f.stats
 }
 
 // Len returns the number of values in the frozen base.
@@ -48,6 +69,7 @@ type Dict struct {
 	vals   []string // local values; global ID = base.Len() + local index
 	pairs  map[[2]uint32]uint32
 	nPairs uint32 // next local pair ordinal (global ordinal = base.nPairs + n)
+	stats  *Stats
 }
 
 // NewDict creates an empty dictionary.
@@ -62,7 +84,22 @@ func NewDict() *Dict {
 func NewDictWithBase(f *Frozen) *Dict {
 	d := NewDict()
 	d.base = f
+	if f != nil && f.stats != nil {
+		d.stats = f.stats.clone()
+	}
 	return d
+}
+
+// Stats returns the dictionary's column-statistics accumulator (created on
+// first use). dataset.Encode observes every cell it interns, so by the time
+// an index is built the accumulator holds the exact per-column cardinalities
+// and value frequencies of the encoded tables. Writes follow the Dict's
+// confinement rules; the parallel stages only read.
+func (d *Dict) Stats() *Stats {
+	if d.stats == nil {
+		d.stats = &Stats{}
+	}
+	return d.stats
 }
 
 // Len returns the number of distinct values interned (base + local).
@@ -227,6 +264,7 @@ func (d *Dict) Freeze() *Frozen {
 	for k, id := range d.pairs {
 		f.pairs[k] = id
 	}
+	f.stats = d.stats.clone()
 	return f
 }
 

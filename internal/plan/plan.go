@@ -1,0 +1,296 @@
+// Package plan turns a rule set plus dictionary statistics into an ordered
+// stage-I evaluation plan, in the style of janus-datalog's clause-based
+// greedy planner: predicates are ranked by selectivity estimated from the
+// per-column cardinality counters internal/intern accumulates during
+// dataset.Encode, so planning needs no stats-collection pass and the chosen
+// plan is a deterministic function of (rules, schema, statistics).
+//
+// Selectivity only changes the order work is done in, never its outcome:
+// group and piece identities are always minted from declared-order value
+// folds, and internal/index restores first-sight scan order after a planned
+// build, so a planned index is exactly the index the fixed-order scan
+// produces. The planner's three scan shapes:
+//
+//   - FullScan: the fixed-order row scan. Chosen for single-attribute
+//     reasons (planning is a no-op), for rules whose best pivot is too
+//     unselective to pay for posting lists, and whenever statistics are
+//     absent.
+//   - PostingUnion: a CFD with constant reason patterns only indexes the
+//     rows matching at least one constant; the candidate set is the union of
+//     the constants' ID posting lists instead of an all-rows filter scan.
+//   - PivotJoin: a multi-attribute reason is driven by its most selective
+//     (highest-distinct) attribute; rows are visited one pivot posting list
+//     at a time, the remaining predicates joined within the list. Singleton
+//     lists short-circuit straight to piece construction — no group or
+//     piece map probes at all.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/intern"
+	"mlnclean/internal/rules"
+)
+
+// ScanKind enumerates the planner's block-scan shapes.
+type ScanKind int
+
+const (
+	// FullScan visits every row in table order (the pre-planner behavior).
+	FullScan ScanKind = iota
+	// PostingUnion visits only the rows in the union of a CFD's constant
+	// posting lists.
+	PostingUnion
+	// PivotJoin visits rows one pivot-attribute posting list at a time.
+	PivotJoin
+)
+
+// String implements fmt.Stringer.
+func (k ScanKind) String() string {
+	switch k {
+	case FullScan:
+		return "full-scan"
+	case PostingUnion:
+		return "posting-union"
+	case PivotJoin:
+		return "pivot-join"
+	default:
+		return fmt.Sprintf("ScanKind(%d)", int(k))
+	}
+}
+
+// Pred is one reason-part predicate annotated with the dictionary
+// statistics the greedy ordering ranks it by.
+type Pred struct {
+	// Attr is the attribute name; Pos its schema column; Idx its declared
+	// position within the rule's reason part.
+	Attr string
+	Pos  int
+	Idx  int
+	// Distinct and Rows are the column's observed cardinality and cell
+	// count. Distinct/Rows approximates the probability that two rows agree
+	// on the attribute — higher distinct means more selective.
+	Distinct int
+	Rows     int
+}
+
+// RulePlan is the planner's decision for one rule.
+type RulePlan struct {
+	Rule *rules.Rule
+	Scan ScanKind
+	// Preds lists the reason predicates most-selective first (PivotJoin) or
+	// in declared order (FullScan, PostingUnion).
+	Preds []Pred
+	// Pivot is the schema column of the driving predicate (PivotJoin only).
+	Pivot int
+	// ConstPos/ConstIDs are the posting columns and interned IDs of the
+	// CFD constants present in the dictionary (PostingUnion only).
+	ConstPos []int
+	ConstIDs []uint32
+	// EstRows estimates how many rows the scan will visit; EstGroups the
+	// number of groups the block will hold. Both feed block scheduling.
+	EstRows   int
+	EstGroups int
+	// Why records, in one human-readable clause, why this shape and order
+	// were picked — surfaced through core.Trace, the CLI, and /v1/stats.
+	Why string
+}
+
+// Reordered reports whether the planned predicate order differs from the
+// rule's declared order.
+func (rp *RulePlan) Reordered() bool {
+	for i := range rp.Preds {
+		if rp.Preds[i].Idx != i {
+			return true
+		}
+	}
+	return false
+}
+
+// Choice is the serializable trace record of one rule's plan.
+type Choice struct {
+	RuleID    string   `json:"rule_id"`
+	Scan      string   `json:"scan"`
+	Order     []string `json:"order"`
+	Reordered bool     `json:"reordered,omitempty"`
+	EstRows   int      `json:"est_rows"`
+	Why       string   `json:"why"`
+}
+
+// String renders the choice as one plan-dump line.
+func (c Choice) String() string {
+	return fmt.Sprintf("%s: %s [%s] — %s", c.RuleID, c.Scan, strings.Join(c.Order, " "), c.Why)
+}
+
+// Plan is the full evaluation plan: one RulePlan per rule, in rule order
+// (block i of the index is rule i — re-ordering happens inside blocks and
+// in the stage scheduler, never in block identity).
+type Plan struct {
+	Rules []RulePlan
+}
+
+// Choices returns the serializable trace records, one per rule.
+func (p *Plan) Choices() []Choice {
+	if p == nil {
+		return nil
+	}
+	out := make([]Choice, len(p.Rules))
+	for i := range p.Rules {
+		rp := &p.Rules[i]
+		order := make([]string, len(rp.Preds))
+		for j, pr := range rp.Preds {
+			order[j] = pr.Attr
+		}
+		out[i] = Choice{
+			RuleID:    rp.Rule.ID,
+			Scan:      rp.Scan.String(),
+			Order:     order,
+			Reordered: rp.Reordered(),
+			EstRows:   rp.EstRows,
+			Why:       rp.Why,
+		}
+	}
+	return out
+}
+
+// BlockOrder returns block indices by descending estimated stage-I cost
+// (longest-processing-time-first), so a bounded worker pool starts the
+// heaviest blocks before the cheap ones. Ties keep rule order.
+func (p *Plan) BlockOrder() []int {
+	order := make([]int, len(p.Rules))
+	for i := range order {
+		order[i] = i
+	}
+	cost := func(i int) int {
+		rp := &p.Rules[i]
+		// Scan rows dominate build; group count drives AGP's pairwise work.
+		return rp.EstRows + rp.EstGroups
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cost(order[a]) > cost(order[b]) })
+	return order
+}
+
+// pivotListMax caps the average posting-list length a PivotJoin is worth:
+// the join only beats the plain scan when pivot lists are short (singleton
+// lists skip all map probes), so a pivot with fewer than rows/pivotListMax
+// distinct values falls through to FullScan.
+const pivotListMax = 8
+
+// New plans the rule set against the dictionary's accumulated column
+// statistics. Rules must already validate against the schema. A dictionary
+// with no observations (nil-stats or empty) yields an all-FullScan plan.
+func New(rs []*rules.Rule, schema *dataset.Schema, dict *intern.Dict) *Plan {
+	return NewFromStats(rs, schema, dict.Stats(), dict)
+}
+
+// NewFromStats is New over an explicit statistics view. dict resolves CFD
+// constants to IDs and may be nil when no rule binds constants.
+func NewFromStats(rs []*rules.Rule, schema *dataset.Schema, st *intern.Stats, dict *intern.Dict) *Plan {
+	p := &Plan{Rules: make([]RulePlan, len(rs))}
+	for i, r := range rs {
+		p.Rules[i] = planRule(r, schema, st, dict)
+	}
+	return p
+}
+
+func planRule(r *rules.Rule, schema *dataset.Schema, st *intern.Stats, dict *intern.Dict) RulePlan {
+	rp := RulePlan{Rule: r, Scan: FullScan}
+	rows := 0
+	for i, pat := range r.Reason {
+		pos := schema.MustIndex(pat.Attr)
+		pr := Pred{Attr: pat.Attr, Pos: pos, Idx: i, Distinct: st.Distinct(pos), Rows: st.Rows(pos)}
+		if pr.Rows > rows {
+			rows = pr.Rows
+		}
+		rp.Preds = append(rp.Preds, pr)
+	}
+	rp.EstRows = rows
+	rp.EstGroups = maxDistinct(rp.Preds)
+
+	if rows == 0 {
+		rp.Why = "no column statistics — full scan in declared order"
+		return rp
+	}
+
+	// CFD constants: the block only holds rows matching at least one
+	// constant, so the candidate set is the union of the constants' posting
+	// lists — unless the constants cover most of the table anyway.
+	if r.Kind == rules.CFD {
+		if consts := constPatterns(r); len(consts) > 0 {
+			covered := 0
+			for _, pat := range consts {
+				pos := schema.MustIndex(pat.Attr)
+				id, ok := lookupConst(dict, pat.Const)
+				if !ok {
+					continue // absent from the data: matches no row
+				}
+				rp.ConstPos = append(rp.ConstPos, pos)
+				rp.ConstIDs = append(rp.ConstIDs, id)
+				covered += st.Freq(pos, id)
+			}
+			if covered*2 > rows {
+				rp.ConstPos, rp.ConstIDs = nil, nil
+				rp.Why = fmt.Sprintf("constants cover %d/%d rows — posting union would not prune, full scan", covered, rows)
+				return rp
+			}
+			rp.Scan = PostingUnion
+			rp.EstRows = covered
+			rp.EstGroups = min(rp.EstGroups, covered)
+			rp.Why = fmt.Sprintf("%d constant(s) cover ≤%d/%d rows — posting union over constant ID lists", len(rp.ConstIDs), covered, rows)
+			return rp
+		}
+	}
+
+	if len(rp.Preds) == 1 {
+		rp.Why = "single-attribute reason — planning is a no-op, full scan"
+		return rp
+	}
+
+	// Multi-attribute variable reason: drive by the most selective
+	// predicate. Sort a copy most-selective first (stable on declared order
+	// so equal-cardinality plans stay predictable).
+	ordered := append([]Pred(nil), rp.Preds...)
+	sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Distinct > ordered[b].Distinct })
+	pivot := ordered[0]
+	if pivot.Distinct*pivotListMax < rows {
+		rp.Why = fmt.Sprintf("best pivot %s has %d distinct over %d rows (avg list > %d) — full scan", pivot.Attr, pivot.Distinct, rows, pivotListMax)
+		return rp
+	}
+	rp.Scan = PivotJoin
+	rp.Preds = ordered
+	rp.Pivot = pivot.Pos
+	rp.EstGroups = pivot.Distinct
+	rp.Why = fmt.Sprintf("pivot %s: %d distinct over %d rows — join remaining predicates within pivot posting lists", pivot.Attr, pivot.Distinct, rows)
+	return rp
+}
+
+// constPatterns returns the rule's constant reason patterns.
+func constPatterns(r *rules.Rule) []rules.Pattern {
+	var out []rules.Pattern
+	for _, pat := range r.Reason {
+		if pat.Const != "" {
+			out = append(out, pat)
+		}
+	}
+	return out
+}
+
+func lookupConst(dict *intern.Dict, v string) (uint32, bool) {
+	if dict == nil {
+		return 0, false
+	}
+	return dict.Lookup(v)
+}
+
+func maxDistinct(preds []Pred) int {
+	m := 0
+	for _, p := range preds {
+		if p.Distinct > m {
+			m = p.Distinct
+		}
+	}
+	return m
+}

@@ -1,0 +1,184 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/intern"
+	"mlnclean/internal/rules"
+)
+
+// statsTable encodes a table into a fresh dictionary, returning both — the
+// same path the pipeline takes, so the planner sees exactly the counters
+// dataset.Encode accumulates.
+func statsTable(t *testing.T, schema *dataset.Schema, rows [][]string) (*intern.Dict, *dataset.Table) {
+	t.Helper()
+	tb := dataset.NewTable(schema)
+	for _, r := range rows {
+		tb.MustAppend(r...)
+	}
+	d := intern.NewDict()
+	dataset.Encode(tb, d)
+	return d, tb
+}
+
+// TestPlanPivotOrder hand-builds a table where column C has far higher
+// cardinality than A: the planner must pivot the multi-attribute rule on C
+// and report the reordering.
+func TestPlanPivotOrder(t *testing.T) {
+	schema := dataset.MustSchema("A", "B", "C")
+	rows := make([][]string, 0, 16)
+	for i := 0; i < 16; i++ {
+		// A: 2 distinct, C: 16 distinct.
+		a := "x"
+		if i%2 == 0 {
+			a = "y"
+		}
+		rows = append(rows, []string{a, "b", string(rune('a' + i))})
+	}
+	d, _ := statsTable(t, schema, rows)
+	rs := rules.MustParseStrings("FD: A, C -> B")
+
+	p := New(rs, schema, d)
+	rp := &p.Rules[0]
+	if rp.Scan != PivotJoin {
+		t.Fatalf("scan = %v, want pivot-join (%s)", rp.Scan, rp.Why)
+	}
+	if rp.Pivot != schema.MustIndex("C") {
+		t.Errorf("pivot column = %d, want C (%d)", rp.Pivot, schema.MustIndex("C"))
+	}
+	if got := []string{rp.Preds[0].Attr, rp.Preds[1].Attr}; !reflect.DeepEqual(got, []string{"C", "A"}) {
+		t.Errorf("predicate order = %v, want [C A] (most selective first)", got)
+	}
+	if !rp.Reordered() {
+		t.Error("Reordered() = false for a plan that moved C first")
+	}
+	cs := p.Choices()
+	if len(cs) != 1 || !cs[0].Reordered || cs[0].Scan != "pivot-join" {
+		t.Errorf("Choices() = %+v", cs)
+	}
+	if !strings.Contains(cs[0].String(), "pivot C") {
+		t.Errorf("plan line %q should explain the pivot", cs[0].String())
+	}
+}
+
+// TestPlanSingleAttributeNoOp pins the fall-through: a single-attribute
+// reason has nothing to reorder, so planning is an explicit no-op full scan.
+func TestPlanSingleAttributeNoOp(t *testing.T) {
+	schema := dataset.MustSchema("A", "B")
+	d, _ := statsTable(t, schema, [][]string{{"x", "1"}, {"y", "2"}, {"x", "3"}})
+	p := New(rules.MustParseStrings("FD: A -> B"), schema, d)
+	rp := &p.Rules[0]
+	if rp.Scan != FullScan {
+		t.Fatalf("scan = %v, want full-scan", rp.Scan)
+	}
+	if rp.Reordered() || len(rp.Preds) != 1 {
+		t.Errorf("preds = %+v", rp.Preds)
+	}
+	if !strings.Contains(rp.Why, "no-op") {
+		t.Errorf("why = %q, want the no-op explanation", rp.Why)
+	}
+}
+
+// TestPlanUnselectivePivotFallsThrough: when the best pivot's average
+// posting list is long (few distinct values over many rows), the join does
+// not pay and the planner keeps the declared-order full scan.
+func TestPlanUnselectivePivotFallsThrough(t *testing.T) {
+	schema := dataset.MustSchema("A", "B", "C")
+	rows := make([][]string, 0, 64)
+	for i := 0; i < 64; i++ {
+		// Both A and C have only 2 distinct values: 2*pivotListMax < 64.
+		a, c := "x", "p"
+		if i%2 == 0 {
+			a, c = "y", "q"
+		}
+		rows = append(rows, []string{a, "b", c})
+	}
+	d, _ := statsTable(t, schema, rows)
+	p := New(rules.MustParseStrings("FD: A, C -> B"), schema, d)
+	rp := &p.Rules[0]
+	if rp.Scan != FullScan {
+		t.Fatalf("scan = %v, want full-scan (%s)", rp.Scan, rp.Why)
+	}
+	if rp.Reordered() {
+		t.Error("a full-scan plan must keep declared order")
+	}
+}
+
+// TestPlanPostingUnion: a CFD whose constants match a small slice of the
+// table scans only their posting lists; constants covering most of the
+// table fall back to the plain scan.
+func TestPlanPostingUnion(t *testing.T) {
+	schema := dataset.MustSchema("HN", "CT", "PN")
+	rows := [][]string{
+		{"ELIZA", "BOAZ", "1"},
+		{"OTHER", "TOWN", "2"},
+		{"OTHER", "CITY", "3"},
+		{"OTHER", "PLACE", "4"},
+		{"OTHER", "SPOT", "5"},
+		{"OTHER", "VILLE", "6"},
+	}
+	d, _ := statsTable(t, schema, rows)
+
+	p := New(rules.MustParseStrings("CFD: HN=ELIZA, CT -> PN"), schema, d)
+	rp := &p.Rules[0]
+	if rp.Scan != PostingUnion {
+		t.Fatalf("rare constant: scan = %v, want posting-union (%s)", rp.Scan, rp.Why)
+	}
+	if rp.EstRows != 1 {
+		t.Errorf("EstRows = %d, want 1 (ELIZA appears once)", rp.EstRows)
+	}
+	if len(rp.ConstPos) != 1 || rp.ConstPos[0] != 0 {
+		t.Errorf("ConstPos = %v, want [0]", rp.ConstPos)
+	}
+
+	p = New(rules.MustParseStrings("CFD: HN=OTHER, CT -> PN"), schema, d)
+	rp = &p.Rules[0]
+	if rp.Scan != FullScan {
+		t.Fatalf("covering constant: scan = %v, want full-scan (%s)", rp.Scan, rp.Why)
+	}
+
+	// A constant absent from the data matches no row at all.
+	p = new(Plan)
+	*p = *New(rules.MustParseStrings("CFD: HN=NOBODY, CT -> PN"), schema, d)
+	rp = &p.Rules[0]
+	if rp.Scan != PostingUnion || rp.EstRows != 0 || len(rp.ConstIDs) != 0 {
+		t.Errorf("absent constant: scan=%v est=%d ids=%v, want empty posting-union", rp.Scan, rp.EstRows, rp.ConstIDs)
+	}
+}
+
+// TestPlanNoStats: a dictionary that never observed a row yields an
+// all-full-scan plan in declared order.
+func TestPlanNoStats(t *testing.T) {
+	schema := dataset.MustSchema("A", "B", "C")
+	p := New(rules.MustParseStrings("FD: A, C -> B"), schema, intern.NewDict())
+	rp := &p.Rules[0]
+	if rp.Scan != FullScan || rp.Reordered() {
+		t.Fatalf("no stats: scan=%v reordered=%v, want declared-order full scan", rp.Scan, rp.Reordered())
+	}
+	if !strings.Contains(rp.Why, "no column statistics") {
+		t.Errorf("why = %q", rp.Why)
+	}
+}
+
+// TestBlockOrder: heavier blocks (more estimated scan rows + groups)
+// schedule first; ties keep rule order.
+func TestBlockOrder(t *testing.T) {
+	p := &Plan{Rules: []RulePlan{
+		{EstRows: 10, EstGroups: 2},
+		{EstRows: 100, EstGroups: 50},
+		{EstRows: 10, EstGroups: 2},
+	}}
+	if got := p.BlockOrder(); !reflect.DeepEqual(got, []int{1, 0, 2}) {
+		t.Errorf("BlockOrder = %v, want [1 0 2]", got)
+	}
+}
+
+func TestNilPlanChoices(t *testing.T) {
+	var p *Plan
+	if p.Choices() != nil {
+		t.Error("nil plan must have nil choices")
+	}
+}

@@ -217,6 +217,10 @@ type ResultResponse struct {
 	// RolledBack marks that the session's repairs were reverted: Rows/IDs
 	// are the original streamed values, not the cleaned output.
 	RolledBack bool `json:"rolled_back,omitempty"`
+	// Plan lists the selectivity planner's per-rule scan choices as rendered
+	// plan-dump lines (why each rule's evaluation was ordered the way it
+	// was); empty when the run disabled the planner.
+	Plan []string `json:"plan,omitempty"`
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -245,6 +249,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		WeightsCached: info.WeightsCached,
 		WallMS:        res.WallTime.Milliseconds(),
 		RolledBack:    rolled,
+		Plan:          res.Plan,
 	}
 	for i, t := range serve.Tuples {
 		resp.Rows[i] = t.Values

@@ -66,6 +66,12 @@ type CreateRequest struct {
 	Metric string `json:"metric,omitempty"`
 	// KeepDuplicates skips duplicate elimination in the result.
 	KeepDuplicates bool `json:"keep_duplicates,omitempty"`
+	// DisablePlanner turns off the selectivity-driven rule planner, forcing
+	// declared-order full scans during index construction (comparison and
+	// debugging switch; the planner never changes outcomes, only scan order).
+	// Not part of the weights fingerprint for the same reason — the learner
+	// sees identical groups either way.
+	DisablePlanner bool `json:"disable_planner,omitempty"`
 	// FreshWeights opts out of the weight cache: the session relearns from
 	// its own tuples even when a cached vector exists. Cached weights are
 	// learned from whatever data previous sessions streamed, so clients
@@ -144,9 +150,13 @@ type SessionInfo struct {
 	WeightsCached bool         `json:"weights_cached"`
 	Repairs       int          `json:"repairs,omitempty"`
 	RolledBack    bool         `json:"rolled_back,omitempty"`
-	CreatedAt     time.Time    `json:"created_at"`
-	LastUsedAt    time.Time    `json:"last_used_at"`
-	Error         string       `json:"error,omitempty"`
+	// Plan lists the rule planner's per-rule scan choices (rendered
+	// plan-dump lines) once the run completes; empty while cleaning or when
+	// the planner was disabled.
+	Plan       []string  `json:"plan,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	LastUsedAt time.Time `json:"last_used_at"`
+	Error      string    `json:"error,omitempty"`
 }
 
 // Info snapshots the session's status.
@@ -169,6 +179,9 @@ func (s *Session) Info() SessionInfo {
 		RolledBack:    s.rolled != nil,
 		CreatedAt:     s.created,
 		LastUsedAt:    s.lastUsed,
+	}
+	if s.res != nil {
+		info.Plan = s.res.Plan
 	}
 	if s.runErr != nil {
 		info.Error = s.runErr.Error()
@@ -277,6 +290,7 @@ func resultRecord(s *Session, res *distributed.Result) recCleanDone {
 		WorkersLost: res.WorkersLost,
 		WallMS:      res.WallTime.Milliseconds(),
 		Cached:      s.cached,
+		Plan:        res.Plan,
 	}
 	for i, t := range res.Clean.Tuples {
 		rec.Rows[i] = append([]string(nil), t.Values...)
@@ -645,6 +659,7 @@ func resultFromRecord(rec *recCleanDone) (*distributed.Result, error) {
 		Workers:     rec.Workers,
 		WorkersLost: rec.WorkersLost,
 		WallTime:    time.Duration(rec.WallMS) * time.Millisecond,
+		Plan:        rec.Plan,
 		Stats:       rec.Stats,
 	}, nil
 }
@@ -670,6 +685,7 @@ func executorOptions(req CreateRequest, workers int, factory distributed.Transpo
 			Tau:            req.Tau,
 			Metric:         metricFor(req.Metric),
 			KeepDuplicates: req.KeepDuplicates,
+			DisablePlanner: req.DisablePlanner,
 		},
 	}
 	if opts.Seed == 0 {
