@@ -11,6 +11,9 @@
 // With -json the reports are additionally written to the named file as one
 // JSON document; CI runs this on every push and uploads the BENCH_*.json
 // artifact, so report trajectories can be diffed across commits.
+// -metrics-dump additionally embeds the final process-wide metrics registry
+// snapshot (per-stage latency quantiles, counters) in the document, giving
+// each benchmark artifact a profile of where its time actually went.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"time"
 
 	"mlnclean/internal/bench"
+	"mlnclean/internal/obs"
 )
 
 // jsonReport is the machine-readable form of one experiment run.
@@ -34,6 +38,9 @@ type jsonDoc struct {
 	GeneratedAt time.Time    `json:"generated_at"`
 	Scale       string       `json:"scale"`
 	Reports     []jsonReport `json:"reports"`
+	// Metrics is the final registry snapshot (-metrics-dump): every series
+	// the runs populated, histograms summarized as count/sum/p50/p90/p99.
+	Metrics []obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -42,6 +49,7 @@ func main() {
 		scale    = flag.String("scale", "default", "dataset scale: small|default|large")
 		list     = flag.Bool("list", false, "list available experiments")
 		jsonPath = flag.String("json", "", "also write the reports to this file as JSON")
+		dump     = flag.Bool("metrics-dump", false, "embed the final metrics-registry snapshot in the -json document")
 	)
 	flag.Parse()
 	if *list {
@@ -75,6 +83,10 @@ func main() {
 		report.Fprint(os.Stdout)
 		fmt.Printf("(%s scale, took %v)\n\n", sc.Label, elapsed.Round(time.Millisecond))
 		doc.Reports = append(doc.Reports, jsonReport{Report: report, ElapsedMS: elapsed.Milliseconds()})
+	}
+	if *dump {
+		// Snapshot after every run so the dump covers all of them.
+		doc.Metrics = obs.Default().Snapshot()
 	}
 	if *jsonPath != "" {
 		b, err := json.MarshalIndent(doc, "", "  ")

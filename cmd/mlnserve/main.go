@@ -8,8 +8,9 @@
 //
 //	mlnserve [-addr :7700] [-max-sessions 16] [-idle-timeout 10m] [-workers 2]
 //	         [-heartbeat 1s] [-worker-timeout 10s] [-data-dir /var/lib/mlnserve]
+//	         [-debug-addr :6060] [-log-format text|json] [-log-level info]
 //
-// -addr :0 binds an OS-chosen free port; the daemon always prints the
+// -addr :0 binds an OS-chosen free port; the daemon always logs the
 // resolved listen address on startup, so scripted runs (CI smokes, local
 // walkthroughs) never collide with an already-taken port. -heartbeat and
 // -worker-timeout tune session executors' failure detection: a session
@@ -22,8 +23,18 @@
 // restart on the same directory replays it — sessions resume, completed
 // results re-serve byte-identically, learned weight vectors warm the model
 // cache. The recovery summary (sessions replayed / tombstoned / truncated
-// bytes) is printed on startup; graceful shutdown flushes and fsyncs the
+// bytes) is logged on startup; graceful shutdown flushes and fsyncs the
 // log before exit.
+//
+// Observability: GET /metrics on the main address serves the process-wide
+// Prometheus exposition (HTTP, session, cache, core-stage, executor, and WAL
+// families — see the README's Observability section). -debug-addr starts a
+// second loopback-intended listener serving net/http/pprof (profiles, heap,
+// goroutine dumps); it is off by default and should never face the network.
+// Logs are structured (log/slog): -log-format picks text or json,
+// -log-level one of debug, info, warn, error. Every session line carries the
+// session id and its run id, which the executor also stamps on coordinator-
+// and worker-side lines, so one clean's logs join across processes.
 //
 // Walkthrough (see the README's Serving section for the full curl script):
 //
@@ -31,6 +42,7 @@
 //	curl -s localhost:7700/v1/sessions/s-000001/tuples -d '{"rows":[["BOAZ","AL"],["BOAZ","AI"]]}'
 //	curl -s -X POST localhost:7700/v1/sessions/s-000001/clean
 //	curl -s localhost:7700/v1/sessions/s-000001/result
+//	curl -s localhost:7700/metrics
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: in-flight HTTP requests
 // drain, every session's executor is cancelled, and the process exits.
@@ -41,27 +53,39 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"mlnclean/internal/obs"
 	"mlnclean/internal/server"
 )
 
 func main() {
 	var (
-		addr          = flag.String("addr", ":7700", "listen address (:0 picks a free port; the resolved address is printed)")
+		addr          = flag.String("addr", ":7700", "listen address (:0 picks a free port; the resolved address is logged)")
 		maxSessions   = flag.Int("max-sessions", 16, "concurrent session cap (backpressure past it)")
 		idleTimeout   = flag.Duration("idle-timeout", 10*time.Minute, "evict sessions idle this long")
 		workers       = flag.Int("workers", 2, "default executor workers per session")
 		heartbeat     = flag.Duration("heartbeat", 0, "executor worker heartbeat interval (0 = default 1s, negative disables)")
 		workerTimeout = flag.Duration("worker-timeout", 0, "declare an executor worker dead after this much silence (0 = default 10s, negative disables recovery)")
 		dataDir       = flag.String("data-dir", "", "write-ahead-log directory; enables durable sessions and crash recovery (empty = in-memory only)")
+		debugAddr     = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback)")
+		logFormat     = flag.String("log-format", "text", "log output format: text|json")
+		logLevel      = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	)
 	flag.Parse()
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlnserve:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 	cfg := server.ManagerConfig{
 		MaxSessions:       *maxSessions,
 		IdleTimeout:       *idleTimeout,
@@ -70,19 +94,22 @@ func main() {
 		WorkerTimeout:     *workerTimeout,
 		DataDir:           *dataDir,
 	}
-	if err := run(*addr, cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "mlnserve:", err)
+	if err := run(*addr, *debugAddr, cfg); err != nil {
+		slog.Error("mlnserve: fatal", "err", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg server.ManagerConfig) error {
+func run(addr, debugAddr string, cfg server.ManagerConfig) error {
 	srv, err := server.New(cfg)
 	if err != nil {
 		return err
 	}
 	if rec := srv.Recovery(); rec != nil {
-		fmt.Printf("mlnserve: recovered %s: %s\n", cfg.DataDir, rec)
+		slog.Info("mlnserve: recovered write-ahead log", "dir", cfg.DataDir,
+			"sessions_replayed", rec.SessionsReplayed, "sessions_tombstoned", rec.SessionsTombstoned,
+			"cleans_restarted", rec.CleansRestarted, "weight_vectors", rec.WeightVectors,
+			"records", rec.Records, "truncated_bytes", rec.TruncatedBytes)
 	}
 	httpSrv := &http.Server{
 		Handler: srv,
@@ -92,7 +119,7 @@ func run(addr string, cfg server.ManagerConfig) error {
 		IdleTimeout:       60 * time.Second,
 	}
 
-	// Bind before serving so -addr :0 works and the printed address is the
+	// Bind before serving so -addr :0 works and the logged address is the
 	// real one, not the flag text.
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -100,13 +127,29 @@ func run(addr string, cfg server.ManagerConfig) error {
 		return err
 	}
 
+	if debugAddr != "" {
+		dln, err := net.Listen("tcp", debugAddr)
+		if err != nil {
+			srv.Shutdown()
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		go func() {
+			slog.Info("mlnserve: pprof listening", "addr", dln.Addr().String())
+			// DefaultServeMux carries the net/http/pprof registrations; the
+			// main API mux never exposes them.
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil {
+				slog.Warn("mlnserve: pprof server exited", "err", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("mlnserve: listening on %s (max %d sessions, %v idle timeout)\n",
-			ln.Addr(), cfg.MaxSessions, cfg.IdleTimeout)
+		slog.Info("mlnserve: listening", "addr", ln.Addr().String(),
+			"max_sessions", cfg.MaxSessions, "idle_timeout", cfg.IdleTimeout)
 		errc <- httpSrv.Serve(ln)
 	}()
 
@@ -117,7 +160,7 @@ func run(addr string, cfg server.ManagerConfig) error {
 	case <-ctx.Done():
 	}
 
-	fmt.Fprintln(os.Stderr, "mlnserve: shutting down")
+	slog.Info("mlnserve: shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
 	err = httpSrv.Shutdown(shutdownCtx)
@@ -125,7 +168,7 @@ func run(addr string, cfg server.ManagerConfig) error {
 	// restart on the same -data-dir resumes every session.
 	srv.Shutdown()
 	if cfg.DataDir != "" {
-		fmt.Fprintln(os.Stderr, "mlnserve: wal flushed and closed")
+		slog.Info("mlnserve: wal flushed and closed")
 	}
 	if err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	mlnworker -coordinator http://10.0.0.5:7701 [-n 2] [-loop]
+//	          [-debug-addr :6061] [-log-format text|json] [-log-level info]
 //
 // With -loop the process reattaches after each run with exponential backoff
 // (reset after a successful run), serving a coordinator that is recreated
@@ -15,12 +16,21 @@
 // fault-tolerance story: it keeps retrying /claim through conflicts until a
 // slot (fresh run or recovery re-dispatch) appears, and the coordinator
 // replays the partition's full Init/TupleBatch/StartStageI history onto it.
+//
+// Observability: -debug-addr serves net/http/pprof (off by default; keep it
+// loopback). Logs are structured (log/slog, -log-format/-log-level); the
+// worker-side pipeline lines carry the run id the coordinator stamped on the
+// lease, so one clean's logs join across processes.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -debug-addr
 	"os"
 	"os/signal"
 	"sync"
@@ -29,6 +39,7 @@ import (
 	"time"
 
 	"mlnclean/internal/distributed"
+	"mlnclean/internal/obs"
 )
 
 const (
@@ -45,11 +56,34 @@ func main() {
 		coordinator = flag.String("coordinator", "", "coordinator base URL, e.g. http://host:7701 (required)")
 		n           = flag.Int("n", 1, "worker slots to claim and serve")
 		loop        = flag.Bool("loop", false, "reattach after each completed run (with backoff)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off; keep it loopback)")
+		logFormat   = flag.String("log-format", "text", "log output format: text|json")
+		logLevel    = flag.String("log-level", "info", "minimum log level: debug|info|warn|error")
 	)
 	flag.Parse()
 	if *coordinator == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlnworker:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			slog.Error("mlnworker: debug listener", "err", err)
+			os.Exit(1)
+		}
+		go func() {
+			slog.Info("mlnworker: pprof listening", "addr", dln.Addr().String())
+			if err := http.Serve(dln, http.DefaultServeMux); err != nil {
+				slog.Warn("mlnworker: pprof server exited", "err", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -84,11 +118,11 @@ func main() {
 					// instead of spinning forever.
 					fails++
 					if !*loop && fails > maxOneShotFails {
-						fmt.Fprintf(os.Stderr, "mlnworker[%d]: giving up after %d failed attaches: %v\n", i, fails, err)
+						slog.Error("mlnworker: giving up", "slot", i, "failed_attaches", fails, "err", err)
 						failed.Store(true)
 						return
 					}
-					fmt.Fprintf(os.Stderr, "mlnworker[%d]: %v (retrying in %v)\n", i, err, backoff)
+					slog.Warn("mlnworker: attach failed, retrying", "slot", i, "backoff", backoff, "err", err)
 				}
 				select {
 				case <-time.After(backoff):

@@ -21,10 +21,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"time"
 
 	"mlnclean/internal/datagen"
@@ -94,9 +96,16 @@ func main() {
 			fmt.Printf("  streamed %d tuples (%d total)\n", ack.Received, ack.Total)
 		}
 
-		// 3. Trigger the clean and poll until done.
+		// 3. Trigger the clean and poll until done. While the run is (or was
+		// just) in flight, scrape /metrics once — the same Prometheus
+		// exposition a real deployment would have its collector pull.
 		post(base+"/v1/sessions/"+info.ID+"/clean", nil, nil)
+		scraped := false
 		for {
+			if !scraped {
+				scrapeMetrics(base)
+				scraped = true
+			}
 			var st server.SessionInfo
 			get(base+"/v1/sessions/"+info.ID, &st)
 			if st.State == server.StateDone {
@@ -155,6 +164,35 @@ func main() {
 		stats.Cache.Models, stats.Cache.RuleHits, stats.Cache.RuleMisses,
 		stats.Cache.WeightHits, stats.Cache.WeightMisses)
 	fmt.Println("→ round 2 skipped parsing and weight learning entirely.")
+}
+
+// scrapeMetrics pulls /metrics and prints a few series that tell the
+// mid-clean story: the cleaning gauge, the executor's run counter, and how
+// much stage work the process has accumulated.
+func scrapeMetrics(base string) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  /metrics mid-clean:")
+	for _, line := range strings.Split(string(body), "\n") {
+		for _, prefix := range []string{
+			"mlnserve_sessions_live ",
+			"mlnserve_sessions_cleaning ",
+			"mlnserve_http_in_flight ",
+			"mlnclean_executor_runs_total ",
+			`mlnclean_core_stage_seconds_count{stage="agp"}`,
+		} {
+			if strings.HasPrefix(line, prefix) {
+				fmt.Printf("    %s\n", line)
+			}
+		}
+	}
 }
 
 func post(url string, body, out any) {

@@ -60,6 +60,8 @@ func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, o
 	// /v1/stats surface these lines.
 	opts.Trace.SetPlan(ix.Plan().Choices())
 	st := Stats{Tuples: dirty.Len(), Blocks: len(ix.Blocks)}
+	mCleans.Inc()
+	mTuples.Add(int64(dirty.Len()))
 
 	// Stage I: clean each block's data version independently (§5.1).
 	if err := StageAGP(ctx, ix, opts, &st); err != nil {
@@ -91,5 +93,6 @@ func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, o
 	for _, d := range dups {
 		res.Stats.DuplicatesRemoved += len(d) - 1
 	}
+	mDuplicatesRemoved.Add(int64(res.Stats.DuplicatesRemoved))
 	return res, nil
 }

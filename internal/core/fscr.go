@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/index"
@@ -234,6 +235,7 @@ func RunFSCR(dirty *dataset.Table, blocks []*FusionBlock, opts Options, st *Stat
 // Submit). A nil or foreign-dictionary enc is re-encoded.
 func RunFSCREncoded(dirty *dataset.Table, enc *dataset.Encoded, blocks []*FusionBlock, opts Options, st *Stats) *dataset.Table {
 	opts = opts.withDefaults()
+	defer mStageFSCR.ObserveSince(time.Now())
 	if st == nil {
 		st = &Stats{}
 	}
@@ -333,6 +335,8 @@ func RunFSCREncoded(dirty *dataset.Table, enc *dataset.Encoded, blocks []*Fusion
 	wg.Wait()
 	st.FSCRCellChanges += cellChanges
 	st.FusionFailures += failures
+	mFSCRCellChanges.Add(int64(cellChanges))
+	mFSCRConflicts.Add(int64(failures))
 	return repaired
 }
 

@@ -1,0 +1,40 @@
+package core
+
+import "mlnclean/internal/obs"
+
+// Package-level instruments, registered at init so a scrape shows the whole
+// core family (zero-valued) before any clean runs. All are process-global:
+// concurrent cleans (mlnserve sessions, distributed workers in-process)
+// accumulate into the same series, which is what a per-node scrape wants.
+var (
+	mStageAGP = obs.Default().Histogram("mlnclean_core_stage_seconds",
+		"Wall time of one pipeline stage over the whole index.", obs.DefBuckets, obs.L("stage", "agp"))
+	mStageLearn = obs.Default().Histogram("mlnclean_core_stage_seconds",
+		"", obs.DefBuckets, obs.L("stage", "learn"))
+	mStageRSC = obs.Default().Histogram("mlnclean_core_stage_seconds",
+		"", obs.DefBuckets, obs.L("stage", "rsc"))
+	mStageFSCR = obs.Default().Histogram("mlnclean_core_stage_seconds",
+		"", obs.DefBuckets, obs.L("stage", "fscr"))
+	mBlockSeconds = obs.Default().Histogram("mlnclean_core_block_seconds",
+		"Per-block wall time inside a stage-I phase.", obs.DefBuckets)
+	mCleans = obs.Default().Counter("mlnclean_core_cleans_total",
+		"Completed end-to-end cleaning runs.")
+	mTuples = obs.Default().Counter("mlnclean_core_tuples_total",
+		"Tuples cleaned across all runs.")
+	mAbnormalGroups = obs.Default().Counter("mlnclean_core_agp_abnormal_groups_total",
+		"Abnormal groups detected by AGP.")
+	mAGPMerges = obs.Default().Counter("mlnclean_core_agp_merges_total",
+		"Abnormal groups merged into a normal group.")
+	mAGPPromotions = obs.Default().Counter("mlnclean_core_agp_promotions_total",
+		"Abnormal groups promoted to normal (no merge target).")
+	mRSCRewrites = obs.Default().Counter("mlnclean_core_rsc_rewrites_total",
+		"Pieces rewritten by reliability-score cleaning.")
+	mLearnIterations = obs.Default().Counter("mlnclean_core_learn_iterations_total",
+		"Newton iterations spent learning MLN weights.")
+	mFSCRCellChanges = obs.Default().Counter("mlnclean_core_fscr_cell_changes_total",
+		"Cells changed by fusion-score conflict resolution.")
+	mFSCRConflicts = obs.Default().Counter("mlnclean_core_fscr_conflicts_total",
+		"Tuples whose every fusion order conflicted out.")
+	mDuplicatesRemoved = obs.Default().Counter("mlnclean_core_duplicates_removed_total",
+		"Duplicate tuples eliminated after fusion.")
+)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
@@ -25,6 +26,7 @@ import (
 // read during the stages).
 func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
+	defer mStageAGP.ObserveSince(time.Now())
 	type agpOut struct{ groups, pieces, promotions int }
 	outs := make([]agpOut, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
@@ -40,6 +42,10 @@ func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 		st.AbnormalGroups += o.groups
 		st.AbnormalPieces += o.pieces
 		st.AGPPromotions += o.promotions
+		mAbnormalGroups.Add(int64(o.groups))
+		mAGPPromotions.Add(int64(o.promotions))
+		// Every abnormal group is either merged away or promoted in place.
+		mAGPMerges.Add(int64(o.groups - o.promotions))
 	}
 	return nil
 }
@@ -48,6 +54,7 @@ func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 // + diagonal Newton).
 func StageLearn(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
+	defer mStageLearn.ObserveSince(time.Now())
 	iters := make([]int, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		n, err := learnBlockWeights(b, opts.Learn)
@@ -62,6 +69,7 @@ func StageLearn(ctx context.Context, ix *index.Index, opts Options, st *Stats) e
 	}
 	for _, n := range iters {
 		st.LearnIterations += n
+		mLearnIterations.Add(int64(n))
 	}
 	return nil
 }
@@ -70,6 +78,7 @@ func StageLearn(ctx context.Context, ix *index.Index, opts Options, st *Stats) e
 // one piece per group.
 func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
+	defer mStageRSC.ObserveSince(time.Now())
 	repairs := make([]int, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
@@ -81,6 +90,7 @@ func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 	}
 	for _, n := range repairs {
 		st.RSCRepairs += n
+		mRSCRewrites.Add(int64(n))
 	}
 	return nil
 }
@@ -116,7 +126,9 @@ func forEachBlock(ctx context.Context, ix *index.Index, opts Options, fn func(in
 					errs[bi] = err
 					continue
 				}
+				t0 := time.Now()
 				errs[bi] = fn(bi, ix.Blocks[bi])
+				mBlockSeconds.ObserveSince(t0)
 			}
 		}()
 	}

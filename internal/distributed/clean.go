@@ -72,6 +72,11 @@ type Options struct {
 	// cluster converges on an error instead of recovering forever (default
 	// 4 + 2·Workers).
 	MaxRecoveries int
+	// RunID is an opaque correlation tag stamped on the run's log lines and
+	// shipped to workers through WireCoreOptions, so coordinator- and
+	// worker-side lines of one clean can be joined. Empty means the executor
+	// generates one. Never influences the cleaning outcome.
+	RunID string
 }
 
 // Result is the distributed cleaning output.
@@ -85,8 +90,16 @@ type Result struct {
 	PartSizes []int
 	// WorkerTimes holds each worker's measured stage-I+II time. Workers run
 	// concurrently, so these include whatever contention the host's cores
-	// impose; ClusterTime stays the hardware-independent model on top.
+	// impose; ClusterTime stays the hardware-independent model on top. When a
+	// partition was recovered mid-run, the entry reflects the lease that
+	// actually produced the final result (the replacement's re-run), not the
+	// dead worker's partial work.
 	WorkerTimes []time.Duration
+	// WorkerStageITimes/WorkerStageIITimes break WorkerTimes into its two
+	// measured phases (index build + AGP + learning vs RSC + local FSCR), so
+	// callers can reproduce the per-phase runtime tables without re-running.
+	WorkerStageITimes  []time.Duration
+	WorkerStageIITimes []time.Duration
 	// PartitionDistTime is the map-side distance-matrix phase of Alg. 3;
 	// PartitionHeapTime is its sequential driver-side heap assignment.
 	PartitionDistTime time.Duration
@@ -117,6 +130,9 @@ type Result struct {
 	Plan []string
 	// Stats aggregates the worker pipelines' stats.
 	Stats core.Stats
+	// RunID is the correlation tag the run was executed under (generated if
+	// Options.RunID was empty).
+	RunID string
 }
 
 // ClusterTime models the run time on an ideal cluster where every worker is

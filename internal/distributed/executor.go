@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/obs"
 	"mlnclean/internal/plan"
 	"mlnclean/internal/rules"
 )
@@ -116,6 +118,18 @@ type partitionLease struct {
 	replies  int
 }
 
+// noteAlive refreshes the lease's liveness deadline, recording the observed
+// gap since the previous sign of life (the distribution a detection-timeout
+// choice should be read against).
+func (l *partitionLease) noteAlive() {
+	now := time.Now()
+	if l.seen {
+		mHeartbeatGap.ObserveDuration(now.Sub(l.lastSeen))
+	}
+	l.lastSeen = now
+	l.seen = true
+}
+
 // NewExecutor starts opts.Workers workers (default 4) for streaming ingest
 // via Submit followed by Run. Whole-table runs should use Clean, which adds
 // the exact Algorithm 3 partitioning on top of the same runtime.
@@ -156,6 +170,12 @@ func newExecutor(ctx context.Context, schema *dataset.Schema, rs []*rules.Rule, 
 	if dict == nil {
 		dict = intern.NewDict()
 	}
+	if opts.RunID == "" {
+		opts.RunID = obs.NewRunID()
+	}
+	// The run ID rides inside the core options so it reaches workers through
+	// WireCoreOptions without a protocol change.
+	opts.Core.RunID = opts.RunID
 	ex := &Executor{
 		ctx:       ctx,
 		schema:    schema,
@@ -458,9 +478,11 @@ func (ex *Executor) shipChunks(p int, b TupleBatch) error {
 			hi = len(b.IDs)
 		}
 		msg := TupleBatch{Worker: lease.slot, Epoch: lease.epoch, IDs: b.IDs[lo:hi], Rows: b.Rows[lo:hi]}
+		t0 := time.Now()
 		if err := ex.tr.ToWorkerDeadline(lease.slot, msg, ex.sendTimeout); err != nil {
 			return err
 		}
+		mBatchSendSeconds.ObserveSince(t0)
 	}
 	return nil
 }
@@ -612,7 +634,12 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 		switch msg := m.(type) {
 		case WeightSummaries:
 			// A partition recovered mid-stage-II re-runs stage I first; its
-			// summaries are progress, not a completion.
+			// summaries are progress, not a completion. Keep the re-run's
+			// measured stage-I time, though: WorkerTimes must describe the
+			// lease that produced the final FusionResult, not the dead
+			// worker's partial work (the re-run skipped learning, so its
+			// Summaries are empty and nothing downstream reads them).
+			sums[p] = msg
 			return false, nil
 		case FusionResult:
 			frs[p] = msg
@@ -626,13 +653,20 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	}
 
 	res.WorkerTimes = make([]time.Duration, ex.k)
+	res.WorkerStageITimes = make([]time.Duration, ex.k)
+	res.WorkerStageIITimes = make([]time.Duration, ex.k)
 	res.PartSizes = make([]int, ex.k)
 	for w := 0; w < ex.k; w++ {
-		res.WorkerTimes[w] = time.Duration(sums[w].ElapsedNS + frs[w].ElapsedNS)
+		res.WorkerStageITimes[w] = time.Duration(sums[w].ElapsedNS)
+		res.WorkerStageIITimes[w] = time.Duration(frs[w].ElapsedNS)
+		res.WorkerTimes[w] = res.WorkerStageITimes[w] + res.WorkerStageIITimes[w]
 		res.PartSizes[w] = frs[w].PartSize
 		res.Stats.Add(frs[w].Stats)
+		mWorkerStageI.ObserveDuration(res.WorkerStageITimes[w])
+		mWorkerStageII.ObserveDuration(res.WorkerStageIITimes[w])
 	}
 	res.WorkersLost = ex.WorkersLost()
+	res.RunID = ex.opts.RunID
 
 	// Gather (§6: "conflicts and duplicates are eliminated in the same way
 	// to stand-alone MLNClean"): run a global conflict resolution over the
@@ -673,6 +707,9 @@ func (ex *Executor) finish(dirty *dataset.Table, res *Result) (*Result, error) {
 	res.GatherTime += time.Since(t0)
 	res.WallTime = time.Since(ex.createdAt)
 	ok = true
+	mRuns.Inc()
+	mRunSeconds.ObserveDuration(time.Since(ex.createdAt))
+	mGatherSeconds.ObserveDuration(res.GatherTime)
 	return res, nil
 }
 
@@ -737,8 +774,7 @@ func (ex *Executor) gatherReplies(ph gatherPhase, skipLearn bool, merged []index
 			return fmt.Errorf("distributed: worker for partition %d: %s", p, werr)
 		}
 		lease := ex.parts[p]
-		lease.lastSeen = time.Now()
-		lease.seen = true
+		lease.noteAlive()
 		lease.replies++
 		done, err := handle(p, m)
 		if err != nil {
@@ -770,8 +806,7 @@ func (ex *Executor) drainLiveness() {
 			if msg.Partition >= 0 && msg.Partition < ex.k {
 				lease := ex.parts[msg.Partition]
 				if msg.Epoch == lease.epoch {
-					lease.lastSeen = time.Now()
-					lease.seen = true
+					lease.noteAlive()
 				}
 			}
 		case WorkerAttached:
@@ -818,8 +853,7 @@ func (ex *Executor) noteHeartbeat(hb Heartbeat, ph gatherPhase, skipLearn bool, 
 	if hb.Epoch != lease.epoch {
 		return nil
 	}
-	lease.lastSeen = time.Now()
-	lease.seen = true
+	lease.noteAlive()
 	if ex.workerTimeout > 0 && pending[hb.Partition] && hb.Sent > lease.replies {
 		return ex.recoverPartition(hb.Partition, ph, skipLearn, merged)
 	}
@@ -863,9 +897,13 @@ func (ex *Executor) recoverPartition(p int, ph gatherPhase, skipLearn bool, merg
 		return ex.runErr(err)
 	}
 	ex.lost.Add(1)
+	mLeaseReplays.Inc()
 	lease := ex.parts[p]
 	lease.slot, lease.epoch, lease.replies = slot, lease.epoch+1, 0
 	lease.lastSeen, lease.seen = time.Now(), false
+	slog.Warn("distributed: worker declared dead, re-leasing partition",
+		"run", ex.opts.RunID, "partition", p, "slot", slot, "epoch", lease.epoch,
+		"recoveries", ex.WorkersLost(), "budget", ex.maxRecoveries)
 	if ex.spawnLocal {
 		ex.spawnWorker(slot)
 	}
@@ -1067,6 +1105,8 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			if optsFromInit && msg.HasOpts {
 				opts = coreOptsFromWire(msg.Opts)
 			}
+			slog.Debug("distributed: worker adopted lease",
+				"run", opts.RunID, "slot", w, "partition", partition, "epoch", epoch)
 			if s, err := dataset.NewSchema(msg.SchemaAttrs...); err != nil {
 				initErr = err
 			} else if r, err := rulesFromWire(msg.Rules); err != nil {

@@ -139,6 +139,27 @@ func TestCrashRecoveryEquivalence(t *testing.T) {
 					if !reflect.DeepEqual(got.MergedWeights, ref.MergedWeights) {
 						t.Errorf("seed %d: merged Eq. 6 weights diverged after recovery", seed)
 					}
+					// Even on recovered runs the per-worker ClusterTime
+					// breakdown must be complete: every partition reports the
+					// stage times of the lease that produced its final result.
+					if got.ClusterTime() <= 0 {
+						t.Errorf("seed %d: ClusterTime = %v on a recovered run", seed, got.ClusterTime())
+					}
+					for w := range got.WorkerTimes {
+						if got.WorkerTimes[w] <= 0 {
+							t.Errorf("seed %d: WorkerTimes[%d] = %v, want > 0", seed, w, got.WorkerTimes[w])
+						}
+						if got.WorkerStageITimes[w] <= 0 || got.WorkerStageIITimes[w] <= 0 {
+							t.Errorf("seed %d: worker %d stage breakdown incomplete: I=%v II=%v",
+								seed, w, got.WorkerStageITimes[w], got.WorkerStageIITimes[w])
+						}
+						if got.WorkerTimes[w] != got.WorkerStageITimes[w]+got.WorkerStageIITimes[w] {
+							t.Errorf("seed %d: WorkerTimes[%d] != stage I + stage II", seed, w)
+						}
+					}
+					if got.RunID == "" || got.RunID == ref.RunID {
+						t.Errorf("seed %d: run IDs not distinct per run: %q vs %q", seed, got.RunID, ref.RunID)
+					}
 					t.Logf("seed %d: recovered %d lost workers, output byte-identical", seed, got.WorkersLost)
 				}
 			})

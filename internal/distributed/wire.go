@@ -82,6 +82,9 @@ type WireCoreOptions struct {
 	DisablePlanner bool
 	Parallelism    int
 	Learn          mln.LearnOptions
+	// RunID correlates worker-side log lines with the coordinator's run.
+	// Purely observational — decoding it as empty (older peers) is fine.
+	RunID string
 }
 
 // coreOptsToWire projects the serializable fields of o.
@@ -99,6 +102,7 @@ func coreOptsToWire(o core.Options) WireCoreOptions {
 		DisablePlanner:     o.DisablePlanner,
 		Parallelism:        o.Parallelism,
 		Learn:              o.Learn,
+		RunID:              o.RunID,
 	}
 }
 
@@ -117,6 +121,7 @@ func coreOptsFromWire(w WireCoreOptions) core.Options {
 		DisablePlanner:     w.DisablePlanner,
 		Parallelism:        w.Parallelism,
 		Learn:              w.Learn,
+		RunID:              w.RunID,
 	}
 }
 
@@ -247,12 +252,15 @@ func init() {
 	gob.Register(WorkerAttached{})
 }
 
-// EncodeMessage frames a message for the wire.
+// EncodeMessage frames a message for the wire. Serialized sizes feed the
+// transport byte counters (the channel transport never serializes, so its
+// traffic does not count — by design, nothing crossed a wire).
 func EncodeMessage(m Message) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(&m); err != nil {
 		return nil, fmt.Errorf("distributed: encode %T: %w", m, err)
 	}
+	mSendBytes.Add(int64(buf.Len()))
 	return buf.Bytes(), nil
 }
 
@@ -262,6 +270,7 @@ func DecodeMessage(b []byte) (Message, error) {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
 		return nil, fmt.Errorf("distributed: decode message: %w", err)
 	}
+	mRecvBytes.Add(int64(len(b)))
 	return m, nil
 }
 

@@ -14,11 +14,20 @@ package index
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/obs"
 	"mlnclean/internal/plan"
 	"mlnclean/internal/rules"
+)
+
+var (
+	mBuildSeconds = obs.Default().Histogram("mlnclean_index_build_seconds",
+		"Wall time to dictionary-encode the table and build the two-layer MLN index.", obs.DefBuckets)
+	mBuilds = obs.Default().Counter("mlnclean_index_builds_total",
+		"MLN index constructions.")
 )
 
 // Piece is a γ: one distinct combination of a rule's reason+result values,
@@ -367,6 +376,8 @@ func BuildConfigured(tb *dataset.Table, rs []*rules.Rule, cfg BuildConfig) (*Ind
 			return nil, err
 		}
 	}
+	t0 := time.Now()
+	defer func() { mBuildSeconds.ObserveSince(t0); mBuilds.Inc() }()
 	enc := dataset.Encode(tb, cfg.Dict)
 	d := enc.Dict
 	ix := &Index{table: tb, enc: enc}

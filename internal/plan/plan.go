@@ -29,10 +29,24 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/obs"
 	"mlnclean/internal/rules"
+)
+
+// Scan-shape choices are counted per kind; pre-registering all three keeps
+// the family complete on a fresh scrape.
+var (
+	mPlanSeconds = obs.Default().Histogram("mlnclean_plan_build_seconds",
+		"Wall time to derive the stage-I evaluation plan from dictionary statistics.", obs.DefBuckets)
+	mScanChosen = [...]*obs.Counter{
+		FullScan:     obs.Default().Counter("mlnclean_plan_scan_total", "Scan shapes chosen by the planner, per rule.", obs.L("shape", "full-scan")),
+		PostingUnion: obs.Default().Counter("mlnclean_plan_scan_total", "", obs.L("shape", "posting-union")),
+		PivotJoin:    obs.Default().Counter("mlnclean_plan_scan_total", "", obs.L("shape", "pivot-join")),
+	}
 )
 
 // ScanKind enumerates the planner's block-scan shapes.
@@ -189,9 +203,13 @@ func New(rs []*rules.Rule, schema *dataset.Schema, dict *intern.Dict) *Plan {
 // NewFromStats is New over an explicit statistics view. dict resolves CFD
 // constants to IDs and may be nil when no rule binds constants.
 func NewFromStats(rs []*rules.Rule, schema *dataset.Schema, st *intern.Stats, dict *intern.Dict) *Plan {
+	defer mPlanSeconds.ObserveSince(time.Now())
 	p := &Plan{Rules: make([]RulePlan, len(rs))}
 	for i, r := range rs {
 		p.Rules[i] = planRule(r, schema, st, dict)
+		if k := p.Rules[i].Scan; int(k) < len(mScanChosen) {
+			mScanChosen[k].Inc()
+		}
 	}
 	return p
 }

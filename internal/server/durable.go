@@ -36,6 +36,9 @@ type recCreate struct {
 	ID      string
 	Req     CreateRequest
 	Created int64 // unix nanoseconds, informational
+	// RunID is the session's log-correlation tag; pre-run-ID logs decode it
+	// empty and the restore generates a fresh one.
+	RunID string
 }
 
 // recBatch is one Submit: one executor shipment, boundaries preserved.
@@ -133,6 +136,7 @@ func decodeRecord(b []byte) (Record, error) {
 type sessSnap struct {
 	Req        CreateRequest
 	Created    int64
+	RunID      string
 	Batches    [][][]string
 	Cleaning   bool
 	Done       *recCleanDone
@@ -168,7 +172,7 @@ func (st *replayState) apply(rec Record) {
 		if _, ok := st.Sessions[r.ID]; ok {
 			return
 		}
-		st.Sessions[r.ID] = &sessSnap{Req: r.Req, Created: r.Created}
+		st.Sessions[r.ID] = &sessSnap{Req: r.Req, Created: r.Created, RunID: r.RunID}
 		st.Order = append(st.Order, r.ID)
 	case recBatch:
 		if s := st.Sessions[r.ID]; s != nil {

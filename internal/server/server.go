@@ -5,8 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"sync"
+	"time"
 
 	"mlnclean/internal/core"
+	"mlnclean/internal/obs"
 )
 
 // The session API, all JSON:
@@ -21,6 +25,7 @@ import (
 //	DELETE /v1/sessions/{id}          close the session
 //	GET    /v1/stats                  sessions + model-cache counters
 //	GET    /healthz                   liveness
+//	GET    /metrics                   Prometheus text exposition
 //
 // Backpressure: creating a session past the manager's cap returns 429 with
 // Retry-After. Sessions idle past the manager's timeout are evicted and
@@ -35,9 +40,10 @@ import (
 // Server is the serving subsystem: a session manager plus a model cache
 // behind an http.Handler.
 type Server struct {
-	mgr   *Manager
-	cache *ModelCache
-	mux   *http.ServeMux
+	mgr     *Manager
+	cache   *ModelCache
+	mux     *http.ServeMux
+	started time.Time
 }
 
 // New builds a Server over a fresh manager and model cache, replaying the
@@ -49,22 +55,32 @@ func New(cfg ManagerConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		mgr:   mgr,
-		cache: cache,
-		mux:   http.NewServeMux(),
+		mgr:     mgr,
+		cache:   cache,
+		mux:     http.NewServeMux(),
+		started: time.Now(),
 	}
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/tuples", s.handleTuples)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/clean", s.handleClean)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
-	s.mux.HandleFunc("GET /v1/sessions/{id}/repairs", s.handleRepairs)
-	s.mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleRollback)
-	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+	// Every route registers through instrument, so each gets its own latency
+	// histogram series plus the shared status-class counters.
+	route := func(pattern, name string, h http.HandlerFunc) {
+		s.mux.HandleFunc(pattern, instrument(name, h))
+	}
+	route("POST /v1/sessions", "create", s.handleCreate)
+	route("GET /v1/sessions/{id}", "status", s.handleStatus)
+	route("POST /v1/sessions/{id}/tuples", "tuples", s.handleTuples)
+	route("POST /v1/sessions/{id}/clean", "clean", s.handleClean)
+	route("GET /v1/sessions/{id}/result", "result", s.handleResult)
+	route("GET /v1/sessions/{id}/repairs", "repairs", s.handleRepairs)
+	route("POST /v1/sessions/{id}/rollback", "rollback", s.handleRollback)
+	route("DELETE /v1/sessions/{id}", "delete", s.handleDelete)
+	route("GET /v1/stats", "stats", s.handleStats)
+	route("GET /healthz", "healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	// The exposition endpoint itself is not instrumented: a scrape should
+	// not perturb the series it reads.
+	s.mux.Handle("GET /metrics", obs.Default().Handler())
+	bindGauges(s)
 	return s, nil
 }
 
@@ -332,16 +348,52 @@ type StatsResponse struct {
 	Sessions    []SessionInfo `json:"sessions"`
 	MaxSessions int           `json:"max_sessions"`
 	Cache       CacheStats    `json:"cache"`
+	// UptimeSeconds is the age of this server instance.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Build identifies the running binary.
+	Build BuildInfo `json:"build"`
 	// Recovery reports what startup replayed from the WAL; absent when
 	// durability is off.
 	Recovery *RecoverySummary `json:"recovery,omitempty"`
 }
 
+// BuildInfo is the binary's identity as recorded by the Go toolchain.
+type BuildInfo struct {
+	GoVersion string `json:"go_version"`
+	// Revision is the VCS commit the binary was built from; empty when the
+	// build ran outside a checkout (or with -buildvcs=false).
+	Revision string `json:"revision,omitempty"`
+	// Modified marks a dirty working tree at build time.
+	Modified bool `json:"modified,omitempty"`
+}
+
+// buildInfo reads the toolchain-embedded metadata once; `go test` binaries
+// carry no VCS stamp, so every field but GoVersion may be empty.
+var buildInfo = sync.OnceValue(func() BuildInfo {
+	var b BuildInfo
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return b
+	}
+	b.GoVersion = info.GoVersion
+	for _, kv := range info.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			b.Revision = kv.Value
+		case "vcs.modified":
+			b.Modified = kv.Value == "true"
+		}
+	}
+	return b
+})
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, StatsResponse{
-		Sessions:    s.mgr.List(),
-		MaxSessions: s.mgr.cfg.MaxSessions,
-		Cache:       s.cache.Stats(),
-		Recovery:    s.mgr.Recovery(),
+		Sessions:      s.mgr.List(),
+		MaxSessions:   s.mgr.cfg.MaxSessions,
+		Cache:         s.cache.Stats(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         buildInfo(),
+		Recovery:      s.mgr.Recovery(),
 	})
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"mlnclean/internal/distributed"
 	"mlnclean/internal/index"
 	"mlnclean/internal/intern"
+	"mlnclean/internal/obs"
 	"mlnclean/internal/wal"
 )
 
@@ -112,6 +114,10 @@ func (r CreateRequest) weightsFingerprint(workers int) string {
 // no further tuples, so nothing needs workers.
 type Session struct {
 	ID string
+	// runID correlates the session's executor run across coordinator- and
+	// worker-side log lines (and the /metrics story); generated at create,
+	// persisted in the WAL, never an input to the cleaning outcome.
+	runID string
 
 	mu        sync.Mutex
 	state     SessionState
@@ -141,7 +147,10 @@ type Session struct {
 // and the run continues), and the counter updates live while the session
 // cleans, so pollers can watch a degraded-but-recovering run.
 type SessionInfo struct {
-	ID            string       `json:"id"`
+	ID string `json:"id"`
+	// RunID is the correlation tag the session's executor run (and its log
+	// lines) carry; stable across restarts of a durable server.
+	RunID         string       `json:"run_id"`
 	State         SessionState `json:"state"`
 	RulesHash     string       `json:"rules_hash"`
 	Workers       int          `json:"workers"`
@@ -169,6 +178,7 @@ func (s *Session) Info() SessionInfo {
 	}
 	info := SessionInfo{
 		ID:            s.ID,
+		RunID:         s.runID,
 		State:         s.state,
 		RulesHash:     s.model.Hash,
 		Workers:       s.workers,
@@ -239,7 +249,11 @@ func (s *Session) Clean(cache *ModelCache) error {
 	}
 	s.state = StateCleaning
 	s.lastUsed = time.Now()
+	mCleansStarted.Inc()
+	slog.Info("server: clean started",
+		"session", s.ID, "run", s.runID, "tuples", s.tuples, "workers", s.workers, "cached_weights", s.cached)
 	go func() {
+		t0 := time.Now()
 		res, err := s.ex.Run()
 		if err != nil {
 			s.mu.Lock()
@@ -247,6 +261,8 @@ func (s *Session) Clean(cache *ModelCache) error {
 			s.lastUsed = time.Now()
 			s.state = StateFailed
 			s.runErr = err
+			mCleansFailed.Inc()
+			slog.Warn("server: clean failed", "session", s.ID, "run", s.runID, "err", err)
 			return
 		}
 		// Compute the audit trail and log the completion — result, repairs,
@@ -273,6 +289,10 @@ func (s *Session) Clean(cache *ModelCache) error {
 		if !s.cached {
 			cache.StoreWeights(s.model, s.fp, res.MergedWeights)
 		}
+		mCleansDone.Inc()
+		slog.Info("server: clean done",
+			"session", s.ID, "run", s.runID, "rows", res.Clean.Len(), "repairs", len(reps),
+			"workers_lost", res.WorkersLost, "wall", time.Since(t0).Round(time.Millisecond))
 	}()
 	return nil
 }
@@ -568,8 +588,13 @@ func (m *Manager) restore(id string, snap *sessSnap) (*Session, error) {
 		workers = m.cfg.DefaultWorkers
 	}
 	now := time.Now()
+	runID := snap.RunID
+	if runID == "" {
+		runID = obs.NewRunID() // pre-run-ID log: tag the restored session afresh
+	}
 	s := &Session{
 		ID:        id,
+		runID:     runID,
 		model:     model,
 		fp:        snap.Req.weightsFingerprint(workers),
 		rulesText: snap.Req.Rules,
@@ -612,7 +637,7 @@ func (m *Manager) restore(id string, snap *sessSnap) (*Session, error) {
 		preset = m.cache.TakeWeights(model, s.fp)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	ex, err := distributed.NewExecutorContext(ctx, schema, model.Rules, executorOptions(snap.Req, workers, factory, preset, model, m.cfg))
+	ex, err := distributed.NewExecutorContext(ctx, schema, model.Rules, executorOptions(snap.Req, workers, factory, preset, model, m.cfg, runID))
 	if err != nil {
 		cancel()
 		return nil, err
@@ -666,10 +691,12 @@ func resultFromRecord(rec *recCleanDone) (*distributed.Result, error) {
 
 // executorOptions derives a session executor's options from its create
 // request — shared by Create and WAL replay, which must configure the
-// executor identically for the replayed run to be deterministic.
-func executorOptions(req CreateRequest, workers int, factory distributed.TransportFactory, preset []index.PieceSummary, model *Model, cfg ManagerConfig) distributed.Options {
+// executor identically for the replayed run to be deterministic (runID is
+// exempt: it only tags log lines, never the outcome).
+func executorOptions(req CreateRequest, workers int, factory distributed.TransportFactory, preset []index.PieceSummary, model *Model, cfg ManagerConfig, runID string) distributed.Options {
 	opts := distributed.Options{
 		Workers:           workers,
+		RunID:             runID,
 		Seed:              req.Seed,
 		Transport:         factory,
 		BatchSize:         req.BatchSize,
@@ -725,7 +752,8 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	if !req.FreshWeights {
 		preset = m.cache.TakeWeights(model, fp)
 	}
-	opts := executorOptions(req, workers, factory, preset, model, m.cfg)
+	runID := obs.NewRunID()
+	opts := executorOptions(req, workers, factory, preset, model, m.cfg, runID)
 
 	m.mu.Lock()
 	if m.closed {
@@ -754,6 +782,7 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	now := time.Now()
 	s := &Session{
 		ID:        id,
+		runID:     runID,
 		state:     StateOpen,
 		model:     model,
 		fp:        fp,
@@ -769,7 +798,7 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	}
 	// Log the create before the session becomes reachable: an acknowledged
 	// session id must survive a crash.
-	if err := s.wal.append(recCreate{ID: id, Req: req, Created: now.UnixNano()}); err != nil {
+	if err := s.wal.append(recCreate{ID: id, Req: req, Created: now.UnixNano(), RunID: runID}); err != nil {
 		cancel()
 		m.mu.Lock()
 		delete(m.sessions, id)
@@ -789,6 +818,9 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 	}
 	m.sessions[id] = s
 	m.mu.Unlock()
+	mSessionsCreated.Inc()
+	slog.Info("server: session created",
+		"session", id, "run", runID, "rules_hash", model.Hash, "workers", workers, "cached_weights", s.cached)
 	return s, nil
 }
 
@@ -827,6 +859,8 @@ func (m *Manager) Close(id string) error {
 		return ErrNotFound
 	}
 	s.close()
+	mSessionsClosed.Inc()
+	slog.Debug("server: session closed", "session", id, "run", s.runID)
 	return nil
 }
 
@@ -888,6 +922,8 @@ func (m *Manager) EvictIdle(now time.Time) int {
 		if live {
 			s.close()
 			evicted++
+			mSessionsEvicted.Inc()
+			slog.Info("server: session evicted idle", "session", s.ID, "run", s.runID)
 		}
 	}
 	return evicted

@@ -26,9 +26,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"log/slog"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 const (
@@ -255,6 +257,15 @@ func Open(fs FS, o Options) (*Log, *Recovery, error) {
 		lastSeq = sq
 	}
 
+	mOpens.Inc()
+	mRecoveryRecords.Add(int64(len(rec.Records)))
+	mRecoveryTruncated.Add(rec.TruncatedBytes)
+	if rec.Truncated() {
+		slog.Warn("wal: truncated corrupt tail during recovery",
+			"truncated_bytes", rec.TruncatedBytes,
+			"replayed_records", len(rec.Records),
+			"segments", rec.Segments)
+	}
 	l := &Log{fs: fs, o: o, seq: lastSeq}
 	if l.seq <= snapSeq {
 		// A crash between snapshot write and the first post-compaction
@@ -277,6 +288,7 @@ func Open(fs FS, o Options) (*Log, *Recovery, error) {
 // Append returns nil (unless Options.NoSync); on error the log is broken and
 // the record must be considered unacknowledged.
 func (l *Log) Append(payload []byte) error {
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -300,12 +312,17 @@ func (l *Log) Append(payload []byte) error {
 		return l.broken
 	}
 	if !l.o.NoSync {
+		ts := time.Now()
 		if err := l.f.Sync(); err != nil {
 			l.broken = fmt.Errorf("wal: fsync: %w", err)
 			return l.broken
 		}
+		mFsyncSeconds.ObserveSince(ts)
 	}
 	l.size += int64(len(l.buf))
+	mAppends.Inc()
+	mAppendBytes.Add(int64(len(l.buf)))
+	mAppendSeconds.ObserveSince(t0)
 	return nil
 }
 
@@ -324,6 +341,7 @@ func (l *Log) rotateLocked(seq int) error {
 		return fmt.Errorf("wal: open segment %d: %w", seq, err)
 	}
 	l.f, l.seq, l.size = f, seq, size
+	mRotations.Inc()
 	return nil
 }
 
@@ -332,6 +350,7 @@ func (l *Log) rotateLocked(seq int) error {
 // snapshots. After a crash at any point the log recovers either the old
 // snapshot + segments or the new snapshot — never a mix.
 func (l *Log) Compact(state []byte) error {
+	t0 := time.Now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.broken != nil {
@@ -363,6 +382,8 @@ func (l *Log) Compact(state []byte) error {
 			}
 		}
 	}
+	mCompactions.Inc()
+	mCompactSeconds.ObserveSince(t0)
 	return nil
 }
 
