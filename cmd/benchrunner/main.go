@@ -10,7 +10,9 @@
 //
 // With -json the reports are additionally written to the named file as one
 // JSON document; CI runs this on every push and uploads the BENCH_*.json
-// artifact, so report trajectories can be diffed across commits.
+// artifact, so report trajectories can be diffed across commits. Every run
+// is wrapped in a heap sampler, so each report also records its peak heap
+// and total allocations (cmd/benchdiff gates on both time and memory).
 // -metrics-dump additionally embeds the final process-wide metrics registry
 // snapshot (per-stage latency quantiles, counters) in the document, giving
 // each benchmark artifact a profile of where its time actually went.
@@ -27,10 +29,15 @@ import (
 	"mlnclean/internal/obs"
 )
 
-// jsonReport is the machine-readable form of one experiment run.
+// jsonReport is the machine-readable form of one experiment run. The memory
+// fields come from a heap sampler wrapped around the run (see bench.MeasureMem):
+// peak_heap_bytes is the HeapAlloc high-water while the experiment executed,
+// total_alloc_bytes the cumulative allocation it performed. benchdiff gates on
+// both elapsed and peak heap.
 type jsonReport struct {
 	*bench.Report
 	ElapsedMS int64 `json:"elapsed_ms"`
+	bench.MemProfile
 }
 
 // jsonDoc is the top-level -json document.
@@ -74,15 +81,21 @@ func main() {
 	doc := jsonDoc{GeneratedAt: time.Now().UTC(), Scale: sc.Label}
 	for _, name := range names {
 		start := time.Now()
-		report, err := bench.Run(name, sc)
+		var report *bench.Report
+		mem, err := bench.MeasureMem(func() error {
+			var err error
+			report, err = bench.Run(name, sc)
+			return err
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
 			os.Exit(1)
 		}
 		elapsed := time.Since(start)
 		report.Fprint(os.Stdout)
-		fmt.Printf("(%s scale, took %v)\n\n", sc.Label, elapsed.Round(time.Millisecond))
-		doc.Reports = append(doc.Reports, jsonReport{Report: report, ElapsedMS: elapsed.Milliseconds()})
+		fmt.Printf("(%s scale, took %v, peak heap %.1fMiB)\n\n",
+			sc.Label, elapsed.Round(time.Millisecond), float64(mem.PeakHeapBytes)/(1<<20))
+		doc.Reports = append(doc.Reports, jsonReport{Report: report, ElapsedMS: elapsed.Milliseconds(), MemProfile: mem})
 	}
 	if *dump {
 		// Snapshot after every run so the dump covers all of them.

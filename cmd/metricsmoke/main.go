@@ -45,6 +45,7 @@ var requiredPrefixes = []string{
 	"mlnclean_executor_",
 	"mlnclean_transport_",
 	"mlnclean_wal_",
+	"mlnclean_mem_",
 }
 
 // mustGrow are the series one driven session must strictly increase. The
@@ -58,6 +59,10 @@ var mustGrow = []string{
 	`mlnclean_core_stage_seconds_count{stage="agp"}`,
 	"mlnclean_index_builds_total",
 	"mlnclean_wal_appends_total",
+	// Every stage allocates evaluator pools fresh per clean, so the first
+	// Get of each worker is a miss: a driven session must record misses
+	// even when it is too small for any pooled reuse (hits may stay 0).
+	"mlnclean_mem_pool_misses_total",
 }
 
 func main() {

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,6 +46,7 @@ type runConfig struct {
 	seed                     int64
 	noPlanner                bool
 	showPlan                 bool
+	materialize              bool
 }
 
 func main() {
@@ -62,6 +64,7 @@ func main() {
 	flag.Int64Var(&cfg.seed, "seed", 1, "partition centroid seed (distributed only)")
 	flag.BoolVar(&cfg.noPlanner, "no-planner", false, "disable the selectivity-driven rule planner (declared-order full scans)")
 	flag.BoolVar(&cfg.showPlan, "show-plan", false, "print the rule planner's per-rule scan choices to stderr")
+	flag.BoolVar(&cfg.materialize, "materialize", false, "disable the streaming pipeline: slurp the CSV, build the full index, then clean (identical output solo; with -workers > 1 it also swaps the online partitioner for the exact Algorithm 3, which may partition — and so clean — differently)")
 	flag.Parse()
 	if cfg.input == "" || cfg.rulesPath == "" {
 		flag.Usage()
@@ -74,10 +77,6 @@ func main() {
 }
 
 func run(cfg runConfig) error {
-	dirty, err := dataset.ReadCSVFile(cfg.input)
-	if err != nil {
-		return err
-	}
 	rf, err := os.Open(cfg.rulesPath)
 	if err != nil {
 		return err
@@ -92,6 +91,7 @@ func run(cfg runConfig) error {
 		Metric:         distance.ByName(cfg.metricName),
 		KeepDuplicates: cfg.keepDups,
 		DisablePlanner: cfg.noPlanner,
+		Materialize:    cfg.materialize,
 	}
 	start := time.Now()
 	var (
@@ -103,15 +103,36 @@ func run(cfg runConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := distributed.Clean(dirty, rs, distributed.Options{
+		dopts := distributed.Options{
 			Workers:   cfg.workers,
 			Seed:      cfg.seed,
 			Core:      coreOpts,
 			Transport: factory,
 			BatchSize: cfg.batchSize,
-		})
-		if err != nil {
-			return err
+		}
+		var res *distributed.Result
+		if cfg.materialize {
+			// Escape hatch: slurp the table, partition with the exact
+			// Algorithm 3, materialized pipeline on every worker.
+			dirty, err := dataset.ReadCSVFile(cfg.input)
+			if err != nil {
+				return err
+			}
+			res, err = distributed.Clean(dirty, rs, dopts)
+			if err != nil {
+				return err
+			}
+		} else {
+			// Default: stream the CSV straight into the executor's online
+			// partitioner — the raw table is never materialized here.
+			stream, err := dataset.StreamCSVFile(cfg.input)
+			if err != nil {
+				return err
+			}
+			res, err = distributed.CleanStream(context.Background(), stream, rs, dopts)
+			if err != nil {
+				return err
+			}
 		}
 		clean = res.Clean
 		stats = res.Stats
@@ -122,9 +143,31 @@ func run(cfg runConfig) error {
 				res.WallTime.Round(time.Millisecond), res.ClusterTime().Round(time.Millisecond))
 		}
 	} else {
-		res, err := core.Clean(dirty, rs, coreOpts)
-		if err != nil {
-			return err
+		var res *core.Result
+		if cfg.materialize {
+			dirty, err := dataset.ReadCSVFile(cfg.input)
+			if err != nil {
+				return err
+			}
+			res, err = core.Clean(dirty, rs, coreOpts)
+			if err != nil {
+				return err
+			}
+		} else {
+			// Default: chunked CSV→Encode ingest (one pass, values interned
+			// while parsing), then the streaming stage-I pipeline.
+			stream, err := dataset.StreamCSVFile(cfg.input)
+			if err != nil {
+				return err
+			}
+			dirty, enc, err := dataset.EncodeStream(stream, nil)
+			if err != nil {
+				return err
+			}
+			res, err = core.CleanEncoded(context.Background(), dirty, enc, rs, coreOpts)
+			if err != nil {
+				return err
+			}
 		}
 		clean = res.Clean
 		stats = res.Stats
@@ -135,7 +178,7 @@ func run(cfg runConfig) error {
 		printPlan(cfg, lines)
 	}
 	if cfg.verbose {
-		fmt.Fprintf(os.Stderr, "cleaned %d tuples with %d rules in %v\n", dirty.Len(), len(rs), time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "cleaned %d tuples with %d rules in %v\n", stats.Tuples, len(rs), time.Since(start).Round(time.Millisecond))
 		fmt.Fprintf(os.Stderr, "blocks=%d groups=%d abnormal=%d rsc-repairs=%d fscr-changes=%d duplicates-removed=%d\n",
 			stats.Blocks, stats.Groups, stats.AbnormalGroups,
 			stats.RSCRepairs, stats.FSCRCellChanges, stats.DuplicatesRemoved)

@@ -53,6 +53,69 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunMaterializeParity runs the CLI once through the streaming default
+// and once through the -materialize escape hatch. Solo the two must produce
+// identical output files. Distributed they may differ — -materialize also
+// swaps the online streaming partitioner for the exact Algorithm 3, and
+// partition boundaries shape the per-worker cleaning — but each mode must be
+// deterministic: the same invocation twice gives the same bytes.
+func TestRunMaterializeParity(t *testing.T) {
+	dir := t.TempDir()
+	input := filepath.Join(dir, "dirty.csv")
+	rulesPath := filepath.Join(dir, "rules.txt")
+
+	tb := dataset.NewTable(dataset.MustSchema("HN", "CT", "ST", "PN"))
+	tb.MustAppend("ALABAMA", "DOTHAN", "AL", "3347938701")
+	tb.MustAppend("ALABAMA", "DOTH", "AL", "3347938701")
+	tb.MustAppend("ELIZA", "DOTHAN", "AL", "2567638410")
+	tb.MustAppend("ELIZA", "BOAZ", "AK", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	tb.MustAppend("ELIZA", "BOAZ", "AL", "2567688400")
+	if err := tb.WriteCSVFile(input); err != nil {
+		t.Fatal(err)
+	}
+	rulesText := strings.Join([]string{
+		"FD: CT -> ST",
+		"DC: not(PN(t)=PN(t') and ST(t)!=ST(t'))",
+		"CFD: HN=ELIZA, CT=BOAZ -> PN=2567688400",
+	}, "\n")
+	if err := os.WriteFile(rulesPath, []byte(rulesText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(workers int, materialize bool, out string) string {
+		t.Helper()
+		cfg := runConfig{
+			input: input, rulesPath: rulesPath, output: out,
+			tau: 1, metricName: "levenshtein",
+			workers: workers, transport: "chan", batchSize: 2, seed: 1,
+			materialize: materialize,
+		}
+		if err := run(cfg); err != nil {
+			t.Fatalf("run (workers=%d, materialize=%v): %v", workers, materialize, err)
+		}
+		b, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	out := filepath.Join(dir, "out.csv")
+	for _, workers := range []int{1, 2} {
+		stream := render(workers, false, out)
+		if again := render(workers, false, out); again != stream {
+			t.Errorf("workers=%d: streaming run is nondeterministic", workers)
+		}
+		mat := render(workers, true, out)
+		if again := render(workers, true, out); again != mat {
+			t.Errorf("workers=%d: materialized run is nondeterministic", workers)
+		}
+		if workers == 1 && stream != mat {
+			t.Errorf("solo: streaming and -materialize outputs differ:\nstream:\n%s\nmat:\n%s", stream, mat)
+		}
+	}
+}
+
 func TestRunKeepDuplicates(t *testing.T) {
 	dir := t.TempDir()
 	input := filepath.Join(dir, "dirty.csv")

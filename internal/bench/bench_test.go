@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table5", "table6",
 		"ablation-minimality", "ablation-mergecap", "ablation-weightmerge",
 		"ablation-agp", "ablation-planner",
+		"stream-memory",
 	}
 	for _, name := range want {
 		if _, ok := Registry[name]; !ok {

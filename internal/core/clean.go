@@ -48,31 +48,58 @@ func Clean(dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error
 // CleanContext is Clean bounded by a context: the stage pipelines abort
 // between blocks once ctx is cancelled and the context's error is returned.
 func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, opts Options) (*Result, error) {
+	return CleanEncoded(ctx, dirty, nil, rs, opts)
+}
+
+// CleanEncoded is CleanContext for callers that already hold the dirty
+// table's dictionary-encoded companion (the streaming CSV ingest encodes
+// while parsing): enc must be row-aligned with dirty and is adopted as the
+// pipeline's encoding, so the table is never encoded twice. A nil enc
+// encodes here.
+func CleanEncoded(ctx context.Context, dirty *dataset.Table, enc *dataset.Encoded, rs []*rules.Rule, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if dirty == nil || dirty.Len() == 0 {
 		return nil, fmt.Errorf("core: empty input table")
 	}
-	ix, err := index.BuildConfigured(dirty, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner})
-	if err != nil {
-		return nil, err
-	}
-	// Record why the planner ordered evaluation the way it did; the CLI and
-	// /v1/stats surface these lines.
-	opts.Trace.SetPlan(ix.Plan().Choices())
-	st := Stats{Tuples: dirty.Len(), Blocks: len(ix.Blocks)}
-	mCleans.Inc()
-	mTuples.Add(int64(dirty.Len()))
+	st := Stats{Tuples: dirty.Len()}
+	var ix *index.Index
+	if opts.Materialize {
+		// Escape hatch: full index first, then one block-parallel pass per
+		// stage — the pre-streaming pipeline, kept for comparison.
+		var err error
+		ix, err = index.BuildConfigured(dirty, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner, Encoded: enc})
+		if err != nil {
+			return nil, err
+		}
+		// Record why the planner ordered evaluation the way it did; the CLI
+		// and /v1/stats surface these lines.
+		opts.Trace.SetPlan(ix.Plan().Choices())
+		mCleans.Inc()
+		mTuples.Add(int64(dirty.Len()))
 
-	// Stage I: clean each block's data version independently (§5.1).
-	if err := StageAGP(ctx, ix, opts, &st); err != nil {
-		return nil, err
+		// Stage I: clean each block's data version independently (§5.1).
+		if err := StageAGP(ctx, ix, opts, &st); err != nil {
+			return nil, err
+		}
+		if err := StageLearn(ctx, ix, opts, &st); err != nil {
+			return nil, err
+		}
+		if err := StageRSC(ctx, ix, opts, &st); err != nil {
+			return nil, err
+		}
+	} else {
+		// Default: stream blocks from the iterator through the fused
+		// AGP → learn → RSC workers; memory stays bounded by the window of
+		// in-flight blocks instead of every block's full piece set.
+		var err error
+		ix, err = streamStageI(ctx, dirty, enc, rs, opts, &st)
+		if err != nil {
+			return nil, err
+		}
+		mCleans.Inc()
+		mTuples.Add(int64(dirty.Len()))
 	}
-	if err := StageLearn(ctx, ix, opts, &st); err != nil {
-		return nil, err
-	}
-	if err := StageRSC(ctx, ix, opts, &st); err != nil {
-		return nil, err
-	}
+	st.Blocks = len(ix.Blocks)
 	for _, b := range ix.Blocks {
 		st.Groups += len(b.Groups)
 	}

@@ -1,6 +1,11 @@
 package core
 
-import "mlnclean/internal/obs"
+import (
+	"runtime"
+
+	"mlnclean/internal/distance"
+	"mlnclean/internal/obs"
+)
 
 // Package-level instruments, registered at init so a scrape shows the whole
 // core family (zero-valued) before any clean runs. All are process-global:
@@ -37,4 +42,32 @@ var (
 		"Tuples whose every fusion order conflicted out.")
 	mDuplicatesRemoved = obs.Default().Counter("mlnclean_core_duplicates_removed_total",
 		"Duplicate tuples eliminated after fusion.")
+
+	// The mlnclean_mem_* family makes the bounded-memory behavior of the
+	// streaming pipeline observable live: how many blocks are in flight, how
+	// often the evaluator pool recycles, and the process's live heap.
+	mPoolHits = obs.Default().Counter("mlnclean_mem_pool_hits_total",
+		"Distance-evaluator checkouts served by a recycled evaluator.")
+	mPoolMisses = obs.Default().Counter("mlnclean_mem_pool_misses_total",
+		"Distance-evaluator checkouts that constructed a fresh evaluator.")
+	mBlocksInFlight = obs.Default().Gauge("mlnclean_mem_blocks_inflight",
+		"Blocks built by the streaming pipeline but not yet fully cleaned.")
 )
+
+func init() {
+	obs.Default().GaugeFunc("mlnclean_mem_heap_live_bytes",
+		"Live heap bytes (runtime.ReadMemStats HeapAlloc), sampled at scrape time.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapAlloc)
+		})
+}
+
+// recordPoolStats folds one evaluator pool's hit/miss counts into the
+// process-wide mem family after a stage or streaming run finishes with it.
+func recordPoolStats(p *distance.Pool) {
+	h, m := p.Stats()
+	mPoolHits.Add(h)
+	mPoolMisses.Add(m)
+}

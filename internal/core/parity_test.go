@@ -155,6 +155,13 @@ type parityGolden struct {
 // the trace (block-parallel stages append in nondeterministic order; sorting
 // by stable per-phase identities restores a canonical view).
 func runParityCase(t *testing.T, cfg parityConfig) parityGolden {
+	return runParityCaseMode(t, cfg, false)
+}
+
+// runParityCaseMode is runParityCase with the pipeline mode explicit:
+// materialize=false is the streaming default, materialize=true the
+// slurp-then-clean escape hatch. Both must match the goldens and each other.
+func runParityCaseMode(t *testing.T, cfg parityConfig, materialize bool) parityGolden {
 	t.Helper()
 	dirty := parityTable(cfg)
 	rs := parityRules(parityCityPool[0])
@@ -165,6 +172,7 @@ func runParityCase(t *testing.T, cfg parityConfig) parityGolden {
 		Metric:      distance.ByName(cfg.Metric),
 		AGPStrategy: cfg.Strategy,
 		Trace:       tr,
+		Materialize: materialize,
 	}
 	res, err := Clean(dirty, rs, opts)
 	if err != nil {

@@ -27,11 +27,14 @@ import (
 func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	defer mStageAGP.ObserveSince(time.Now())
+	pool := distance.NewPool(opts.Metric, ix.Dict())
+	defer recordPoolStats(pool)
 	type agpOut struct{ groups, pieces, promotions int }
 	outs := make([]agpOut, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
-		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
+		ev := pool.Get()
 		ab, abp, promos := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		pool.Put(ev)
 		outs[bi] = agpOut{ab, abp, promos}
 		return nil
 	})
@@ -79,10 +82,13 @@ func StageLearn(ctx context.Context, ix *index.Index, opts Options, st *Stats) e
 func StageRSC(ctx context.Context, ix *index.Index, opts Options, st *Stats) error {
 	opts = opts.withDefaults()
 	defer mStageRSC.ObserveSince(time.Now())
+	pool := distance.NewPool(opts.Metric, ix.Dict())
+	defer recordPoolStats(pool)
 	repairs := make([]int, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
-		ev := distance.NewEvaluator(opts.Metric, ix.Dict())
+		ev := pool.Get()
 		repairs[bi] = rsc(bi, b, ev, opts.Trace)
+		pool.Put(ev)
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/distance"
+	"mlnclean/internal/index"
+	"mlnclean/internal/rules"
+)
+
+// The streaming stage-I pipelines: a serial producer pulls blocks from an
+// index.BlockIterator (predicate-pushdown scans, postings released as rules
+// complete) while a fixed worker set runs the fused per-block phases on each
+// block as soon as it exists. Only a bounded window of blocks is ever in
+// flight with its full pre-RSC piece set; blocks the workers have finished
+// sit compacted in the growing index.
+//
+// The overlap is race-free by structure: building a block mutates only the
+// dictionary's sequence-key tables (group/piece key minting — the producer
+// is the only writer), while the stage phases never mint keys — AGP merges
+// by comparing existing key IDs, learning touches only weights, and RSC
+// rewrites by discarding losing pieces. Workers read only the dictionary's
+// value table, which is append-complete before the first block is built.
+//
+// Output is byte-identical to the materialized three-pass pipeline: blocks
+// are built in rule order exactly as BuildConfigured builds them, the
+// per-block phases are block-independent, and cross-block evaluator reuse
+// only ever returns exact memoized distances (see distance.Pool).
+
+// streamBlocks drains the iterator through a bounded worker set, handing
+// each worker a pooled distance evaluator it keeps for its whole lifetime.
+// The channel buffer bounds how far the producer runs ahead: at most par
+// blocks queued plus par being processed hold their full piece sets. Errors
+// are collected per block and the first by block index wins — the same
+// reporting order as the materialized stages.
+func streamBlocks(ctx context.Context, it *index.BlockIterator, opts Options, fn func(bi int, b *index.Block, ev *distance.Evaluator) error) error {
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.NumCPU()
+	}
+	if par > it.Len() {
+		par = it.Len()
+	}
+	if par < 1 {
+		par = 1
+	}
+	errs := make([]error, it.Len())
+	pool := distance.NewPool(opts.Metric, it.Index().Dict())
+	defer recordPoolStats(pool)
+
+	type work struct {
+		bi int
+		b  *index.Block
+	}
+	blocks := make(chan work, par)
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			ev := pool.Get()
+			defer pool.Put(ev)
+			for wk := range blocks {
+				if err := ctx.Err(); err != nil {
+					errs[wk.bi] = err
+					mBlocksInFlight.Add(-1)
+					continue
+				}
+				t0 := time.Now()
+				errs[wk.bi] = fn(wk.bi, wk.b, ev)
+				mBlockSeconds.ObserveSince(t0)
+				mBlocksInFlight.Add(-1)
+			}
+		}()
+	}
+	for ctx.Err() == nil {
+		bi, b, ok := it.Next()
+		if !ok {
+			break
+		}
+		mBlocksInFlight.Add(1)
+		blocks <- work{bi, b}
+	}
+	close(blocks)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// streamStageI is the default stand-alone stage-I pipeline: blocks stream
+// from the iterator through the fused AGP → weight learning → RSC sequence,
+// so memory stays bounded by the window of in-flight blocks instead of every
+// block's full pre-RSC piece set at once.
+func streamStageI(ctx context.Context, dirty *dataset.Table, enc *dataset.Encoded, rs []*rules.Rule, opts Options, st *Stats) (*index.Index, error) {
+	it, err := index.NewBlockIterator(dirty, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner, Encoded: enc})
+	if err != nil {
+		return nil, err
+	}
+	ix := it.Index()
+	// Record why the planner ordered evaluation the way it did; the CLI and
+	// /v1/stats surface these lines.
+	opts.Trace.SetPlan(ix.Plan().Choices())
+
+	type blockOut struct {
+		groups, pieces, promotions int
+		learnIters, repairs        int
+		agp, learn, rsc            time.Duration
+	}
+	outs := make([]blockOut, it.Len())
+	err = streamBlocks(ctx, it, opts, func(bi int, b *index.Block, ev *distance.Evaluator) error {
+		o := &outs[bi]
+		t0 := time.Now()
+		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		t1 := time.Now()
+		o.agp = t1.Sub(t0)
+		n, err := learnBlockWeights(b, opts.Learn)
+		if err != nil {
+			return err
+		}
+		o.learnIters = n
+		t2 := time.Now()
+		o.learn = t2.Sub(t1)
+		o.repairs = rsc(bi, b, ev, opts.Trace)
+		o.rsc = time.Since(t2)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var agpTime, learnTime, rscTime time.Duration
+	for bi := range outs {
+		o := &outs[bi]
+		st.AbnormalGroups += o.groups
+		st.AbnormalPieces += o.pieces
+		st.AGPPromotions += o.promotions
+		st.LearnIterations += o.learnIters
+		st.RSCRepairs += o.repairs
+		mAbnormalGroups.Add(int64(o.groups))
+		mAGPPromotions.Add(int64(o.promotions))
+		// Every abnormal group is either merged away or promoted in place.
+		mAGPMerges.Add(int64(o.groups - o.promotions))
+		mLearnIterations.Add(int64(o.learnIters))
+		mRSCRewrites.Add(int64(o.repairs))
+		agpTime += o.agp
+		learnTime += o.learn
+		rscTime += o.rsc
+	}
+	// One observation per stage per clean, as in the materialized pipeline;
+	// here the value is the summed per-block time of that phase.
+	mStageAGP.ObserveDuration(agpTime)
+	mStageLearn.ObserveDuration(learnTime)
+	mStageRSC.ObserveDuration(rscTime)
+	return ix, nil
+}
+
+// StreamAGPLearn is the distributed worker's streaming stage I: index blocks
+// are built from the iterator with AGP and (when learn is true) weight
+// learning fused per block, and RSC is NOT run — the distributed protocol
+// interleaves the Eq. 6 weight merge between learning and RSC, so RSC must
+// wait for the merged weights. Output is byte-identical to BuildConfigured
+// followed by StageAGP and StageLearn. Block and group counts accumulate
+// into st exactly as the materialized stages would leave them.
+func StreamAGPLearn(ctx context.Context, dirty *dataset.Table, enc *dataset.Encoded, rs []*rules.Rule, opts Options, st *Stats, learn bool) (*index.Index, error) {
+	opts = opts.withDefaults()
+	it, err := index.NewBlockIterator(dirty, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner, Encoded: enc})
+	if err != nil {
+		return nil, err
+	}
+	ix := it.Index()
+	type blockOut struct {
+		groups, pieces, promotions int
+		learnIters                 int
+		agp, learn                 time.Duration
+	}
+	outs := make([]blockOut, it.Len())
+	err = streamBlocks(ctx, it, opts, func(bi int, b *index.Block, ev *distance.Evaluator) error {
+		o := &outs[bi]
+		t0 := time.Now()
+		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		t1 := time.Now()
+		o.agp = t1.Sub(t0)
+		if learn {
+			n, err := learnBlockWeights(b, opts.Learn)
+			if err != nil {
+				return err
+			}
+			o.learnIters = n
+			o.learn = time.Since(t1)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var agpTime, learnTime time.Duration
+	for bi := range outs {
+		o := &outs[bi]
+		st.AbnormalGroups += o.groups
+		st.AbnormalPieces += o.pieces
+		st.AGPPromotions += o.promotions
+		st.LearnIterations += o.learnIters
+		mAbnormalGroups.Add(int64(o.groups))
+		mAGPPromotions.Add(int64(o.promotions))
+		mAGPMerges.Add(int64(o.groups - o.promotions))
+		mLearnIterations.Add(int64(o.learnIters))
+		agpTime += o.agp
+		learnTime += o.learn
+	}
+	mStageAGP.ObserveDuration(agpTime)
+	if learn {
+		mStageLearn.ObserveDuration(learnTime)
+	}
+	return ix, nil
+}

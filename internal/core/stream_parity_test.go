@@ -1,0 +1,42 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStreamMaterializeParity pins the streaming pipeline (the default) and
+// the materialized escape hatch to each other, byte for byte, over the full
+// parity matrix: same repairs, same clean rows and IDs, same duplicate sets,
+// same Stats, same per-phase Trace. TestParityGolden separately pins the
+// streaming default to the pre-refactor goldens, so together they prove
+// golden == streaming == materialized.
+func TestStreamMaterializeParity(t *testing.T) {
+	for _, cfg := range parityConfigs() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			stream := runParityCaseMode(t, cfg, false)
+			mat := runParityCaseMode(t, cfg, true)
+			if !reflect.DeepEqual(stream.Stats, mat.Stats) {
+				t.Errorf("Stats diverged:\nstream %+v\nmat    %+v", stream.Stats, mat.Stats)
+			}
+			compareRows(t, "Repaired", stream.Repaired, mat.Repaired)
+			compareRows(t, "Clean", stream.Clean, mat.Clean)
+			if !reflect.DeepEqual(stream.CleanIDs, mat.CleanIDs) {
+				t.Error("clean tuple IDs diverged")
+			}
+			if !reflect.DeepEqual(stream.Duplicates, mat.Duplicates) {
+				t.Errorf("duplicate sets diverged:\nstream %v\nmat    %v", stream.Duplicates, mat.Duplicates)
+			}
+			if !reflect.DeepEqual(stream.AGP, mat.AGP) {
+				t.Errorf("AGP trace diverged (%d vs %d merges)", len(stream.AGP), len(mat.AGP))
+			}
+			if !reflect.DeepEqual(stream.RSC, mat.RSC) {
+				t.Errorf("RSC trace diverged (%d vs %d repairs)", len(stream.RSC), len(mat.RSC))
+			}
+			if !reflect.DeepEqual(stream.FSCR, mat.FSCR) {
+				t.Errorf("FSCR trace diverged (%d vs %d outcomes)", len(stream.FSCR), len(mat.FSCR))
+			}
+		})
+	}
+}

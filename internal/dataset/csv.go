@@ -1,7 +1,6 @@
 package dataset
 
 import (
-	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -15,42 +14,23 @@ import (
 // fewer fields than the header — fail with the offending line number and
 // both field counts rather than misaligning values against attributes.
 func ReadCSV(r io.Reader) (*Table, error) {
-	br := bufio.NewReader(r)
-	if bom, err := br.Peek(3); err == nil && bom[0] == 0xEF && bom[1] == 0xBB && bom[2] == 0xBF {
-		br.Discard(3)
-	}
-	cr := csv.NewReader(br)
-	cr.FieldsPerRecord = -1
-	header, err := cr.Read()
-	if err != nil {
-		return nil, fmt.Errorf("dataset: reading CSV header: %w", err)
-	}
-	schema, err := NewSchema(header...)
+	s, err := StreamCSV(r)
 	if err != nil {
 		return nil, err
 	}
-	tb := NewTable(schema)
-	for line := 2; ; line++ {
-		rec, err := cr.Read()
+	tb := NewTable(s.Schema())
+	for {
+		rec, err := s.Next()
 		if err == io.EOF {
-			break
-		}
-		if len(rec) > 0 {
-			// Exact position from the reader (robust to quoted multi-line
-			// fields and blank lines, which a plain record counter is not).
-			line, _ = cr.FieldPos(0)
+			return tb, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("dataset: reading CSV line %d: %w", line, err)
-		}
-		if len(rec) != schema.Len() {
-			return nil, raggedRowError(line, len(rec), schema.Len())
+			return nil, err
 		}
 		if _, err := tb.Append(rec...); err != nil {
-			return nil, fmt.Errorf("dataset: CSV line %d: %w", line, err)
+			return nil, fmt.Errorf("dataset: CSV line %d: %w", s.Line(), err)
 		}
 	}
-	return tb, nil
 }
 
 // raggedRowError describes a row whose width disagrees with the header.

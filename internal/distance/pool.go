@@ -1,0 +1,58 @@
+package distance
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"mlnclean/internal/intern"
+)
+
+// Pool recycles Evaluators for one (metric, dictionary) pair across blocks.
+// A fresh evaluator per block re-pays the memo map, the per-ID info table,
+// and the DP row scratch on every block; the streaming pipeline processes
+// blocks back to back on a fixed worker set, which makes those allocations
+// the hottest in stage I. Reuse is sound because an evaluator's memo holds
+// only exact distances for a fixed (metric, dictionary) pair — values it
+// returns are identical whether computed in this block or a previous one
+// (AGP's bounded scans clip only strictly past their bound, so a memoized
+// exact value never changes a comparison a fresh evaluator would make).
+//
+// Get/Put are safe for concurrent use; the evaluators themselves remain
+// single-goroutine objects while checked out.
+type Pool struct {
+	metric Metric
+	dict   *intern.Dict
+	p      sync.Pool
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewPool creates a pool handing out evaluators for the metric over dict.
+func NewPool(m Metric, dict *intern.Dict) *Pool {
+	return &Pool{metric: m, dict: dict}
+}
+
+// Get returns a pooled evaluator, constructing one when none is available.
+func (p *Pool) Get() *Evaluator {
+	if ev, ok := p.p.Get().(*Evaluator); ok {
+		p.hits.Add(1)
+		return ev
+	}
+	p.misses.Add(1)
+	return NewEvaluator(p.metric, p.dict)
+}
+
+// Put returns an evaluator to the pool. The evaluator keeps its memo and
+// prepared per-ID state — that carry-over is the point.
+func (p *Pool) Put(ev *Evaluator) {
+	if ev == nil || ev.dict != p.dict {
+		return // foreign evaluator: never let memos cross dictionaries
+	}
+	p.p.Put(ev)
+}
+
+// Stats returns how many Gets were served from the pool (hits) versus
+// freshly constructed (misses).
+func (p *Pool) Stats() (hits, misses int64) {
+	return p.hits.Load(), p.misses.Load()
+}

@@ -3,6 +3,7 @@ package distributed
 import (
 	"context"
 	"fmt"
+	"io"
 	"math/rand"
 	"time"
 
@@ -214,6 +215,58 @@ func CleanContext(ctx context.Context, dirty *dataset.Table, rs []*rules.Rule, o
 		PartitionHeapTime: heapTime,
 	}
 	res, err = ex.finish(dirty, res)
+	if err != nil {
+		return nil, err
+	}
+	res.WallTime = time.Since(start)
+	return res, nil
+}
+
+// CleanStream runs distributed MLNClean over a row stream: tuples are read
+// in Options.BatchSize chunks and fed through Submit's online partitioner
+// (the streaming relaxation of Algorithm 3), so the coordinator never holds
+// the raw table — only the interned gather copy every run keeps for the
+// global FSCR pass — and workers receive their partitions incrementally.
+// Deterministic given the seed and the stream's row order; note the online
+// partitioner may split the table differently than Clean's exact Algorithm 3,
+// so the two entry points are separately deterministic, not interchangeable.
+func CleanStream(ctx context.Context, stream dataset.RowStream, rs []*rules.Rule, opts Options) (*Result, error) {
+	start := time.Now()
+	batchSize := opts.BatchSize
+	if batchSize <= 0 {
+		batchSize = 1024
+	}
+	ex, err := NewExecutorContext(ctx, stream.Schema(), rs, opts)
+	if err != nil {
+		return nil, err
+	}
+	batch := dataset.NewTable(stream.Schema())
+	for {
+		row, err := stream.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			ex.Close()
+			return nil, err
+		}
+		if _, err := batch.Append(row...); err != nil {
+			ex.Close()
+			return nil, err
+		}
+		if batch.Len() >= batchSize {
+			if err := ex.Submit(batch); err != nil {
+				return nil, err
+			}
+			batch = dataset.NewTable(stream.Schema())
+		}
+	}
+	if batch.Len() > 0 {
+		if err := ex.Submit(batch); err != nil {
+			return nil, err
+		}
+	}
+	res, err := ex.Run()
 	if err != nil {
 		return nil, err
 	}

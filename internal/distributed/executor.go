@@ -371,8 +371,11 @@ func (ex *Executor) Submit(batch *dataset.Table) error {
 		vals := make([]string, len(t.Values))
 		ids := make([]uint32, len(t.Values))
 		for i, v := range t.Values {
-			vals[i] = v
 			ids[i] = ex.dict.Intern(v)
+			// The canonical interned string: identical bytes, shared backing,
+			// so the gather copy holds one string per distinct value instead
+			// of retaining every submitted batch's allocations.
+			vals[i] = ex.dict.Value(ids[i])
 		}
 		// Observe column statistics at ingest so the coordinator can report
 		// the plan its workers derive from the same distribution.
@@ -1068,18 +1071,28 @@ func (h *heartbeater) stop() {
 
 // workerMain is one worker incarnation's receive loop, driven entirely by
 // transport messages: adopt a lease on Init (starting the liveness beacon),
-// accumulate partition batches, run stage I on StartStageI, apply the
-// merged weights and run stage II on MergedWeights, then exit. Messages
-// stamped with an epoch other than the adopted lease's are discarded —
-// they belong to a lease this incarnation does not hold. With optsFromInit
-// (out-of-process workers) the pipeline options are reconstructed from the
-// Init message instead of the opts argument.
+// ingest partition batches through an incremental dictionary encoder, run
+// stage I on StartStageI, apply the merged weights and run stage II on
+// MergedWeights, then exit. Messages stamped with an epoch other than the
+// adopted lease's are discarded — they belong to a lease this incarnation
+// does not hold. With optsFromInit (out-of-process workers) the pipeline
+// options are reconstructed from the Init message instead of the opts
+// argument.
+//
+// Ingest is bounded: each TupleBatch is interned on arrival (the partition
+// table's values alias the dictionary's canonical strings, so the worker
+// holds one copy of every distinct value and never the raw batch slices),
+// and stage I streams blocks from an iterator unless Materialize crossed
+// the wire. Recovery replays a partition's batches in their original order
+// onto a fresh incarnation, so the incremental encoding — value IDs minted
+// in row-major first-sight order — is byte-identical across re-leases.
 func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, optsFromInit bool) {
 	var (
 		schema    *dataset.Schema
 		rs        []*rules.Rule
-		batches   []TupleBatch
+		senc      *dataset.StreamEncoder
 		initErr   error
+		ingestErr error
 		tb        *dataset.Table
 		ix        *index.Index
 		stats     core.Stats
@@ -1100,7 +1113,7 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 				continue // stale lease
 			}
 			inited, partition, epoch = true, msg.Partition, msg.Epoch
-			schema, rs, batches, tb, ix, initErr = nil, nil, nil, nil, nil, nil
+			schema, rs, senc, tb, ix, initErr, ingestErr = nil, nil, nil, nil, nil, nil, nil
 			stats = core.Stats{}
 			if optsFromInit && msg.HasOpts {
 				opts = coreOptsFromWire(msg.Opts)
@@ -1113,13 +1126,19 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 				initErr = err
 			} else {
 				schema, rs = s, r
+				senc = dataset.NewStreamEncoder(schema, nil)
 			}
 			hb.start(tr, w, partition, epoch, time.Duration(msg.HeartbeatNS))
 		case TupleBatch:
-			if !inited || msg.Epoch != epoch {
+			if !inited || msg.Epoch != epoch || senc == nil || ingestErr != nil {
 				continue
 			}
-			batches = append(batches, msg)
+			for i, row := range msg.Rows {
+				if _, err := senc.AppendID(msg.IDs[i], row); err != nil {
+					ingestErr = err
+					break
+				}
+			}
 		case StartStageI:
 			if !inited || msg.Epoch != epoch {
 				continue
@@ -1129,27 +1148,43 @@ func workerMain(ctx context.Context, tr Transport, w int, opts core.Options, opt
 			switch {
 			case initErr != nil:
 				reply.Err = initErr.Error()
+			case ingestErr != nil:
+				reply.Err = ingestErr.Error()
 			case schema == nil:
 				reply.Err = "protocol: StartStageI before Init"
 			default:
-				tb = tableFromBatches(schema, batches)
-				batches = nil
+				tb = senc.Table()
 				stats.Tuples = tb.Len()
 				var err error
-				if ix, err = index.BuildConfigured(tb, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner}); err != nil {
-					reply.Err = err.Error()
-					break
-				}
-				stats.Blocks = len(ix.Blocks)
-				if err := core.StageAGP(ctx, ix, opts, &stats); err != nil {
-					reply.Err = err.Error()
-					break
-				}
-				if !msg.SkipLearn {
-					if err := core.StageLearn(ctx, ix, opts, &stats); err != nil {
+				if opts.Materialize {
+					// Escape hatch: full index, then one block-parallel pass
+					// per phase — the pre-streaming worker pipeline.
+					if ix, err = index.BuildConfigured(tb, rs, index.BuildConfig{FixedOrder: opts.DisablePlanner, Encoded: senc.Encoded()}); err != nil {
 						reply.Err = err.Error()
 						break
 					}
+					stats.Blocks = len(ix.Blocks)
+					if err := core.StageAGP(ctx, ix, opts, &stats); err != nil {
+						reply.Err = err.Error()
+						break
+					}
+					if !msg.SkipLearn {
+						if err := core.StageLearn(ctx, ix, opts, &stats); err != nil {
+							reply.Err = err.Error()
+							break
+						}
+					}
+				} else {
+					// Default: stream blocks from the iterator with AGP and
+					// learning fused per block; RSC waits for the merged
+					// weights, as the protocol requires.
+					if ix, err = core.StreamAGPLearn(ctx, tb, senc.Encoded(), rs, opts, &stats, !msg.SkipLearn); err != nil {
+						reply.Err = err.Error()
+						break
+					}
+					stats.Blocks = len(ix.Blocks)
+				}
+				if !msg.SkipLearn {
 					reply.Summaries = ix.PieceSummaries()
 				}
 			}

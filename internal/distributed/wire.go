@@ -6,7 +6,6 @@ import (
 	"fmt"
 
 	"mlnclean/internal/core"
-	"mlnclean/internal/dataset"
 	"mlnclean/internal/distance"
 	"mlnclean/internal/index"
 	"mlnclean/internal/mln"
@@ -80,8 +79,13 @@ type WireCoreOptions struct {
 	// a worker must not plan its partition scan when the coordinator's run
 	// has the planner off.
 	DisablePlanner bool
-	Parallelism    int
-	Learn          mln.LearnOptions
+	// Materialize crosses so the coordinator's escape hatch reaches the
+	// workers: with it set they build their full partition index before any
+	// cleaning instead of streaming blocks from the iterator. Output is
+	// identical either way; older peers decode it as false (streaming).
+	Materialize bool
+	Parallelism int
+	Learn       mln.LearnOptions
 	// RunID correlates worker-side log lines with the coordinator's run.
 	// Purely observational — decoding it as empty (older peers) is fine.
 	RunID string
@@ -100,6 +104,7 @@ func coreOptsToWire(o core.Options) WireCoreOptions {
 		MinimalityPriorSet: o.MinimalityPriorSet,
 		KeepDuplicates:     o.KeepDuplicates,
 		DisablePlanner:     o.DisablePlanner,
+		Materialize:        o.Materialize,
 		Parallelism:        o.Parallelism,
 		Learn:              o.Learn,
 		RunID:              o.RunID,
@@ -119,6 +124,7 @@ func coreOptsFromWire(w WireCoreOptions) core.Options {
 		MinimalityPriorSet: w.MinimalityPriorSet,
 		KeepDuplicates:     w.KeepDuplicates,
 		DisablePlanner:     w.DisablePlanner,
+		Materialize:        w.Materialize,
 		Parallelism:        w.Parallelism,
 		Learn:              w.Learn,
 		RunID:              w.RunID,
@@ -333,18 +339,4 @@ func blocksToWire(ix *index.Index) []WireFusionBlock {
 		}
 	}
 	return out
-}
-
-// tableFromBatches assembles a worker's partition table from its received
-// batches, preserving global tuple IDs.
-func tableFromBatches(schema *dataset.Schema, batches []TupleBatch) *dataset.Table {
-	tb := dataset.NewTable(schema)
-	for _, b := range batches {
-		for i, row := range b.Rows {
-			vals := make([]string, len(row))
-			copy(vals, row)
-			tb.Tuples = append(tb.Tuples, &dataset.Tuple{ID: b.IDs[i], Values: vals})
-		}
-	}
-	return tb
 }

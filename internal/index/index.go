@@ -14,7 +14,6 @@ package index
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"mlnclean/internal/dataset"
 	"mlnclean/internal/intern"
@@ -345,6 +344,11 @@ type BuildConfig struct {
 	// never outcome — so this exists for comparison benchmarks and as an
 	// escape hatch.
 	FixedOrder bool
+	// Encoded supplies a pre-encoded companion of the table (streaming
+	// ingest encodes during CSV parsing). It must be row-aligned with the
+	// table and is adopted as the index's encoding; Dict is ignored in its
+	// favor. Nil means the table is encoded here.
+	Encoded *dataset.Encoded
 }
 
 // Build constructs the MLN index over the table for the rule set: one block
@@ -366,33 +370,19 @@ func BuildWithDict(tb *dataset.Table, rs []*rules.Rule, dict *intern.Dict) (*Ind
 	return BuildConfigured(tb, rs, BuildConfig{Dict: dict})
 }
 
-// BuildConfigured is the fully parameterized Build.
+// BuildConfigured is the fully parameterized Build: a BlockIterator drained
+// to completion. The streaming pipeline pulls the same iterator one block at
+// a time instead.
 func BuildConfigured(tb *dataset.Table, rs []*rules.Rule, cfg BuildConfig) (*Index, error) {
-	if len(rs) == 0 {
-		return nil, fmt.Errorf("index: no rules")
+	it, err := NewBlockIterator(tb, rs, cfg)
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range rs {
-		if err := r.Validate(tb.Schema); err != nil {
-			return nil, err
+	for {
+		if _, _, ok := it.Next(); !ok {
+			return it.Index(), nil
 		}
 	}
-	t0 := time.Now()
-	defer func() { mBuildSeconds.ObserveSince(t0); mBuilds.Inc() }()
-	enc := dataset.Encode(tb, cfg.Dict)
-	d := enc.Dict
-	ix := &Index{table: tb, enc: enc}
-	if !cfg.FixedOrder {
-		ix.plan = plan.New(rs, tb.Schema, d)
-	}
-	post := &postings{enc: enc, cols: make([]*colPostings, tb.Schema.Len())}
-	for ri, r := range rs {
-		var choice *plan.RulePlan
-		if ix.plan != nil {
-			choice = &ix.plan.Rules[ri]
-		}
-		ix.Blocks = append(ix.Blocks, buildBlock(tb, enc, d, r, choice, post))
-	}
-	return ix, nil
 }
 
 // buildBlock constructs one rule's block under its plan choice. Whatever the
