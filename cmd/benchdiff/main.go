@@ -1,8 +1,8 @@
 // Command benchdiff compares two benchrunner -json documents and flags
 // experiments whose elapsed time or peak heap regressed beyond a threshold.
-// CI runs it against the committed BENCH_PR9.json baseline:
+// CI runs it against the committed BENCH_PR10.json baseline:
 //
-//	benchdiff -baseline BENCH_PR9.json -current BENCH_new.json [-fail-over 0.30]
+//	benchdiff -baseline BENCH_PR10.json -current BENCH_new.json [-fail-over 0.30]
 //
 // Output is one line per experiment; regressions beyond the threshold print
 // as GitHub Actions ::warning:: annotations. Two modes:
@@ -69,7 +69,7 @@ func mib(b uint64) float64 { return float64(b) / (1 << 20) }
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "BENCH_PR9.json", "committed baseline document")
+		baseline  = flag.String("baseline", "BENCH_PR10.json", "committed baseline document")
 		current   = flag.String("current", "", "freshly generated document")
 		threshold = flag.Float64("threshold", 0.30, "relative slowdown / heap growth that triggers a warning")
 		minMS     = flag.Int64("min-ms", 50, "ignore elapsed-time changes on experiments faster than this in the baseline (noise)")

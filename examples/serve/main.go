@@ -1,11 +1,16 @@
 // Serve: the session API end to end — start the mlnserve handler on a
 // loopback port, then act as a client: create a session, stream a dirty
-// table in batches, trigger the clean, poll, and fetch the repairs. A second
-// session over the same rules demonstrates the model cache: the learned
-// Eq. 6 weights are preset and weight learning is skipped. Each round also
-// pulls the repair audit trail (cell, old value, new value, attributed rule
-// and weight), and the final session is rolled back — the pre-repair table
-// restored from the server's log — before it is closed.
+// table in batches, trigger the clean, poll, and fetch the repairs. The
+// first round then mutates the cleaned session tuple by tuple — PUT a
+// replacement row, DELETE another — and each mutation mints a new result
+// version, re-cleaned incrementally (the delta summary shows how many rule
+// blocks and tuples were reused); old versions stay addressable via
+// ?version=N and the trail pages with limit/cursor. A second session over
+// the same rules demonstrates the model cache: the learned Eq. 6 weights are
+// preset and weight learning is skipped. Each round also pulls the repair
+// audit trail (cell, old value, new value, attributed rule and weight), and
+// the final session is rolled back — the pre-repair table restored from the
+// server's log — before it is closed.
 //
 // Against a real daemon the same requests work verbatim — set BASE:
 //
@@ -138,7 +143,36 @@ func main() {
 				rep.Tuple, rep.Attr, rep.Old, rep.New, rep.Rule, rep.Weight)
 		}
 
-		// 6. Rollback (final round): restore the pre-repair values from the
+		// 6. Mutate (first round): replace one tuple and delete another.
+		// Every acknowledged mutation re-cleans incrementally and mints the
+		// next result version; version 1 keeps serving the batch result.
+		if round == 1 {
+			freshest := append([]string(nil), dirty.Tuples[0].Values...)
+			var ack server.MutateResponse
+			put(base+"/v1/sessions/"+info.ID+"/tuples/3", server.MutateRequest{Values: freshest}, &ack)
+			fmt.Printf("  PUT tuple 3 -> version %d (reused %d/%d rule blocks, %d/%d fused tuples)\n",
+				ack.Version, ack.Delta.ReusedBlocks, ack.Delta.ReusedBlocks+ack.Delta.DirtyBlocks,
+				ack.Delta.ReusedTuples, ack.Delta.ReusedTuples+ack.Delta.RefusedTuples)
+			del(base + "/v1/sessions/" + info.ID + "/tuples/7")
+			get(base+"/v1/sessions/"+info.ID, &info)
+			fmt.Printf("  DELETE tuple 7 -> session now serves %d versions\n", info.Versions)
+
+			// Versions are immutable: the delta-cleaned latest and the
+			// original batch result are both one GET away.
+			var latest, v1 server.ResultResponse
+			get(base+"/v1/sessions/"+info.ID+"/result", &latest)
+			get(base+"/v1/sessions/"+info.ID+"/result?version=1", &v1)
+			fmt.Printf("  result?version=%d: %d rows; result?version=1: %d rows (batch run, unchanged)\n",
+				latest.Version, len(latest.Rows), len(v1.Rows))
+
+			// The versioned audit trail pages with limit/cursor.
+			var page server.RepairsResponse
+			get(base+"/v1/sessions/"+info.ID+"/repairs?limit=5", &page)
+			fmt.Printf("  repairs?limit=5: page of %d/%d repairs for version %d, next cursor %d\n",
+				len(page.Repairs), page.Total, page.Version, page.NextCursor)
+		}
+
+		// 7. Rollback (final round): restore the pre-repair values from the
 		// server's log and verify they match what was streamed.
 		if round == 2 {
 			var rb server.RollbackResponse
@@ -217,6 +251,23 @@ func get(url string, out any) {
 	decode(resp, out)
 }
 
+func put(url string, body, out any) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		log.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPut, url, &buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	decode(resp, out)
+}
+
 func del(url string) {
 	req, err := http.NewRequest(http.MethodDelete, url, nil)
 	if err != nil {
@@ -232,11 +283,15 @@ func del(url string) {
 func decode(resp *http.Response, out any) {
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
+		// Every error is the uniform envelope: {"error":{"code","message"}}.
 		var e struct {
-			Error string `json:"error"`
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
 		}
 		json.NewDecoder(resp.Body).Decode(&e)
-		log.Fatalf("%s %s: %s (%s)", resp.Request.Method, resp.Request.URL.Path, resp.Status, e.Error)
+		log.Fatalf("%s %s: %s (%s: %s)", resp.Request.Method, resp.Request.URL.Path, resp.Status, e.Error.Code, e.Error.Message)
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

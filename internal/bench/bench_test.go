@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"ablation-minimality", "ablation-mergecap", "ablation-weightmerge",
 		"ablation-agp", "ablation-planner",
 		"stream-memory",
+		"incremental",
 	}
 	for _, name := range want {
 		if _, ok := Registry[name]; !ok {

@@ -8,6 +8,38 @@ import (
 	"mlnclean/internal/index"
 )
 
+// agpMemo carries nearest-target decisions across successive rebuilds of
+// the same rule block (the DeltaCleaner's case: one mutation dirties a
+// block whose group structure barely moves). A source's cached decision is
+// reusable when three things hold: the cache is fresh (the immediately
+// preceding rebuild wrote it — run stamps enforce this, so a rebuild the
+// source sat out invalidates it), the source's γ⋆ is bit-identical (same
+// piece KeyID ⇒ same value IDs ⇒ same distances), and its best target
+// survived unchanged. A reusable decision then only has to beat the
+// targets that were added or changed since — every unchanged target
+// already lost to it, and the full scan's (score, key) minimum is
+// scan-order independent, so challenging the delta reproduces the full
+// scan's choice exactly. Batch callers pass nil and take the plain scan.
+type agpMemo struct {
+	run     int
+	fresh   int                  // run whose normal flow last completed
+	targets map[string]agpTarget // normal-group key → identity, as of `fresh`
+	best    map[string]agpBest   // abnormal-group key → decision
+}
+
+type agpTarget struct {
+	kid      uint32 // γ⋆ piece KeyID — fixes the target's value IDs
+	discount float64
+}
+
+type agpBest struct {
+	run    int
+	srcKid uint32
+	key    string // best target's group key
+	d      float64
+	score  float64
+}
+
 // agp runs Abnormal Group Processing (§5.1.1) on one block: groups whose
 // related-tuple count is ≤ τ are abnormal; each abnormal group is merged
 // into its nearest normal group, where the distance between two groups is
@@ -18,11 +50,15 @@ import (
 // The O(abnormal×normal) scan runs entirely over interned value IDs through
 // the block's distance evaluator: per-pair results are memoized
 // symmetrically (γ⋆ values repeat across sources) and the per-pair DP is
-// bounded by the running best, so hopeless targets abandon early.
+// bounded by the running best, so hopeless targets abandon early. A non-nil
+// memo further reduces repeat rebuilds to the changed targets only.
 //
 // Returns the number of abnormal groups detected, the total γ count inside
 // them (#dag), and the number of promotions (0 or 1).
-func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap float64, strategy AGPStrategy, tr *Trace) (abnormal, abnormalPieces, promotions int) {
+func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap float64, strategy AGPStrategy, memo *agpMemo, tr *Trace) (abnormal, abnormalPieces, promotions int) {
+	if memo != nil {
+		memo.run++
+	}
 	if len(b.Groups) <= 1 {
 		return 0, 0, 0
 	}
@@ -88,6 +124,47 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 		targets[i] = target{g: g, ids: g.Star().ValueIDs(), discount: discount}
 	}
 
+	// With a fresh memo, work out which targets moved since the previous
+	// rebuild (added, removed, or different γ⋆/discount) and index the rest.
+	var changed map[string]bool
+	var targetIdx map[string]int
+	if memo != nil && promotions == 0 {
+		curr := make(map[string]agpTarget, len(targets))
+		targetIdx = make(map[string]int, len(targets))
+		for i := range targets {
+			curr[targets[i].g.Key] = agpTarget{kid: targets[i].g.Star().KeyID(), discount: targets[i].discount}
+			targetIdx[targets[i].g.Key] = i
+		}
+		if memo.fresh == memo.run-1 {
+			changed = make(map[string]bool)
+			for k, ct := range curr {
+				if pt, ok := memo.targets[k]; !ok || pt != ct {
+					changed[k] = true
+				}
+			}
+			for k := range memo.targets {
+				if _, ok := curr[k]; !ok {
+					changed[k] = true // removed: any decision pointing here rescans
+				}
+			}
+		}
+		memo.targets = curr
+		memo.fresh = memo.run
+		if memo.best == nil {
+			memo.best = make(map[string]agpBest)
+		}
+	}
+	// Indices of moved targets, in scan order — sources with a reusable
+	// decision score only these.
+	var changedIdx []int
+	if changed != nil {
+		for i := range targets {
+			if changed[targets[i].g.Key] {
+				changedIdx = append(changedIdx, i)
+			}
+		}
+	}
+
 	for _, src := range abnormalGroups {
 		star := src.Star()
 		if star == nil {
@@ -97,7 +174,24 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 		best := -1
 		bestD := math.Inf(1)     // raw distance of the best target
 		bestScore := math.Inf(1) // discounted score of the best target
-		for i := range targets {
+		cached := false
+		if changed != nil {
+			if e, ok := memo.best[src.Key]; ok && e.run == memo.run-1 && e.srcKid == star.KeyID() && !changed[e.key] {
+				if i, ok := targetIdx[e.key]; ok {
+					best, bestD, bestScore = i, e.d, e.score
+					cached = true
+				}
+			}
+		}
+		scan := len(targets)
+		if cached {
+			scan = len(changedIdx) // every other target lost to the cached decision last rebuild
+		}
+		for j := 0; j < scan; j++ {
+			i := j
+			if cached {
+				i = changedIdx[j]
+			}
 			// The bounded scan can only prune on the raw distance; the
 			// discount (≥ 1) only shrinks scores.
 			bound := bestScore * targets[i].discount
@@ -116,6 +210,12 @@ func agp(blockIdx int, b *index.Block, tau int, ev *distance.Evaluator, mergeCap
 				bestScore = score
 				bestD = d
 				best = i
+			}
+		}
+		if memo != nil && promotions == 0 && best >= 0 {
+			memo.best[src.Key] = agpBest{
+				run: memo.run, srcKid: star.KeyID(),
+				key: targets[best].g.Key, d: bestD, score: bestScore,
 			}
 		}
 		abnormal++

@@ -43,6 +43,24 @@ var (
 	mDuplicatesRemoved = obs.Default().Counter("mlnclean_core_duplicates_removed_total",
 		"Duplicate tuples eliminated after fusion.")
 
+	// Delta family: how much work incremental re-cleaning does versus reuses.
+	// The dirty/reused and refused/reused pairs partition each Apply's blocks
+	// and tuples, so the reuse ratio is readable straight off a scrape.
+	mDeltaLoads = obs.Default().Counter("mlnclean_core_delta_loads_total",
+		"Full-clean seeds of an incremental delta engine.")
+	mDeltaApplies = obs.Default().Counter("mlnclean_core_delta_applies_total",
+		"Incremental mutation batches applied.")
+	mDeltaDirtyBlocks = obs.Default().Counter("mlnclean_core_delta_dirty_blocks_total",
+		"Rule blocks rebuilt and re-cleaned by incremental applies.")
+	mDeltaReusedBlocks = obs.Default().Counter("mlnclean_core_delta_reused_blocks_total",
+		"Rule blocks served from cache by incremental applies.")
+	mDeltaRefusedTuples = obs.Default().Counter("mlnclean_core_delta_refused_tuples_total",
+		"Tuples re-fused by incremental applies.")
+	mDeltaReusedTuples = obs.Default().Counter("mlnclean_core_delta_reused_tuples_total",
+		"Tuples whose cached fusion outcome incremental applies reused.")
+	mDeltaSeconds = obs.Default().Histogram("mlnclean_core_delta_apply_seconds",
+		"Wall time of one incremental mutation batch, mutation to new result.", obs.DefBuckets)
+
 	// The mlnclean_mem_* family makes the bounded-memory behavior of the
 	// streaming pipeline observable live: how many blocks are in flight, how
 	// often the evaluator pool recycles, and the process's live heap.

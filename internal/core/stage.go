@@ -33,7 +33,7 @@ func StageAGP(ctx context.Context, ix *index.Index, opts Options, st *Stats) err
 	outs := make([]agpOut, len(ix.Blocks))
 	err := forEachBlock(ctx, ix, opts, func(bi int, b *index.Block) error {
 		ev := pool.Get()
-		ab, abp, promos := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		ab, abp, promos := agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, nil, opts.Trace)
 		pool.Put(ev)
 		outs[bi] = agpOut{ab, abp, promos}
 		return nil

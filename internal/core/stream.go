@@ -118,7 +118,7 @@ func streamStageI(ctx context.Context, dirty *dataset.Table, enc *dataset.Encode
 	err = streamBlocks(ctx, it, opts, func(bi int, b *index.Block, ev *distance.Evaluator) error {
 		o := &outs[bi]
 		t0 := time.Now()
-		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, nil, opts.Trace)
 		t1 := time.Now()
 		o.agp = t1.Sub(t0)
 		n, err := learnBlockWeights(b, opts.Learn)
@@ -185,7 +185,7 @@ func StreamAGPLearn(ctx context.Context, dirty *dataset.Table, enc *dataset.Enco
 	err = streamBlocks(ctx, it, opts, func(bi int, b *index.Block, ev *distance.Evaluator) error {
 		o := &outs[bi]
 		t0 := time.Now()
-		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, opts.Trace)
+		o.groups, o.pieces, o.promotions = agp(bi, b, opts.Tau, ev, opts.MergeCapRatio, opts.AGPStrategy, nil, opts.Trace)
 		t1 := time.Now()
 		o.agp = t1.Sub(t0)
 		if learn {

@@ -385,6 +385,16 @@ func BuildConfigured(tb *dataset.Table, rs []*rules.Rule, cfg BuildConfig) (*Ind
 	}
 }
 
+// BuildBlockFor rebuilds one rule's block over the table by the fixed-order
+// row scan, without constructing a full Index. The incremental delta engine
+// uses it to re-derive only the blocks a mutation dirtied. enc must be
+// row-aligned with tb and the block is encoded into enc's dictionary; the
+// resulting block is identical to the one a full build (planned or not)
+// produces over the same table, per the planner's order-invariance.
+func BuildBlockFor(tb *dataset.Table, enc *dataset.Encoded, r *rules.Rule) *Block {
+	return buildBlock(tb, enc, enc.Dict, r, nil, nil)
+}
+
 // buildBlock constructs one rule's block under its plan choice. Whatever the
 // scan shape, the resulting block is identical to the fixed-order scan's:
 // group and piece identities are minted from declared-order folds, tuple

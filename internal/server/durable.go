@@ -86,6 +86,18 @@ type recWeights struct {
 	Summaries   []index.PieceSummary
 }
 
+// recMutation is one acknowledged tuple mutation (PUT or DELETE of a row)
+// against a done session. Replay re-applies the sequence through the delta
+// engine, which is deterministic, so every result version re-serves
+// byte-identically after a restart without persisting the versions
+// themselves.
+type recMutation struct {
+	ID     string
+	Op     string // "put" | "delete"
+	Row    int
+	Values []string // schema order; nil for delete
+}
+
 // recRollback marks the session's repairs reverted; replay re-serves the
 // pre-repair table.
 type recRollback struct{ ID string }
@@ -100,6 +112,7 @@ func (recCleanStart) isRecord() {}
 func (recCleanDone) isRecord()  {}
 func (recRepairs) isRecord()    {}
 func (recWeights) isRecord()    {}
+func (recMutation) isRecord()   {}
 func (recRollback) isRecord()   {}
 func (recTombstone) isRecord()  {}
 
@@ -110,6 +123,7 @@ func init() {
 	gob.Register(recCleanDone{})
 	gob.Register(recRepairs{})
 	gob.Register(recWeights{})
+	gob.Register(recMutation{})
 	gob.Register(recRollback{})
 	gob.Register(recTombstone{})
 }
@@ -142,6 +156,9 @@ type sessSnap struct {
 	Done       *recCleanDone
 	Repairs    []Repair
 	RolledBack bool
+	// Mutations is the acknowledged tuple-mutation sequence (old snapshots
+	// decode it empty). Result versions are recomputed from it on demand.
+	Mutations []recMutation
 }
 
 // replayState is the fold of the log: the state a restart rebuilds from. The
@@ -199,6 +216,10 @@ func (st *replayState) apply(rec Record) {
 			}
 		}
 		st.Weights = append(st.Weights, r)
+	case recMutation:
+		if s := st.Sessions[r.ID]; s != nil {
+			s.Mutations = append(s.Mutations, r)
+		}
 	case recRollback:
 		if s := st.Sessions[r.ID]; s != nil {
 			s.RolledBack = true

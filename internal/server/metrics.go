@@ -33,6 +33,8 @@ var (
 		"Cleaning runs that reached the done state.")
 	mCleansFailed = obs.Default().Counter("mlnserve_cleans_failed_total",
 		"Cleaning runs that ended in the failed state.")
+	mMutations = obs.Default().Counter("mlnserve_mutations_total",
+		"Tuple mutations acknowledged (PUT/DELETE .../tuples/{row}).")
 )
 
 // httpResponses maps a status code to its class counter.

@@ -1,0 +1,454 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mlnclean/internal/core"
+	"mlnclean/internal/datagen"
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/errgen"
+	"mlnclean/internal/rules"
+	"mlnclean/internal/wal"
+)
+
+// The serving-layer half of the incremental parity contract: every result
+// version a session acknowledges must equal a from-scratch solo clean of the
+// mutated input (table, stats, and independently recomputed repair
+// attribution), and must re-serve byte-identically after a restart on the
+// same data directory.
+
+// carFixture builds a seeded dirty CAR workload plus its rules text.
+func carFixture(t *testing.T, rows int, seed int64) (*dataset.Table, []*rules.Rule, string) {
+	t.Helper()
+	truth, rs, err := datagen.CAR(datagen.CARConfig{Rows: rows, Seed: seed})
+	if err != nil {
+		t.Fatalf("datagen.CAR: %v", err)
+	}
+	inj, err := errgen.Inject(truth, rs, errgen.Config{Rate: 0.08, ReplacementRatio: 0.5, Seed: seed + 1})
+	if err != nil {
+		t.Fatalf("errgen.Inject: %v", err)
+	}
+	lines := make([]string, len(rs))
+	for i, r := range rs {
+		lines[i] = r.Canonical()
+	}
+	return inj.Dirty, rs, strings.Join(lines, "\n")
+}
+
+// rawGet fetches a path without decoding, for byte-identity assertions.
+func rawGet(t *testing.T, base, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// doEnvelope sends a request and decodes the error envelope.
+func doEnvelope(c *client, method, path string, body any) (int, errorBody) {
+	c.t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			c.t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, c.base+path, &buf)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		c.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var env errorBody
+	if resp.StatusCode >= 400 {
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			c.t.Fatalf("%s %s: error response is not the envelope: %v", method, path, err)
+		}
+	}
+	return resp.StatusCode, env
+}
+
+// mirrorTable materializes an id → values mirror as a table in ascending-ID
+// order, the canonical shape the delta engine serves.
+func mirrorTable(schema *dataset.Schema, rows map[int][]string) *dataset.Table {
+	ids := make([]int, 0, len(rows))
+	for id := range rows {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	tb := dataset.NewTable(schema)
+	for _, id := range ids {
+		tb.Tuples = append(tb.Tuples, &dataset.Tuple{ID: id, Values: append([]string(nil), rows[id]...)})
+	}
+	return tb
+}
+
+// assertVersionParity fetches one result version and its repairs and requires
+// both to match a from-scratch solo re-clean of the mirror.
+func assertVersionParity(t *testing.T, c *client, id string, version int, schema *dataset.Schema, mirror map[int][]string, rs []*rules.Rule) {
+	t.Helper()
+	ref := mirrorTable(schema, mirror)
+	want, err := core.Clean(ref, rs, core.Options{})
+	if err != nil {
+		t.Fatalf("version %d: reference clean: %v", version, err)
+	}
+	var res ResultResponse
+	if code := c.do("GET", fmt.Sprintf("/v1/sessions/%s/result?version=%d", id, version), nil, &res); code != http.StatusOK {
+		t.Fatalf("result version %d: status %d", version, code)
+	}
+	if res.Version != version || res.Workers != 1 || res.WorkersLost != 0 || res.WallMS != 0 {
+		t.Fatalf("version %d metadata = %+v, want deterministic solo metadata", version, res)
+	}
+	if res.Delta == nil {
+		t.Fatalf("version %d has no delta summary", version)
+	}
+	if res.Delta.DirtyBlocks+res.Delta.ReusedBlocks != len(rs) {
+		t.Fatalf("version %d delta blocks %+v do not partition %d rules", version, res.Delta, len(rs))
+	}
+	if got, wantN := len(res.Rows), want.Clean.Len(); got != wantN {
+		t.Fatalf("version %d: %d rows, want %d", version, got, wantN)
+	}
+	for i, tp := range want.Clean.Tuples {
+		if res.IDs[i] != tp.ID || !reflect.DeepEqual(res.Rows[i], tp.Values) {
+			t.Fatalf("version %d row %d: got id=%d %v, want id=%d %v",
+				version, i, res.IDs[i], res.Rows[i], tp.ID, tp.Values)
+		}
+	}
+	if !reflect.DeepEqual(res.Stats, want.Stats) {
+		t.Fatalf("version %d stats:\ngot  %+v\nwant %+v", version, res.Stats, want.Stats)
+	}
+	var reps RepairsResponse
+	if code := c.do("GET", fmt.Sprintf("/v1/sessions/%s/repairs?version=%d", id, version), nil, &reps); code != http.StatusOK {
+		t.Fatalf("repairs version %d: status %d", version, code)
+	}
+	wantReps := computeRepairsTable(schema, ref, want.Repaired, rs, want.Index.PieceSummaries())
+	if reps.Version != version || reps.Total != len(wantReps) {
+		t.Fatalf("repairs version %d: version=%d total=%d, want version=%d total=%d",
+			version, reps.Version, reps.Total, version, len(wantReps))
+	}
+	if len(reps.Repairs) != len(wantReps) || (len(wantReps) > 0 && !reflect.DeepEqual(reps.Repairs, wantReps)) {
+		t.Fatalf("repairs version %d:\ngot  %+v\nwant %+v", version, reps.Repairs, wantReps)
+	}
+}
+
+// TestMutationSequenceParity drives randomized tuple mutations (updates,
+// inserts, deletes) through the HTTP API and checks every minted version
+// against an independent full re-clean — then restarts the server on the same
+// (in-memory) data directory and requires every version to re-serve
+// byte-identically before accepting further mutations. CHAOS_SEEDS widens the
+// grid in CI.
+func TestMutationSequenceParity(t *testing.T) {
+	seeds := chaosSeeds(t)
+	for si, seed := range seeds {
+		transports := []string{"chan"}
+		if si == 0 {
+			transports = append(transports, "gob")
+		}
+		for _, transport := range transports {
+			t.Run(fmt.Sprintf("seed=%d/transport=%s", seed, transport), func(t *testing.T) {
+				dirty, rs, rulesText := carFixture(t, 120, seed)
+				schema := dirty.Schema
+				fs := wal.NewMemFS(wal.FaultPlan{})
+				cfg := ManagerConfig{WALFS: fs, SnapshotEvery: 4}
+
+				srv1 := newTestServer(t, cfg)
+				ts1 := httptest.NewServer(srv1)
+				c1 := &client{t: t, base: ts1.URL}
+				req := CreateRequest{Rules: rulesText, Attrs: schema.Attrs(), Workers: 2, Transport: transport, Seed: 1}
+				info := createSession(c1, req)
+				submitBatches(c1, info.ID, splitRows(dirty, 3))
+				startClean(c1, info.ID)
+				pollDone(c1, info.ID)
+
+				mirror := make(map[int][]string, dirty.Len())
+				for i, tp := range dirty.Tuples {
+					mirror[i] = append([]string(nil), tp.Values...)
+				}
+				next := dirty.Len()
+				rng := rand.New(rand.NewSource(seed * 131))
+				randomValues := func() []string {
+					vals := make([]string, schema.Len())
+					for j := range vals {
+						if rng.Intn(8) == 0 {
+							vals[j] = fmt.Sprintf("nv-%d-%d", j, rng.Intn(50))
+						} else {
+							vals[j] = mirror[anyKey(mirror, rng)][j]
+						}
+					}
+					return vals
+				}
+
+				const steps = 8
+				for step := 1; step <= steps; step++ {
+					var (
+						op   string
+						row  int
+						vals []string
+					)
+					switch {
+					case len(mirror) > 5 && rng.Intn(4) == 0:
+						op, row = mutDelete, anyKey(mirror, rng)
+					case rng.Intn(2) == 0:
+						op, row, vals = mutPut, anyKey(mirror, rng), randomValues()
+					default:
+						op, row, vals = mutPut, next, randomValues()
+					}
+					var ack MutateResponse
+					path := fmt.Sprintf("/v1/sessions/%s/tuples/%d", info.ID, row)
+					var code int
+					if op == mutPut {
+						code = c1.do("PUT", path, MutateRequest{Values: vals}, &ack)
+					} else {
+						code = c1.do("DELETE", path, nil, &ack)
+					}
+					if code != http.StatusOK {
+						t.Fatalf("step %d: %s row %d: status %d", step, op, row, code)
+					}
+					if op == mutPut {
+						mirror[row] = append([]string(nil), vals...)
+						if row == next {
+							next++
+						}
+					} else {
+						delete(mirror, row)
+					}
+					if ack.Version != 1+step || ack.Tuples != len(mirror) {
+						t.Fatalf("step %d ack = %+v, want version %d tuples %d", step, ack, 1+step, len(mirror))
+					}
+					assertVersionParity(t, c1, info.ID, ack.Version, schema, mirror, rs)
+				}
+
+				var st SessionInfo
+				if code := c1.do("GET", "/v1/sessions/"+info.ID, nil, &st); code != http.StatusOK || st.Versions != 1+steps {
+					t.Fatalf("status versions = %d (code %d), want %d", st.Versions, code, 1+steps)
+				}
+
+				// Capture every version's bytes, restart on the same FS, and
+				// require identical re-serving — the mutation log replayed
+				// through the deterministic engine, no versions persisted.
+				type raw struct{ result, repairs []byte }
+				raws := make([]raw, 0, 1+steps)
+				for v := 1; v <= 1+steps; v++ {
+					_, rb := rawGet(t, c1.base, fmt.Sprintf("/v1/sessions/%s/result?version=%d", info.ID, v))
+					_, pb := rawGet(t, c1.base, fmt.Sprintf("/v1/sessions/%s/repairs?version=%d", info.ID, v))
+					raws = append(raws, raw{result: rb, repairs: pb})
+				}
+				ts1.Close()
+				srv1.Shutdown()
+
+				srv2 := newTestServer(t, cfg)
+				defer srv2.Shutdown()
+				ts2 := httptest.NewServer(srv2)
+				defer ts2.Close()
+				c2 := &client{t: t, base: ts2.URL}
+				for v := 1; v <= 1+steps; v++ {
+					code, rb := rawGet(t, c2.base, fmt.Sprintf("/v1/sessions/%s/result?version=%d", info.ID, v))
+					if code != http.StatusOK || !bytes.Equal(rb, raws[v-1].result) {
+						t.Fatalf("restart: result version %d diverges (status %d):\ngot  %s\nwant %s",
+							v, code, rb, raws[v-1].result)
+					}
+					code, pb := rawGet(t, c2.base, fmt.Sprintf("/v1/sessions/%s/repairs?version=%d", info.ID, v))
+					if code != http.StatusOK || !bytes.Equal(pb, raws[v-1].repairs) {
+						t.Fatalf("restart: repairs version %d diverges (status %d)", v, code)
+					}
+				}
+				// And the restarted session keeps accepting mutations.
+				row, vals := anyKey(mirror, rng), randomValues()
+				var ack MutateResponse
+				if code := c2.do("PUT", fmt.Sprintf("/v1/sessions/%s/tuples/%d", info.ID, row), MutateRequest{Values: vals}, &ack); code != http.StatusOK {
+					t.Fatalf("post-restart mutation: status %d", code)
+				}
+				mirror[row] = append([]string(nil), vals...)
+				if ack.Version != 2+steps {
+					t.Fatalf("post-restart version = %d, want %d", ack.Version, 2+steps)
+				}
+				assertVersionParity(t, c2, info.ID, ack.Version, schema, mirror, rs)
+			})
+		}
+	}
+}
+
+// anyKey draws a random live row id (deterministically, via sorted keys).
+func anyKey(m map[int][]string, rng *rand.Rand) int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j-1] > ids[j]; j-- {
+			ids[j-1], ids[j] = ids[j], ids[j-1]
+		}
+	}
+	return ids[rng.Intn(len(ids))]
+}
+
+// TestMutateStatusCodes pins the error envelope and status mapping of the
+// mutation-first surface: 422 for semantically bad input, 404 for absent
+// rows/versions, 409 for state conflicts, 400 for undecodable bodies — and
+// the idempotent session DELETE (204 then 404, never 500).
+func TestMutateStatusCodes(t *testing.T) {
+	dirty, _, rulesText := carFixture(t, 60, 3)
+	srv := newTestServer(t, ManagerConfig{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL}
+	req := CreateRequest{Rules: rulesText, Attrs: dirty.Schema.Attrs(), Workers: 1, Seed: 1}
+	info := createSession(c, req)
+	submitBatches(c, info.ID, splitRows(dirty, 2))
+
+	check := func(wantStatus int, wantCode string, gotStatus int, env errorBody, label string) {
+		t.Helper()
+		if gotStatus != wantStatus || env.Error.Code != wantCode {
+			t.Fatalf("%s: got status %d code %q, want %d %q (message %q)",
+				label, gotStatus, env.Error.Code, wantStatus, wantCode, env.Error.Message)
+		}
+	}
+
+	// Mutating an open session is a state conflict.
+	goodRow := append([]string(nil), dirty.Tuples[0].Values...)
+	st, env := doEnvelope(c, "PUT", "/v1/sessions/"+info.ID+"/tuples/0", MutateRequest{Values: goodRow})
+	check(http.StatusConflict, codeConflict, st, env, "mutate while open")
+
+	startClean(c, info.ID)
+	pollDone(c, info.ID)
+
+	st, env = doEnvelope(c, "PUT", "/v1/sessions/"+info.ID+"/tuples/0", MutateRequest{Values: []string{"just-one"}})
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "arity mismatch")
+	st, env = doEnvelope(c, "PUT", fmt.Sprintf("/v1/sessions/%s/tuples/%d", info.ID, dirty.Len()+7), MutateRequest{Values: goodRow})
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "row beyond next")
+	st, env = doEnvelope(c, "PUT", "/v1/sessions/"+info.ID+"/tuples/abc", MutateRequest{Values: goodRow})
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "non-integer row")
+	st, env = doEnvelope(c, "DELETE", "/v1/sessions/"+info.ID+"/tuples/9999", nil)
+	check(http.StatusNotFound, codeNotFound, st, env, "delete absent row")
+
+	// Undecodable body → 400 bad_request.
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/tuples", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var badEnv errorBody
+	json.NewDecoder(resp.Body).Decode(&badEnv)
+	resp.Body.Close()
+	check(http.StatusBadRequest, codeBadRequest, resp.StatusCode, badEnv, "garbage batch body")
+
+	// Version addressing: 0 and garbage are invalid, too-new is not found.
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID+"/result?version=0", nil)
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "version 0")
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID+"/result?version=two", nil)
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "version garbage")
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID+"/result?version=99", nil)
+	check(http.StatusNotFound, codeNotFound, st, env, "version too new")
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID+"/repairs?limit=0", nil)
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "limit zero")
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID+"/repairs?cursor=-4", nil)
+	check(http.StatusUnprocessableEntity, codeInvalid, st, env, "negative cursor")
+
+	// A real mutation succeeds, after which rollback is off the table.
+	var ack MutateResponse
+	if code := c.do("PUT", "/v1/sessions/"+info.ID+"/tuples/0", MutateRequest{Values: goodRow}, &ack); code != http.StatusOK || ack.Version != 2 {
+		t.Fatalf("mutation: status %d version %d", code, ack.Version)
+	}
+	st, env = doEnvelope(c, "POST", "/v1/sessions/"+info.ID+"/rollback", nil)
+	check(http.StatusConflict, codeConflict, st, env, "rollback after mutation")
+
+	// And the mirror image: a rolled-back session refuses mutations.
+	rb := createSession(c, req)
+	submitBatches(c, rb.ID, splitRows(dirty, 2))
+	startClean(c, rb.ID)
+	pollDone(c, rb.ID)
+	if code := c.do("POST", "/v1/sessions/"+rb.ID+"/rollback", nil, nil); code != http.StatusOK {
+		t.Fatalf("rollback: status %d", code)
+	}
+	st, env = doEnvelope(c, "PUT", "/v1/sessions/"+rb.ID+"/tuples/0", MutateRequest{Values: goodRow})
+	check(http.StatusConflict, codeConflict, st, env, "mutation after rollback")
+
+	// Idempotent close: 204, then 404 through the envelope — never 500.
+	if code := c.do("DELETE", "/v1/sessions/"+info.ID, nil, nil); code != http.StatusNoContent {
+		t.Fatalf("first delete: status %d", code)
+	}
+	st, env = doEnvelope(c, "DELETE", "/v1/sessions/"+info.ID, nil)
+	check(http.StatusNotFound, codeNotFound, st, env, "second delete")
+	st, env = doEnvelope(c, "GET", "/v1/sessions/"+info.ID, nil)
+	check(http.StatusNotFound, codeNotFound, st, env, "status after delete")
+}
+
+// TestRepairsPagination walks the audit trail page by page and requires the
+// concatenation to equal the unpaginated response, with a correct cursor
+// chain and graceful behavior past the end.
+func TestRepairsPagination(t *testing.T) {
+	dirty, _, rulesText := carFixture(t, 150, 5)
+	srv := newTestServer(t, ManagerConfig{})
+	defer srv.Shutdown()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c := &client{t: t, base: ts.URL}
+	info := createSession(c, CreateRequest{Rules: rulesText, Attrs: dirty.Schema.Attrs(), Workers: 1, Seed: 1})
+	submitBatches(c, info.ID, splitRows(dirty, 2))
+	startClean(c, info.ID)
+	pollDone(c, info.ID)
+
+	full := getRepairs(c, info.ID)
+	if full.Total != len(full.Repairs) || full.Total < 4 {
+		t.Fatalf("unpaginated trail: total=%d len=%d, want an untruncated trail of ≥4", full.Total, len(full.Repairs))
+	}
+	if full.NextCursor != 0 {
+		t.Fatalf("unpaginated response has next_cursor %d", full.NextCursor)
+	}
+	var walked []Repair
+	cursor, pages := 0, 0
+	for {
+		var page RepairsResponse
+		path := fmt.Sprintf("/v1/sessions/%s/repairs?limit=3&cursor=%d", info.ID, cursor)
+		if code := c.do("GET", path, nil, &page); code != http.StatusOK {
+			t.Fatalf("page at cursor %d: status %d", cursor, code)
+		}
+		if page.Total != full.Total {
+			t.Fatalf("page total %d, want %d", page.Total, full.Total)
+		}
+		if len(page.Repairs) > 3 {
+			t.Fatalf("page at cursor %d has %d repairs, limit 3", cursor, len(page.Repairs))
+		}
+		walked = append(walked, page.Repairs...)
+		pages++
+		if page.NextCursor == 0 {
+			break
+		}
+		if page.NextCursor != cursor+3 {
+			t.Fatalf("next_cursor %d after cursor %d with limit 3", page.NextCursor, cursor)
+		}
+		cursor = page.NextCursor
+	}
+	if pages < 2 || !reflect.DeepEqual(walked, full.Repairs) {
+		t.Fatalf("walked %d pages, %d repairs; want the unpaginated trail of %d", pages, len(walked), full.Total)
+	}
+	var beyond RepairsResponse
+	if code := c.do("GET", fmt.Sprintf("/v1/sessions/%s/repairs?limit=3&cursor=%d", info.ID, full.Total+50), nil, &beyond); code != http.StatusOK {
+		t.Fatalf("cursor past end: status %d", code)
+	}
+	if len(beyond.Repairs) != 0 || beyond.Total != full.Total || beyond.NextCursor != 0 {
+		t.Fatalf("cursor past end: %+v", beyond)
+	}
+}

@@ -40,6 +40,30 @@ func computeRepairs(schema *dataset.Schema, batches [][][]string, repaired *data
 	for _, b := range batches {
 		flat = append(flat, b...)
 	}
+	orig := make(map[int][]string, len(flat))
+	for i, row := range flat {
+		orig[i] = row
+	}
+	return repairsAgainst(schema, orig, repaired, rs, merged)
+}
+
+// computeRepairsTable diffs a mutated input table against its re-cleaned
+// output — the versioned-result flavor of computeRepairs, where tuple IDs are
+// store row ids (with gaps from deletes) rather than stream positions.
+func computeRepairsTable(schema *dataset.Schema, dirty, repaired *dataset.Table, rs []*rules.Rule, merged []index.PieceSummary) []Repair {
+	if repaired == nil {
+		return nil
+	}
+	orig := make(map[int][]string, dirty.Len())
+	for _, t := range dirty.Tuples {
+		orig[t.ID] = t.Values
+	}
+	return repairsAgainst(schema, orig, repaired, rs, merged)
+}
+
+// repairsAgainst diffs the repaired table against the original rows (keyed by
+// tuple ID) and attributes each changed cell.
+func repairsAgainst(schema *dataset.Schema, origRows map[int][]string, repaired *dataset.Table, rs []*rules.Rule, merged []index.PieceSummary) []Repair {
 	weightOf := make(map[string]float64, len(merged))
 	for i := range merged {
 		s := &merged[i]
@@ -48,11 +72,8 @@ func computeRepairs(schema *dataset.Schema, batches [][][]string, repaired *data
 	attrs := schema.Attrs()
 	var out []Repair
 	for _, t := range repaired.Tuples {
-		if t.ID < 0 || t.ID >= len(flat) {
-			continue
-		}
-		orig := flat[t.ID]
-		if len(orig) != len(t.Values) {
+		orig, ok := origRows[t.ID]
+		if !ok || len(orig) != len(t.Values) {
 			continue
 		}
 		for j, attr := range attrs {

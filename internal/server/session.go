@@ -14,6 +14,7 @@ import (
 	"mlnclean/internal/index"
 	"mlnclean/internal/intern"
 	"mlnclean/internal/obs"
+	"mlnclean/internal/tstore"
 	"mlnclean/internal/wal"
 )
 
@@ -47,6 +48,12 @@ var ErrBadInput = fmt.Errorf("server: bad input")
 // breaks, every subsequent durable mutation fails the same way (the API maps
 // it to 500).
 var ErrDurability = fmt.Errorf("server: durability failure")
+
+// ErrInvalid wraps semantically invalid requests — well-formed JSON whose
+// content the session cannot act on (a tuple PUT with the wrong arity, a row
+// id outside the addressable range, an unparseable version or cursor). The
+// API maps it to 422, distinct from the 400 reserved for undecodable bodies.
+var ErrInvalid = fmt.Errorf("server: invalid request")
 
 // CreateRequest are the parameters of a new cleaning session.
 type CreateRequest struct {
@@ -145,6 +152,17 @@ type Session struct {
 	rolled    *dataset.Table // pre-repair table, non-nil once rolled back
 	lostDone  int            // WorkersLost of a WAL-restored result (ex == nil)
 	wal       *walStore      // nil when durability is off
+
+	// Incremental serving state, live once the session is done and mutated.
+	// mutLog is the durable mutation sequence (restored from the WAL);
+	// store/delta/versions are volatile caches rebuilt from batches + mutLog
+	// on first use — the engine replay is deterministic, so result versions
+	// re-serve byte-identically after a restart.
+	coreOpts core.Options       // solo pipeline options the delta engine runs under
+	store    *tstore.Store      // indexed tuple store mirroring the current table
+	delta    *core.DeltaCleaner // incremental re-cleaning engine
+	mutLog   []recMutation
+	versions []*versionEntry // entry i serves result version i+2
 }
 
 // SessionInfo is a session's externally visible status snapshot.
@@ -165,6 +183,10 @@ type SessionInfo struct {
 	WeightsCached bool         `json:"weights_cached"`
 	Repairs       int          `json:"repairs,omitempty"`
 	RolledBack    bool         `json:"rolled_back,omitempty"`
+	// Versions is the number of result versions the session serves: 1 for
+	// the batch clean, plus one per applied tuple mutation. Zero until the
+	// session is done.
+	Versions int `json:"versions,omitempty"`
 	// Plan lists the rule planner's per-rule scan choices (rendered
 	// plan-dump lines) once the run completes; empty while cleaning or when
 	// the planner was disabled.
@@ -198,6 +220,9 @@ func (s *Session) Info() SessionInfo {
 	}
 	if s.res != nil {
 		info.Plan = s.res.Plan
+	}
+	if s.state == StateDone {
+		info.Versions = 1 + len(s.mutLog)
 	}
 	if s.runErr != nil {
 		info.Error = s.runErr.Error()
@@ -348,6 +373,11 @@ func (s *Session) Rollback() (*dataset.Table, int, error) {
 	}
 	if s.rolled != nil {
 		return s.rolled, len(s.repairs), nil
+	}
+	if len(s.mutLog) > 0 {
+		// The audit trail rollback restores predates the mutations; reverting
+		// it under them would serve a table no version ever described.
+		return nil, 0, fmt.Errorf("server: session %s has %d tuple mutations, cannot roll back", s.ID, len(s.mutLog))
 	}
 	tb, err := preRepairTable(s.schema, s.batches)
 	if err != nil {
@@ -610,6 +640,8 @@ func (m *Manager) restore(id string, snap *sessSnap) (*Session, error) {
 		repairs:   snap.Repairs,
 		created:   time.Unix(0, snap.Created),
 		lastUsed:  now,
+		coreOpts:  soloCoreOptions(snap.Req),
+		mutLog:    snap.Mutations,
 	}
 	for _, b := range snap.Batches {
 		s.tuples += len(b)
@@ -728,6 +760,19 @@ func executorOptions(req CreateRequest, workers int, factory distributed.Transpo
 	return opts
 }
 
+// soloCoreOptions derives the options the session's delta engine cleans
+// under: the request's pipeline knobs that shape outcomes (τ, metric,
+// duplicate handling), without the transport-shaped ones. Result versions ≥2
+// are defined as the single-node pipeline over the mutated table, so every
+// transport serves the same bytes.
+func soloCoreOptions(req CreateRequest) core.Options {
+	return core.Options{
+		Tau:            req.Tau,
+		Metric:         metricFor(req.Metric),
+		KeepDuplicates: req.KeepDuplicates,
+	}
+}
+
 // Create opens a new session: interns the rule set, validates it against the
 // schema, and starts an executor seeded with cached weights when the model
 // has them. Returns ErrBusy at the session cap. With durability on, the
@@ -802,6 +847,7 @@ func (m *Manager) Create(req CreateRequest) (*Session, error) {
 		created:   now,
 		lastUsed:  now,
 		wal:       m.wal,
+		coreOpts:  soloCoreOptions(req),
 	}
 	// Log the create before the session becomes reachable: an acknowledged
 	// session id must survive a crash.

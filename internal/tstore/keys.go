@@ -1,0 +1,55 @@
+package tstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+)
+
+// KeySize is the fixed width of an index key: attr (2) + value (4) + row (4).
+const KeySize = 10
+
+// Key is one cell of the table as a fixed-width sortable index key in AVET
+// order — attribute, value, entity — over the store's intern IDs. Big-endian
+// packing makes bytes.Compare agree with (attr, value, row) tuple order, so
+// every (attr), (attr, value), and (attr, value, row) prefix is one
+// contiguous key range: postings and range scans are binary searches, never
+// filters.
+type Key [KeySize]byte
+
+// MakeKey packs one cell.
+func MakeKey(attr uint16, value uint32, row uint32) Key {
+	var k Key
+	binary.BigEndian.PutUint16(k[0:2], attr)
+	binary.BigEndian.PutUint32(k[2:6], value)
+	binary.BigEndian.PutUint32(k[6:10], row)
+	return k
+}
+
+// Attr is the key's schema position.
+func (k Key) Attr() uint16 { return binary.BigEndian.Uint16(k[0:2]) }
+
+// Value is the key's interned value ID.
+func (k Key) Value() uint32 { return binary.BigEndian.Uint32(k[2:6]) }
+
+// Row is the key's tuple ID.
+func (k Key) Row() uint32 { return binary.BigEndian.Uint32(k[6:10]) }
+
+// Less orders keys like bytes.Compare.
+func (k Key) Less(o Key) bool { return bytes.Compare(k[:], o[:]) < 0 }
+
+func (k Key) String() string {
+	return fmt.Sprintf("a%d/v%d/r%d", k.Attr(), k.Value(), k.Row())
+}
+
+// PrefixAV is the inclusive lower bound of the (attr, value) posting range;
+// the matching exclusive upper bound is PrefixAV(attr, value+1) — value IDs
+// never reach ^uint32(0), the dictionary caps far below it.
+func PrefixAV(attr uint16, value uint32) Key {
+	return MakeKey(attr, value, 0)
+}
+
+// PrefixA is the inclusive lower bound of an attribute's whole key range.
+func PrefixA(attr uint16) Key {
+	return MakeKey(attr, 0, 0)
+}

@@ -1,0 +1,386 @@
+// Package tstore is the indexed tuple store under incremental serving: the
+// canonical row-addressed current table, dictionary-encoded to fixed-width
+// intern IDs and indexed by AVET-style sortable keys (attr, value, row), so
+// "which rows carry value v in column a" — the question delta re-cleaning
+// asks when mapping a mutation to affected rule blocks — is a binary search
+// over one sorted key set, not a table scan.
+//
+// A store opened on a wal.FS is durable: every Put/Delete is gob-framed and
+// appended to an internal/wal segment log before it is applied, and the log
+// is compacted into a snapshot every SnapshotEvery records. Reopening the
+// same FS replays snapshot + tail into the identical store — same rows, same
+// dictionary IDs (replay re-interns in the original mutation order), same
+// key set. A nil FS yields a volatile store with the same API; the serving
+// layer mounts it that way because the session WAL is the manager's single
+// durability authority and already logs mutations (see internal/server).
+package tstore
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"sync"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/intern"
+	"mlnclean/internal/wal"
+)
+
+// Options tunes the durable layer; zero values take the wal defaults.
+type Options struct {
+	// SegmentSize caps one log segment (wal.Options.SegmentSize).
+	SegmentSize int64
+	// SnapshotEvery compacts the log into a snapshot after this many
+	// records (default 256).
+	SnapshotEvery int
+	// NoSync skips fsync on append (tests only).
+	NoSync bool
+}
+
+// Store is a mutable, indexed, optionally durable tuple table. Safe for
+// concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	schema *dataset.Schema
+	dict   *intern.Dict
+	rows   map[int][]uint32 // row ID → encoded values, schema order
+	keys   []Key            // sorted AVET index over live cells
+	next   int              // one past the largest row ID ever stored
+
+	log     *wal.Log
+	broken  error // first append failure; fail-stop like the session WAL
+	every   int
+	pending int
+}
+
+// The two log record kinds. Values travel as strings — the dictionary is
+// rebuilt on replay, in mutation order, so IDs are reproducible without ever
+// persisting the dictionary itself.
+type recPut struct {
+	Row    int
+	Values []string
+}
+type recDelete struct {
+	Row int
+}
+
+// snap is the compaction state: the whole table, rows ascending.
+type snap struct {
+	Next int
+	IDs  []int
+	Rows [][]string
+}
+
+func init() {
+	gob.Register(recPut{})
+	gob.Register(recDelete{})
+}
+
+// Open builds a store for the schema over fs. A nil fs yields a volatile
+// store (and a nil Recovery); otherwise the existing log is replayed and its
+// recovery summary returned.
+func Open(schema *dataset.Schema, fs wal.FS, o Options) (*Store, *wal.Recovery, error) {
+	if schema == nil || schema.Len() == 0 {
+		return nil, nil, fmt.Errorf("tstore: empty schema")
+	}
+	if o.SnapshotEvery <= 0 {
+		o.SnapshotEvery = 256
+	}
+	s := &Store{
+		schema: schema,
+		dict:   intern.NewDict(),
+		rows:   make(map[int][]uint32),
+		every:  o.SnapshotEvery,
+	}
+	if fs == nil {
+		return s, nil, nil
+	}
+	log, rec, err := wal.Open(fs, wal.Options{SegmentSize: o.SegmentSize, NoSync: o.NoSync})
+	if err != nil {
+		return nil, nil, fmt.Errorf("tstore: open wal: %w", err)
+	}
+	if len(rec.Snapshot) > 0 {
+		var sn snap
+		if err := gob.NewDecoder(bytes.NewReader(rec.Snapshot)).Decode(&sn); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("tstore: decode snapshot: %w", err)
+		}
+		if len(sn.IDs) != len(sn.Rows) {
+			log.Close()
+			return nil, nil, fmt.Errorf("tstore: snapshot ids/rows mismatch")
+		}
+		for i, id := range sn.IDs {
+			s.applyPut(id, sn.Rows[i])
+		}
+		s.next = sn.Next
+	}
+	for _, payload := range rec.Records {
+		var r any
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("tstore: decode record: %w", err)
+		}
+		switch r := r.(type) {
+		case recPut:
+			if len(r.Values) != schema.Len() {
+				log.Close()
+				return nil, nil, fmt.Errorf("tstore: replayed put row %d has %d values, schema has %d",
+					r.Row, len(r.Values), schema.Len())
+			}
+			s.applyPut(r.Row, r.Values)
+		case recDelete:
+			s.applyDelete(r.Row)
+		default:
+			log.Close()
+			return nil, nil, fmt.Errorf("tstore: unknown record %T", r)
+		}
+	}
+	s.log = log
+	return s, rec, nil
+}
+
+// Close releases the log; the in-memory store stays readable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}
+
+// append durably logs one record before the caller applies it. Fail-stop: a
+// failed append latches the store broken, exactly like the session WAL —
+// acknowledged-durable or rejected, never silently volatile.
+func (s *Store) append(rec any) error {
+	if s.log == nil {
+		return nil
+	}
+	if s.broken != nil {
+		return fmt.Errorf("tstore: log broken by earlier failure: %w", s.broken)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&rec); err != nil {
+		return fmt.Errorf("tstore: encode record: %w", err)
+	}
+	if err := s.log.Append(buf.Bytes()); err != nil {
+		s.broken = err
+		return fmt.Errorf("tstore: append: %w", err)
+	}
+	s.pending++
+	return nil
+}
+
+// maybeCompact snapshots the applied state once enough records accumulated.
+// Called after the record is folded in — a snapshot taken between append and
+// apply would drop the in-flight record.
+func (s *Store) maybeCompact() {
+	if s.log == nil || s.broken != nil || s.pending < s.every {
+		return
+	}
+	if b, err := s.encodeSnap(); err == nil {
+		if err := s.log.Compact(b); err == nil {
+			s.pending = 0
+		}
+	}
+}
+
+func (s *Store) encodeSnap() ([]byte, error) {
+	sn := snap{Next: s.next}
+	sn.IDs = make([]int, 0, len(s.rows))
+	for id := range s.rows {
+		sn.IDs = append(sn.IDs, id)
+	}
+	sort.Ints(sn.IDs)
+	sn.Rows = make([][]string, len(sn.IDs))
+	for i, id := range sn.IDs {
+		sn.Rows[i] = s.decode(s.rows[id])
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&sn); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Put inserts or replaces one row. Row IDs are caller-assigned and dense-ish
+// by convention (NextRow hands out the next fresh one); any non-negative ID
+// is accepted.
+func (s *Store) Put(row int, values []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if row < 0 {
+		return fmt.Errorf("tstore: negative row %d", row)
+	}
+	if len(values) != s.schema.Len() {
+		return fmt.Errorf("tstore: row %d has %d values, schema has %d", row, len(values), s.schema.Len())
+	}
+	if err := s.append(recPut{Row: row, Values: append([]string(nil), values...)}); err != nil {
+		return err
+	}
+	s.applyPut(row, values)
+	s.maybeCompact()
+	return nil
+}
+
+// Delete removes one row; deleting an absent row is an error.
+func (s *Store) Delete(row int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.rows[row]; !ok {
+		return fmt.Errorf("tstore: delete of unknown row %d", row)
+	}
+	if err := s.append(recDelete{Row: row}); err != nil {
+		return err
+	}
+	s.applyDelete(row)
+	s.maybeCompact()
+	return nil
+}
+
+func (s *Store) applyPut(row int, values []string) {
+	if old, ok := s.rows[row]; ok {
+		s.dropKeys(row, old)
+	}
+	enc := make([]uint32, len(values))
+	for i, v := range values {
+		enc[i] = s.dict.Intern(v)
+	}
+	s.rows[row] = enc
+	s.addKeys(row, enc)
+	if row >= s.next {
+		s.next = row + 1
+	}
+}
+
+func (s *Store) applyDelete(row int) {
+	if old, ok := s.rows[row]; ok {
+		s.dropKeys(row, old)
+		delete(s.rows, row)
+	}
+}
+
+func (s *Store) addKeys(row int, enc []uint32) {
+	for a, v := range enc {
+		k := MakeKey(uint16(a), v, uint32(row))
+		at := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].Less(k) })
+		s.keys = append(s.keys, Key{})
+		copy(s.keys[at+1:], s.keys[at:])
+		s.keys[at] = k
+	}
+}
+
+func (s *Store) dropKeys(row int, enc []uint32) {
+	for a, v := range enc {
+		k := MakeKey(uint16(a), v, uint32(row))
+		at := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].Less(k) })
+		if at < len(s.keys) && s.keys[at] == k {
+			s.keys = append(s.keys[:at], s.keys[at+1:]...)
+		}
+	}
+}
+
+func (s *Store) decode(enc []uint32) []string {
+	out := make([]string, len(enc))
+	for i, id := range enc {
+		out[i] = s.dict.Value(id)
+	}
+	return out
+}
+
+// Get returns one row's values.
+func (s *Store) Get(row int) ([]string, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc, ok := s.rows[row]
+	if !ok {
+		return nil, false
+	}
+	return s.decode(enc), true
+}
+
+// Has reports whether the row is live.
+func (s *Store) Has(row int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.rows[row]
+	return ok
+}
+
+// Len is the live row count.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.rows)
+}
+
+// NextRow is the smallest fresh row ID (one past the largest ever stored —
+// deleted IDs are not recycled automatically, though Put may revive one).
+func (s *Store) NextRow() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.next
+}
+
+// Schema is the store's schema.
+func (s *Store) Schema() *dataset.Schema { return s.schema }
+
+// Table materializes the live rows as a dataset.Table in ascending row-ID
+// order — the canonical table the cleaning pipeline consumes. The copy is
+// independent of the store.
+func (s *Store) Table() *dataset.Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]int, 0, len(s.rows))
+	for id := range s.rows {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	tb := dataset.NewTable(s.schema)
+	for _, id := range ids {
+		tb.Tuples = append(tb.Tuples, &dataset.Tuple{ID: id, Values: s.decode(s.rows[id])})
+	}
+	return tb
+}
+
+// Postings returns the rows whose attribute carries the value, ascending —
+// one contiguous range of the AVET key set. Unknown attributes and values
+// post nothing.
+func (s *Store) Postings(attr, value string) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.schema.Index(attr)
+	if !ok {
+		return nil
+	}
+	v, ok := s.dict.Lookup(value)
+	if !ok {
+		return nil
+	}
+	var out []int
+	s.scanLocked(PrefixAV(uint16(a), v), PrefixAV(uint16(a), v+1), func(k Key) bool {
+		out = append(out, int(k.Row()))
+		return true
+	})
+	return out
+}
+
+// RangeScan streams the keys in [lo, hi) in sorted order until fn returns
+// false. Callers compose bounds with MakeKey/PrefixA/PrefixAV.
+func (s *Store) RangeScan(lo, hi Key, fn func(Key) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.scanLocked(lo, hi, fn)
+}
+
+func (s *Store) scanLocked(lo, hi Key, fn func(Key) bool) {
+	at := sort.Search(len(s.keys), func(i int) bool { return !s.keys[i].Less(lo) })
+	for ; at < len(s.keys) && s.keys[at].Less(hi); at++ {
+		if !fn(s.keys[at]) {
+			return
+		}
+	}
+}

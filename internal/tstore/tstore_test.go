@@ -1,0 +1,280 @@
+package tstore
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mlnclean/internal/dataset"
+	"mlnclean/internal/wal"
+)
+
+func testSchema(t *testing.T) *dataset.Schema {
+	t.Helper()
+	s, err := dataset.NewSchema("Model", "Make", "Doors")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func chaosSeeds(t *testing.T) []int64 {
+	t.Helper()
+	env := os.Getenv("CHAOS_SEEDS")
+	if env == "" {
+		return []int64{1, 7}
+	}
+	var seeds []int64
+	for _, f := range strings.Split(env, ",") {
+		n, err := strconv.ParseInt(strings.TrimSpace(f), 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEEDS entry %q: %v", f, err)
+		}
+		seeds = append(seeds, n)
+	}
+	return seeds
+}
+
+func TestStoreBasics(t *testing.T) {
+	s, rec, err := Open(testSchema(t), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec != nil {
+		t.Fatal("volatile store returned a recovery")
+	}
+	if err := s.Put(s.NextRow(), []string{"tl", "acura", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(s.NextRow(), []string{"civic", "honda", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(s.NextRow(), []string{"tl", "acura", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got, ok := s.Get(1); !ok || !reflect.DeepEqual(got, []string{"civic", "honda", "4"}) {
+		t.Fatalf("Get(1) = %v %v", got, ok)
+	}
+	if got := s.Postings("Make", "acura"); !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Postings(Make, acura) = %v, want [0 2]", got)
+	}
+	if got := s.Postings("Doors", "4"); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("Postings(Doors, 4) = %v, want [0 1]", got)
+	}
+	// Replacing a row moves its keys.
+	if err := s.Put(0, []string{"tl", "honda", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Postings("Make", "acura"); !reflect.DeepEqual(got, []int{2}) {
+		t.Fatalf("after update, Postings(Make, acura) = %v, want [2]", got)
+	}
+	if err := s.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Postings("Make", "acura"); len(got) != 0 {
+		t.Fatalf("after delete, Postings(Make, acura) = %v, want empty", got)
+	}
+	if err := s.Delete(2); err == nil {
+		t.Fatal("double delete succeeded")
+	}
+	if got := s.NextRow(); got != 3 {
+		t.Fatalf("NextRow = %d, want 3 (deleted IDs are not recycled)", got)
+	}
+	tb := s.Table()
+	if tb.Len() != 2 || tb.Tuples[0].ID != 0 || tb.Tuples[1].ID != 1 {
+		t.Fatalf("Table = %+v", tb.Tuples)
+	}
+	// Unknown attr/value post nothing.
+	if got := s.Postings("Nope", "x"); got != nil {
+		t.Fatalf("Postings on unknown attr = %v", got)
+	}
+	if got := s.Postings("Make", "never-seen"); got != nil {
+		t.Fatalf("Postings on unknown value = %v", got)
+	}
+}
+
+func TestStoreValidation(t *testing.T) {
+	s, _, err := Open(testSchema(t), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(-1, []string{"a", "b", "c"}); err == nil {
+		t.Fatal("negative row accepted")
+	}
+	if err := s.Put(0, []string{"a"}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	if _, _, err := Open(nil, nil, Options{}); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+}
+
+// TestKeyOrder pins the codec: byte order must agree with (attr, value, row)
+// tuple order, and the AV prefix bounds must bracket exactly one posting run.
+func TestKeyOrder(t *testing.T) {
+	ks := []Key{
+		MakeKey(0, 0, 0), MakeKey(0, 0, 9), MakeKey(0, 1, 0),
+		MakeKey(0, 700, 3), MakeKey(1, 0, 0), MakeKey(2, 5, 1),
+	}
+	for i := 1; i < len(ks); i++ {
+		if !ks[i-1].Less(ks[i]) {
+			t.Fatalf("key order broken at %d: %v !< %v", i, ks[i-1], ks[i])
+		}
+	}
+	k := MakeKey(3, 12345, 678)
+	if k.Attr() != 3 || k.Value() != 12345 || k.Row() != 678 {
+		t.Fatalf("roundtrip: %v", k)
+	}
+	lo, hi := PrefixAV(0, 1), PrefixAV(0, 2)
+	if !lo.Less(MakeKey(0, 1, 42)) && MakeKey(0, 1, 0) != lo {
+		t.Fatalf("lo bound wrong")
+	}
+	if !MakeKey(0, 1, ^uint32(0)).Less(hi) {
+		t.Fatalf("hi bound excludes max row")
+	}
+}
+
+// TestStoreRangeScan covers the generic scan with early stop.
+func TestStoreRangeScan(t *testing.T) {
+	s, _, _ := Open(testSchema(t), nil, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(i, []string{fmt.Sprintf("m%d", i%3), "make", "4"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var n int
+	s.RangeScan(PrefixA(0), PrefixA(1), func(Key) bool { n++; return true })
+	if n != 10 {
+		t.Fatalf("attr-0 scan saw %d keys, want 10", n)
+	}
+	n = 0
+	s.RangeScan(PrefixA(0), PrefixA(3), func(Key) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop saw %d keys, want 5", n)
+	}
+}
+
+func storeDump(s *Store) string {
+	var b strings.Builder
+	tb := s.Table()
+	fmt.Fprintf(&b, "next=%d\n", s.NextRow())
+	for _, tp := range tb.Tuples {
+		fmt.Fprintf(&b, "%d:%v\n", tp.ID, tp.Values)
+	}
+	return b.String()
+}
+
+// TestStoreDurability: a reopened store is byte-identical to the one that
+// wrote the log, including across snapshot compactions.
+func TestStoreDurability(t *testing.T) {
+	fs := wal.NewMemFS(wal.FaultPlan{})
+	schema := testSchema(t)
+	s, _, err := Open(schema, fs, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		switch {
+		case s.Len() > 1 && rng.Intn(4) == 0:
+			tb := s.Table()
+			if err := s.Delete(tb.Tuples[rng.Intn(tb.Len())].ID); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			row := s.NextRow()
+			if s.Len() > 0 && rng.Intn(3) == 0 {
+				tb := s.Table()
+				row = tb.Tuples[rng.Intn(tb.Len())].ID
+			}
+			vals := []string{fmt.Sprintf("m%d", rng.Intn(9)), fmt.Sprintf("mk%d", rng.Intn(4)), strconv.Itoa(2 + 2*rng.Intn(2))}
+			if err := s.Put(row, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := storeDump(s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, rec, err := Open(schema, fs, Options{SnapshotEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if rec == nil || (len(rec.Snapshot) == 0 && len(rec.Records) == 0) {
+		t.Fatalf("recovery empty: %+v", rec)
+	}
+	if got := storeDump(re); got != want {
+		t.Fatalf("reopened store diverges:\ngot  %q\nwant %q", got, want)
+	}
+	// The index must be rebuilt too, not just the rows.
+	for _, tp := range re.Table().Tuples {
+		found := false
+		for _, r := range re.Postings(schema.Attr(0), tp.Values[0]) {
+			if r == tp.ID {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("row %d missing from reopened postings", tp.ID)
+		}
+	}
+}
+
+// TestStoreCrashRecovery: under scripted fault plans, whatever prefix of
+// mutations was acknowledged before the crash is exactly what the reopened
+// store serves — never a torn or reordered state.
+func TestStoreCrashRecovery(t *testing.T) {
+	for _, seed := range chaosSeeds(t) {
+		for _, mode := range []wal.FaultMode{wal.FaultNone, wal.FaultTornTail, wal.FaultBitFlip} {
+			t.Run(fmt.Sprintf("seed=%d/mode=%v", seed, mode), func(t *testing.T) {
+				fs := wal.NewMemFS(wal.FaultPlan{Seed: seed, Mode: mode})
+				schema := testSchema(t)
+				s, _, err := Open(schema, fs, Options{SnapshotEvery: 5})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed * 977))
+				// Acked states, one per acknowledged mutation.
+				var acked []string
+				acked = append(acked, storeDump(s))
+				crashAt := 10 + rng.Intn(20)
+				for i := 0; i < crashAt; i++ {
+					var err error
+					if s.Len() > 1 && rng.Intn(5) == 0 {
+						tb := s.Table()
+						err = s.Delete(tb.Tuples[rng.Intn(tb.Len())].ID)
+					} else {
+						err = s.Put(s.NextRow(), []string{
+							fmt.Sprintf("m%d", rng.Intn(6)), fmt.Sprintf("mk%d", rng.Intn(3)), "4"})
+					}
+					if err != nil {
+						break // fail-stop after an injected fault: fine
+					}
+					acked = append(acked, storeDump(s))
+				}
+				fs.Crash()
+				re, _, err := Open(schema, fs, Options{SnapshotEvery: 5})
+				if err != nil {
+					t.Fatalf("reopen after crash: %v", err)
+				}
+				defer re.Close()
+				got := storeDump(re)
+				for _, want := range acked {
+					if got == want {
+						return
+					}
+				}
+				t.Fatalf("recovered state matches no acknowledged prefix:\n%s", got)
+			})
+		}
+	}
+}
